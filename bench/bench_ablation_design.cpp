@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out, beyond the
+ * paper's own figures:
+ *
+ *  (a) SMART hops-per-cycle sweep H in {1, 3, 9, 16}: how much of
+ *      SN's latency comes from multi-cycle wires (Section 3.2.2);
+ *  (b) VC count 2 vs 4: the deadlock-minimum VCs vs extra VCs
+ *      (Section 4.3 uses exactly 2);
+ *  (c) uniform edge buffers sized to the network minimum vs maximum
+ *      vs per-link RTT (the manufacturing options of Section 3.2.2);
+ *  (d) layout x router-architecture cross: does CBR's benefit depend
+ *      on the layout (it should not -- CB size is layout-independent,
+ *      Eq. 6).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    banner("Ablation (a): SMART H sweep, sn_subgr N=200, RND");
+    {
+        TextTable t({"H", "latency@0.06 [cycles]", "latency@0.24"});
+        for (int h : {1, 3, 9, 16}) {
+            SimResult lo = runSynthetic("sn_subgr_200", "EB-Var",
+                                        PatternKind::Random, 0.06, h);
+            SimResult hi = runSynthetic("sn_subgr_200", "EB-Var",
+                                        PatternKind::Random, 0.24, h);
+            t.addRow({TextTable::fmt(h),
+                      TextTable::fmt(lo.avgPacketLatency, 2),
+                      hi.stable ? TextTable::fmt(hi.avgPacketLatency,
+                                                 2)
+                                : "sat"});
+        }
+        t.print(std::cout);
+        std::cout << "Expected: diminishing returns past H ~ max "
+                     "wire length (23 hops at q=5).\n";
+    }
+
+    banner("Ablation (b): VC count, sn_subgr N=200, RND 0.16");
+    {
+        TextTable t({"VCs", "latency [cycles]", "throughput"});
+        for (int vcs : {2, 3, 4}) {
+            NocTopology topo = makeNamedTopology("sn_subgr_200");
+            RouterConfig rc = RouterConfig::named("EB-Var");
+            rc.numVcs = vcs;
+            Network net(topo, rc);
+            auto pat = std::shared_ptr<TrafficPattern>(
+                makeTrafficPattern(PatternKind::Random, topo));
+            SyntheticConfig sc;
+            sc.load = 0.16;
+            SimResult r = runSimulation(
+                net, makeSyntheticSource(pat, sc), simConfig());
+            t.addRow({TextTable::fmt(vcs),
+                      TextTable::fmt(r.avgPacketLatency, 2),
+                      TextTable::fmt(r.throughput, 4)});
+        }
+        t.print(std::cout);
+        std::cout << "Expected: 2 VCs (the deadlock minimum) already "
+                     "capture most of the throughput.\n";
+    }
+
+    banner("Ablation (c): uniform vs per-link edge buffers, "
+           "sn_subgr N=200, RND");
+    {
+        // EB-Small approximates 'uniform at the minimum', EB-Large
+        // 'uniform at the maximum', EB-Var the per-link sizing.
+        TextTable t({"sizing", "buffers/router [flits]",
+                     "latency@0.16", "throughput@0.4"});
+        for (const char *cfg : {"EB-Small", "EB-Var", "EB-Large"}) {
+            NocTopology topo = makeNamedTopology("sn_subgr_200");
+            PowerModel pm(topo, RouterConfig::named(cfg),
+                          TechParams::nm45(), 1);
+            SimResult mid = runSynthetic("sn_subgr_200", cfg,
+                                         PatternKind::Random, 0.16);
+            SimResult high = runSynthetic("sn_subgr_200", cfg,
+                                          PatternKind::Random, 0.4);
+            t.addRow({cfg,
+                      TextTable::fmt(pm.totalBufferFlits() /
+                                         topo.numRouters(),
+                                     1),
+                      mid.stable
+                          ? TextTable::fmt(mid.avgPacketLatency, 2)
+                          : "sat",
+                      TextTable::fmt(high.throughput, 3)});
+        }
+        t.print(std::cout);
+        std::cout << "Expected: per-link RTT sizing matches the "
+                     "maximum's performance at a fraction of the "
+                     "buffer space (Section 3.2.2).\n";
+    }
+
+    banner("Ablation (d): layout x router architecture, RND 0.16");
+    {
+        TextTable t({"layout", "EB-Var [cycles]", "CBR-20 [cycles]"});
+        for (const char *id : {"sn_basic_200", "sn_subgr_200",
+                               "sn_gr_200", "sn_rand_200"}) {
+            SimResult eb = runSynthetic(id, "EB-Var",
+                                        PatternKind::Random, 0.16);
+            SimResult cb = runSynthetic(id, "CBR-20",
+                                        PatternKind::Random, 0.16);
+            t.addRow({id,
+                      eb.stable
+                          ? TextTable::fmt(eb.avgPacketLatency, 2)
+                          : "sat",
+                      cb.stable
+                          ? TextTable::fmt(cb.avgPacketLatency, 2)
+                          : "sat"});
+        }
+        t.print(std::cout);
+        std::cout << "Expected: layout ordering is preserved under "
+                     "both router architectures.\n";
+    }
+    return 0;
+}

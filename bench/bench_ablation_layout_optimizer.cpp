@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Layout-optimizer ablation: Section 3.2 offers its models as tools
+ * for deriving custom layouts. This bench anneals placements from
+ * random and from the structured seeds and compares the resulting
+ * average wire length M, total buffer size, and simulated latency
+ * against the paper's hand-designed layouts.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/buffer_model.hh"
+#include "core/layout_optimizer.hh"
+#include "core/placement_model.hh"
+#include "core/slimnoc.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    SnParams sp = SnParams::fromQ(5, 4); // SN-S
+    MmsGraph mms(sp);
+
+    banner("Layout optimizer vs hand-designed layouts (SN-S, "
+           "N = 200)");
+    TextTable t({"placement", "avg wire M", "max W (dir)",
+                 "buffers/router [flits]"});
+
+    auto report = [&](const std::string &name, const Placement &p) {
+        PlacementModel pm(mms.graph(), p);
+        BufferModel bm(mms.graph(), p, {});
+        t.addRow({name, TextTable::fmt(pm.averageWireLength(), 3),
+                  TextTable::fmt(pm.maxDirectionalWireCount()),
+                  TextTable::fmt(bm.totalEdgeBuffers() /
+                                     mms.numRouters(),
+                                 1)});
+    };
+
+    for (SnLayout l : kAllSnLayouts) {
+        report(to_string(l), Placement::forSlimNoc(mms, l, 3));
+    }
+
+    LayoutOptimizerConfig cfg;
+    cfg.iterations = fastMode() ? 10000 : 80000;
+
+    OptimizedLayout fromRand = optimizeLayout(
+        mms.graph(), Placement::forSlimNoc(mms, SnLayout::Random, 3),
+        cfg);
+    report("anneal(rand)", fromRand.placement);
+
+    OptimizedLayout fromSubgr = optimizeLayout(
+        mms.graph(), Placement::forSlimNoc(mms, SnLayout::Subgroup),
+        cfg);
+    report("anneal(subgr)", fromSubgr.placement);
+
+    t.print(std::cout);
+    std::cout << "\nExpected: annealing from random reaches the "
+                 "structured layouts' M; annealing from sn_subgr "
+                 "squeezes a few more percent, validating the "
+                 "Section 3.3 designs as near-optimal.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Resilience ablation: quantifies Section 2.1's claim that the MMS
+ * graphs' expander structure yields "high resilience to link
+ * failures". Sweeps link-failure fractions for SN and the baselines
+ * and reports connectivity, diameter inflation, and average-path
+ * inflation, plus the edge-expansion probe.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "graph/resilience.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *nets[] = {"sn_subgr_200", "fbf4", "pfbf4", "t2d4",
+                          "cm4"};
+    int trials = fastMode() ? 5 : 25;
+
+    banner("Resilience: connectivity under random link failures "
+           "(N in {192,200} class)");
+    for (double frac : {0.05, 0.10, 0.20}) {
+        TextTable t({"network", "links", "connected [%]",
+                     "avg diameter", "APL inflation"});
+        for (const char *id : nets) {
+            NocTopology topo = makeNamedTopology(id);
+            ResilienceReport r =
+                analyzeResilience(topo.routers(), frac, trials);
+            t.addRow({topo.name(),
+                      TextTable::fmt(topo.routers().numEdges()),
+                      TextTable::fmt(100.0 * r.connectedFraction, 0),
+                      r.connectedFraction > 0.0
+                          ? TextTable::fmt(r.avgDiameter, 2)
+                          : "-",
+                      r.connectedFraction > 0.0
+                          ? TextTable::fmt(r.avgPathInflation, 3)
+                          : "-"});
+        }
+        std::cout << "-- failure fraction " << frac << "\n";
+        t.print(std::cout);
+    }
+
+    banner("Edge-expansion probe (min cut/|S| over random balanced "
+           "bipartitions; higher = better expander)");
+    {
+        TextTable t({"network", "expansion", "degree-normalized"});
+        for (const char *id : nets) {
+            NocTopology topo = makeNamedTopology(id);
+            double e = edgeExpansionProbe(topo.routers(),
+                                          fastMode() ? 20 : 100);
+            double norm =
+                e / static_cast<double>(topo.routers().maxDegree());
+            t.addRow({topo.name(), TextTable::fmt(e, 3),
+                      TextTable::fmt(norm, 3)});
+        }
+        t.print(std::cout);
+        std::cout << "Expected: SN's degree-normalized expansion "
+                     "rivals FBF's. Note that random balanced "
+                     "bipartitions underestimate grid topologies' "
+                     "weakness (their worst cuts are geometric); the "
+                     "failure sweep above is the sharper signal.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Figure 10: how the SN layouts affect performance at
+ * N = 200 without SMART links.
+ *
+ *  (a) latency vs load for REV / RND / SHF across the four layouts;
+ *  (b) latency per PARSEC/SPLASH workload for sn_basic / sn_gr /
+ *      sn_subgr, with the geometric-mean advantage of sn_subgr over
+ *      sn_basic (paper: ~5%).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *layouts[] = {"sn_basic_200", "sn_subgr_200",
+                             "sn_gr_200", "sn_rand_200"};
+
+    banner("Figure 10a: synthetic latency [cycles] per layout "
+           "(no SMART, N = 200)");
+    for (PatternKind pat :
+         {PatternKind::BitReversal, PatternKind::Random,
+          PatternKind::Shuffle}) {
+        std::cout << "-- pattern " << to_string(pat) << "\n";
+        TextTable t({"load", "sn_basic", "sn_subgr", "sn_gr",
+                     "sn_rand"});
+        for (double load : loadGrid()) {
+            std::vector<std::string> row{TextTable::fmt(load, 3)};
+            for (const char *id : layouts) {
+                SimResult r = runSynthetic(id, "EB-Var", pat, load);
+                row.push_back(r.packetsDelivered
+                                  ? TextTable::fmt(r.avgPacketLatency,
+                                                   1)
+                                  : "sat");
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    banner("Figure 10b: PARSEC/SPLASH latency [cycles] per layout");
+    Cycle traceCycles = fastMode() ? 1500 : 5000;
+    TextTable t({"benchmark", "sn_basic", "sn_gr", "sn_subgr"});
+    std::vector<double> ratios;
+    for (const WorkloadProfile &w : parsecSplashWorkloads()) {
+        std::vector<std::string> row{w.name};
+        double basic = 0.0;
+        double subgr = 0.0;
+        for (const char *id :
+             {"sn_basic_200", "sn_gr_200", "sn_subgr_200"}) {
+            NocTopology topo = makeNamedTopology(id);
+            Network net(topo, RouterConfig::named("EB-Var"));
+            SimResult r = runWorkload(net, w, traceCycles);
+            row.push_back(TextTable::fmt(r.avgPacketLatency, 1));
+            if (std::string(id) == "sn_basic_200")
+                basic = r.avgPacketLatency;
+            if (std::string(id) == "sn_subgr_200")
+                subgr = r.avgPacketLatency;
+        }
+        if (subgr > 0.0)
+            ratios.push_back(basic / subgr);
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\nsn_subgr latency advantage over sn_basic "
+                 "(geometric mean): "
+              << TextTable::fmt(
+                     100.0 * (geometricMean(ratios) - 1.0), 1)
+              << "% (paper: ~5%)\n";
+    return 0;
+}

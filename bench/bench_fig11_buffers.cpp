@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Figure 11: impact of the buffering strategy (edge
+ * buffers of several sizes, elastic links only, central buffers of
+ * 6 and 40 flits) on RND latency, with and without SMART links, for
+ * N = 200 and N = 1296.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *cfgs[] = {"EB-Small", "EB-Var", "EB-Large",
+                          "EL-Links", "CBR-40", "CBR-6"};
+    struct Class { const char *sn; int n; };
+    for (auto [sn, n] : {Class{"sn_subgr_200", 200},
+                         Class{"sn_subgr_1296", 1296}}) {
+        for (int h : {1, 9}) {
+            banner("Figure 11: buffering strategies, N = " +
+                   std::to_string(n) +
+                   (h == 1 ? ", no SMART" : ", SMART H=9"));
+            TextTable t({"load", "EB-Small", "EB-Var", "EB-Large",
+                         "EL-Links", "CBR-40", "CBR-6"});
+            // Large networks get a reduced grid to bound runtime,
+            // mirroring the paper's own N = 1296 simplification.
+            std::vector<double> loads = loadGrid();
+            if (n > 1000 && loads.size() > 3)
+                loads = {loads[0], loads[2], loads[4]};
+            SimConfig cfg =
+                n > 1000 ? simConfig(1000, 3000) : simConfig();
+            for (double load : loads) {
+                std::vector<std::string> row{TextTable::fmt(load, 3)};
+                for (const char *c : cfgs) {
+                    SimResult r = runSynthetic(
+                        sn, c, PatternKind::Random, load, h,
+                        RoutingMode::Minimal, cfg);
+                    row.push_back(
+                        r.packetsDelivered && r.stable
+                            ? TextTable::fmt(r.avgPacketLatency, 1)
+                            : "sat");
+                }
+                t.addRow(row);
+            }
+            t.print(std::cout);
+        }
+    }
+    std::cout
+        << "\nPaper shape: without SMART, small edge buffers raise "
+           "latency on long links; small CBs (CBR-6) perform best at "
+           "N > 1000 by removing head-of-line blocking; SMART "
+           "compresses the differences to a few percent.\n";
+    return 0;
+}

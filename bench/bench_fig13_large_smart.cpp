@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Figure 13: SN vs cm9 / t2d9 / pfbf9 / fbf9 with SMART
+ * links for the large networks (N = 1296), four traffic patterns.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *nets[] = {"cm9", "t2d9", "pfbf9", "sn_subgr_1296",
+                          "fbf9"};
+    // N = 1296 runs are heavy; use a reduced grid and windows (the
+    // paper itself simplifies its N = 1296 models).
+    std::vector<double> loads = fastMode()
+                                    ? std::vector<double>{0.008}
+                                    : std::vector<double>{0.008, 0.06,
+                                                          0.16};
+    SimConfig cfg = simConfig(1000, 3000);
+
+    for (PatternKind pat :
+         {PatternKind::Adversarial1, PatternKind::BitReversal,
+          PatternKind::Random, PatternKind::Shuffle}) {
+        banner("Figure 13 (" + to_string(pat) +
+               "): latency [ns] vs load, SMART H=9, N = 1296");
+        TextTable t({"load", "cm9", "t2d9", "pfbf9", "sn_subgr",
+                     "fbf9"});
+        double snBase = 0.0;
+        std::vector<double> base(5, 0.0);
+        bool first = true;
+        for (double load : loads) {
+            std::vector<std::string> row{TextTable::fmt(load, 3)};
+            int i = 0;
+            for (const char *id : nets) {
+                SimResult r = runSynthetic(id, "EB-Var", pat, load, 9,
+                                           RoutingMode::Minimal, cfg);
+                bool ok = r.packetsDelivered && r.stable;
+                double ns = latencyNs(id, r);
+                row.push_back(ok ? TextTable::fmt(ns, 1) : "sat");
+                if (first && ok) {
+                    base[static_cast<std::size_t>(i)] = ns;
+                    if (std::string(id) == "sn_subgr_1296")
+                        snBase = ns;
+                }
+                ++i;
+            }
+            first = false;
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "SN latency at load 0.008 relative to "
+                     "cm9/t2d9/pfbf9/fbf9: ";
+        for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            std::cout << (base[i] > 0.0
+                              ? TextTable::fmt(100.0 * snBase /
+                                                   base[i], 0) + "% "
+                              : "n/a ");
+        }
+        std::cout << "(paper: e.g. RND 54/72/90/90%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Figure 14: the small-network comparison of Figure 12
+ * but without SMART links (H = 1), where SN's longer wires cost it
+ * latency against FBF in several patterns while it still wins ADV1.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *nets[] = {"cm3", "t2d3", "pfbf3", "sn_subgr_200",
+                          "fbf3"};
+    for (PatternKind pat :
+         {PatternKind::Adversarial1, PatternKind::BitReversal,
+          PatternKind::Random, PatternKind::Shuffle}) {
+        banner("Figure 14 (" + to_string(pat) +
+               "): latency [ns] vs load, no SMART, N in {192,200}");
+        TextTable t({"load", "cm3", "t2d3", "pfbf3", "sn_subgr",
+                     "fbf3"});
+        double snBase = 0.0;
+        std::vector<double> base(5, 0.0);
+        bool first = true;
+        for (double load : loadGrid()) {
+            std::vector<std::string> row{TextTable::fmt(load, 3)};
+            int i = 0;
+            for (const char *id : nets) {
+                SimResult r = runSynthetic(id, "EB-Var", pat, load, 1);
+                bool ok = r.packetsDelivered && r.stable;
+                double ns = latencyNs(id, r);
+                row.push_back(ok ? TextTable::fmt(ns, 1) : "sat");
+                if (first && ok) {
+                    base[static_cast<std::size_t>(i)] = ns;
+                    if (std::string(id) == "sn_subgr_200")
+                        snBase = ns;
+                }
+                ++i;
+            }
+            first = false;
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "SN latency at load 0.008 relative to "
+                     "cm3/t2d3/pfbf3/fbf3: ";
+        for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            std::cout << (base[i] > 0.0
+                              ? TextTable::fmt(100.0 * snBase /
+                                                   base[i], 0) + "% "
+                              : "n/a ");
+        }
+        std::cout << "(paper: e.g. RND 86/89/94/115%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Figure 15: area and static power without SMART links
+ * at N = 200.
+ *
+ *  (a) total area per SN layout;
+ *  (b) total area per network with the i-routers / a-routers /
+ *      RRg-wires / RNg-wires breakdown;
+ *  (c) total static power per network.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    TechParams tech = TechParams::nm45();
+    RouterConfig rc = RouterConfig::named("EB-Var");
+
+    banner("Figure 15a: total area per SN layout [cm^2], no SMART");
+    {
+        TextTable t({"layout", "total area"});
+        for (const char *id : {"sn_rand_200", "sn_basic_200",
+                               "sn_gr_200", "sn_subgr_200"}) {
+            NocTopology topo = makeNamedTopology(id);
+            PowerModel pm(topo, rc, tech, 1);
+            t.addRow({topo.name(),
+                      TextTable::fmt(pm.area().total(), 3)});
+        }
+        t.print(std::cout);
+        std::cout << "Paper shape: sn_subgr smallest.\n";
+    }
+
+    banner("Figure 15b: total area per network [cm^2], no SMART, "
+           "N = 200");
+    {
+        TextTable t({"network", "total", "i-routers", "a-routers",
+                     "RR-wires", "RN-wires"});
+        double fbf = 0.0;
+        double sn = 0.0;
+        for (const char *id :
+             {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
+            NocTopology topo = makeNamedTopology(id);
+            PowerModel pm(topo, rc, tech, 1);
+            AreaReport a = pm.area();
+            t.addRow({topo.name(), TextTable::fmt(a.total(), 3),
+                      TextTable::fmt(a.iRouters, 3),
+                      TextTable::fmt(a.aRouters, 3),
+                      TextTable::fmt(a.rrWires, 3),
+                      TextTable::fmt(a.rnWires, 3)});
+            if (std::string(id) == "fbf4")
+                fbf = a.total();
+            if (std::string(id) == "sn_subgr_200")
+                sn = a.total();
+        }
+        t.print(std::cout);
+        std::cout << "SN area vs FBF: "
+                  << TextTable::fmt(100.0 * (1.0 - sn / fbf), 0)
+                  << "% smaller (paper: ~34%)\n";
+    }
+
+    banner("Figure 15c: total static power [W], no SMART, N = 200");
+    {
+        TextTable t({"network", "total", "routers+crossbars",
+                     "wires"});
+        double fbf = 0.0;
+        double sn = 0.0;
+        for (const char *id :
+             {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
+            NocTopology topo = makeNamedTopology(id);
+            PowerModel pm(topo, rc, tech, 1);
+            StaticPowerReport s = pm.staticPower();
+            t.addRow({topo.name(), TextTable::fmt(s.total(), 3),
+                      TextTable::fmt(s.routers, 3),
+                      TextTable::fmt(s.wires, 3)});
+            if (std::string(id) == "fbf4")
+                fbf = s.total();
+            if (std::string(id) == "sn_subgr_200")
+                sn = s.total();
+        }
+        t.print(std::cout);
+        std::cout << "SN static power vs FBF: "
+                  << TextTable::fmt(100.0 * (1.0 - sn / fbf), 0)
+                  << "% lower (paper: ~43%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Figures 16 and 17: per-node area, static power, and
+ * dynamic power with SMART links, at 45 nm and 22 nm, for the small
+ * (N in {192, 200}) and large (N = 1296) size classes. Dynamic power
+ * is measured from a RND simulation at a moderate load.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+namespace {
+
+void
+sizeClassReport(const std::vector<std::string> &ids, int figure)
+{
+    for (const TechParams &tech :
+         {TechParams::nm45(), TechParams::nm22()}) {
+        banner("Figure " + std::to_string(figure) + " (" + tech.name +
+               "): per-node area/static/dynamic with SMART");
+        RouterConfig rc = RouterConfig::named("EB-Var");
+        TextTable t({"network", "area/node [cm^2]",
+                     "static/node [W]", "dynamic/node [W]",
+                     "i-routers", "RR-wires"});
+        for (const std::string &id : ids) {
+            NocTopology topo = makeNamedTopology(id);
+            PowerModel pm(topo, rc, tech, 9);
+            bool big = topo.numNodes() > 1000;
+            SimResult r = runSynthetic(
+                id, "EB-Var", PatternKind::Random, 0.06, 9,
+                RoutingMode::Minimal,
+                big ? simConfig(1000, 2500) : simConfig());
+            double n = topo.numNodes();
+            AreaReport a = pm.area();
+            t.addRow(
+                {topo.name(), TextTable::fmt(a.total() / n, 5),
+                 TextTable::fmt(pm.staticPower().total() / n, 4),
+                 TextTable::fmt(
+                     pm.dynamicPower(r.counters, r.cyclesRun).total() /
+                         n,
+                     4),
+                 TextTable::fmt(a.iRouters / n, 5),
+                 TextTable::fmt(a.rrWires / n, 5)});
+        }
+        t.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    sizeClassReport(
+        {"fbf3", "fbf4", "pfbf3", "sn_subgr_200", "t2d4", "cm4"}, 16);
+    std::cout << "\nPaper shape (Fig 16): SN cuts area ~40-50% and "
+                 "static power ~45-60% vs FBF; low-radix nets are "
+                 "smallest but pay in performance.\n";
+    sizeClassReport(
+        {"fbf8", "fbf9", "pfbf9", "sn_subgr_1296", "t2d9", "cm9"}, 17);
+    std::cout << "\nPaper shape (Fig 17): at N = 1296 SN keeps ~33% "
+                 "area and ~41-44% static power advantages over FBF; "
+                 "wires take a larger share at 22 nm.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Figure 18: energy-delay product on the PARSEC/SPLASH
+ * workloads, normalized to FBF, for fbf3 / pfbf3 / cm3 / sn_subgr
+ * (N = 192/200 class, SMART links), with the geometric-mean
+ * improvements the paper headlines (SN ~55% vs FBF, ~29% vs PFBF,
+ * ~19% vs CM).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const std::vector<std::string> nets = {"fbf3", "pfbf3", "cm3",
+                                           "sn_subgr_200"};
+    Cycle traceCycles = fastMode() ? 1500 : 5000;
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    TechParams tech = TechParams::nm45();
+    LinkConfig lc;
+    lc.hopsPerCycle = 9;
+
+    banner("Figure 18: energy-delay product normalized to FBF "
+           "(PARSEC/SPLASH, SMART, 45nm)");
+    TextTable t({"benchmark", "fbf3", "pfbf3", "cm3", "sn_subgr"});
+    std::vector<std::vector<double>> ratios(nets.size());
+    for (const WorkloadProfile &w : parsecSplashWorkloads()) {
+        std::vector<double> edp;
+        for (const std::string &id : nets) {
+            NocTopology topo = makeNamedTopology(id);
+            Network net(topo, rc, lc);
+            SimResult r = runWorkload(net, w, traceCycles);
+            PowerModel pm(topo, rc, tech, lc.hopsPerCycle);
+            edp.push_back(pm.energyDelay(r.counters, r.cyclesRun,
+                                         r.avgPacketLatency));
+        }
+        std::vector<std::string> row{w.name};
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            double norm = edp[i] / edp[0];
+            row.push_back(TextTable::fmt(norm, 3));
+            ratios[i].push_back(norm);
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nGeometric-mean EDP vs FBF:\n";
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        double g = geometricMean(ratios[i]);
+        std::cout << "  " << nets[i] << ": " << TextTable::fmt(g, 3)
+                  << " (" << TextTable::fmt(100.0 * (1.0 - g), 0)
+                  << "% below FBF)\n";
+    }
+    std::cout << "Paper: SN ~55% below FBF, ~29% below PFBF, ~19% "
+                 "below CM.\n";
+    return 0;
+}

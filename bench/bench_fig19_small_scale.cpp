@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Figure 19: today's small-scale designs (N = 54, the
+ * Knights-Landing scale of Section 5.6): RND latency vs load, area
+ * per node, and dynamic power per node (45 nm, SMART links).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const char *nets[] = {"fbf_54", "pfbf_54", "sn_54", "t2d_54"};
+    TechParams tech = TechParams::nm45();
+    RouterConfig rc = RouterConfig::named("EB-Var");
+
+    banner("Figure 19a: latency [ns] vs load, N = 54, SMART, 45nm");
+    {
+        TextTable t({"load", "fbf", "pfbf", "sn", "t2d"});
+        for (double load : loadGrid()) {
+            std::vector<std::string> row{TextTable::fmt(load, 3)};
+            for (const char *id : nets) {
+                SimResult r = runSynthetic(id, "EB-Var",
+                                           PatternKind::Random, load,
+                                           9);
+                row.push_back(r.packetsDelivered && r.stable
+                                  ? TextTable::fmt(latencyNs(id, r), 1)
+                                  : "sat");
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "Paper shape: SN below t2d by ~15% and pfbf by "
+                     "~5%.\n";
+    }
+
+    banner("Figure 19b/19c: area and dynamic power per node, N = 54");
+    {
+        TextTable t({"network", "area/node [cm^2]",
+                     "dynamic/node [W]", "wires", "crossbars",
+                     "buffers"});
+        for (const char *id : nets) {
+            NocTopology topo = makeNamedTopology(id);
+            PowerModel pm(topo, rc, tech, 9);
+            SimResult r = runSynthetic(
+                id, "EB-Var", PatternKind::Random, 0.06, 9);
+            DynamicPowerReport d =
+                pm.dynamicPower(r.counters, r.cyclesRun);
+            double n = topo.numNodes();
+            t.addRow({topo.name(),
+                      TextTable::fmt(pm.area().total() / n, 5),
+                      TextTable::fmt(d.total() / n, 4),
+                      TextTable::fmt(d.wires / n, 4),
+                      TextTable::fmt(d.crossbars / n, 4),
+                      TextTable::fmt(d.buffers / n, 4)});
+        }
+        t.print(std::cout);
+        std::cout << "Paper shape: SN uses ~40% less power and ~22% "
+                     "less area than FBF at this scale.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 1: the paper's headline results at 1296 cores.
+ *
+ *  (a) latency vs load under the adversarial pattern for SN, the
+ *      Flattened Butterflies (bisection-matched PFBF), torus, mesh;
+ *  (b/c) network throughput per unit power at 45 nm and 22 nm.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    SimConfig cfg = simConfig(1000, 2500);
+
+    banner("Figure 1a: adversarial (ADV1) latency [ns] vs load, "
+           "N = 1296, SMART");
+    {
+        const char *nets[] = {"t2d9", "cm9", "pfbf9", "sn_subgr_1296",
+                              "fbf9"};
+        TextTable t({"load", "torus", "mesh", "pfbf", "sn", "fbf"});
+        std::vector<double> loads =
+            fastMode() ? std::vector<double>{0.008}
+                       : std::vector<double>{0.008, 0.024, 0.08};
+        for (double load : loads) {
+            std::vector<std::string> row{TextTable::fmt(load, 3)};
+            for (const char *id : nets) {
+                SimResult r =
+                    runSynthetic(id, "EB-Var",
+                                 PatternKind::Adversarial1, load, 9,
+                                 RoutingMode::Minimal, cfg);
+                row.push_back(r.packetsDelivered && r.stable
+                                  ? TextTable::fmt(latencyNs(id, r), 1)
+                                  : "sat");
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "Paper: SN latency lower by ~10% (FBF), ~50% "
+                     "(mesh), ~64% (torus).\n";
+    }
+
+    banner("Figure 1b/1c: throughput per power at saturation, "
+           "N = 1296");
+    {
+        const char *nets[] = {"sn_subgr_1296", "fbf9", "t2d9", "cm9"};
+        TextTable t({"network", "45nm [flits/J]", "22nm [flits/J]"});
+        std::vector<double> sn(2, 0.0);
+        std::vector<std::vector<double>> all;
+        for (const char *id : nets) {
+            std::vector<double> vals;
+            for (const TechParams &tech :
+                 {TechParams::nm45(), TechParams::nm22()}) {
+                RouterConfig rc = RouterConfig::named("EB-Var");
+                NocTopology topo = makeNamedTopology(id);
+                PowerModel pm(topo, rc, tech, 9);
+                double best = 0.0;
+                for (double load :
+                     fastMode() ? std::vector<double>{0.2}
+                                : std::vector<double>{0.2, 0.5,
+                                                      0.8}) {
+                    SimResult r = runSynthetic(
+                        id, "EB-Var", PatternKind::Random, load, 9,
+                        RoutingMode::Minimal, cfg);
+                    best = std::max(best,
+                                    pm.throughputPerPower(
+                                        r.counters, r.cyclesRun));
+                    if (!r.stable)
+                        break;
+                }
+                vals.push_back(best);
+            }
+            all.push_back(vals);
+            t.addRow({id, TextTable::fmt(all.back()[0], 0),
+                      TextTable::fmt(all.back()[1], 0)});
+            if (std::string(id) == "sn_subgr_1296")
+                sn = vals;
+        }
+        t.print(std::cout);
+        std::cout << "SN vs FBF/torus/mesh at 45nm: ";
+        for (std::size_t i = 1; i < all.size(); ++i)
+            std::cout << TextTable::fmt(
+                             100.0 * (sn[0] / all[i][0] - 1.0), 0)
+                      << "% ";
+        std::cout << "(paper: ~18%, >100%, >150%)\n";
+    }
+    return 0;
+}

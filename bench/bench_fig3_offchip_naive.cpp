@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Regenerates Figure 3: what happens when off-chip Slim Fly and
+ * Dragonfly are used as NoCs without adaptation (Section 2.2).
+ *
+ *  (a) average wire length [hops] vs. core count, for SF (naive
+ *      rack-style layout = sn_basic), DF, torus, and the Flattened
+ *      Butterflies;
+ *  (b) area per node at ~200 cores;
+ *  (c) static power per node at ~200 cores.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/placement_model.hh"
+#include "core/slimnoc.hh"
+#include "topo/dragonfly.hh"
+#include "topo/grid_topologies.hh"
+#include "topo/slimnoc_topology.hh"
+
+using namespace snoc;
+
+namespace {
+
+double
+avgWireLength(const NocTopology &topo)
+{
+    PlacementModel pm(topo.routers(), topo.placement());
+    return pm.averageWireLength();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 3a: average wire length vs core count");
+    {
+        TextTable t({"N(SF)", "sf_naive", "N(DF)", "dragonfly",
+                     "N(grid)", "torus", "fbf_full", "pfbf"});
+        struct Row { int q; int dfH; int cols, rows, p, px, py; };
+        for (auto [q, dfH, cols, rows, p, px, py] :
+             {Row{3, 2, 6, 3, 3, 2, 1}, Row{5, 3, 10, 5, 4, 2, 1},
+              Row{7, 4, 14, 7, 4, 2, 1}, Row{9, 5, 18, 9, 8, 2, 1},
+              Row{13, 6, 26, 13, 8, 2, 1}}) {
+            SnParams sp = SnParams::fromQ(q);
+            NocTopology sf =
+                makeSlimNocTopology(sp, SnLayout::Basic);
+            NocTopology df = makeDragonfly("df", dfH);
+            NocTopology t2d = makeTorus("t2d", cols, rows, p);
+            NocTopology fbf =
+                makeFlattenedButterfly("fbf", cols, rows, p);
+            NocTopology pfbf =
+                makePartitionedFbf("pfbf", cols, rows, p, px, py);
+            t.addRow({TextTable::fmt(sf.numNodes()),
+                      TextTable::fmt(avgWireLength(sf), 2),
+                      TextTable::fmt(df.numNodes()),
+                      TextTable::fmt(avgWireLength(df), 2),
+                      TextTable::fmt(t2d.numNodes()),
+                      TextTable::fmt(avgWireLength(t2d), 2),
+                      TextTable::fmt(avgWireLength(fbf), 2),
+                      TextTable::fmt(avgWireLength(pfbf), 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\nPaper shape: naive SF needs ~38% longer wires "
+                     "than PFBF; torus stays near 1.\n";
+    }
+
+    bench::banner(
+        "Figure 3b/3c: area and static power per node (~200 cores, "
+        "45nm, naive layouts)");
+    {
+        TechParams tech = TechParams::nm45();
+        RouterConfig rc = RouterConfig::named("EB-Var");
+        TextTable t({"network", "area/node [cm^2]", "i-routers",
+                     "a-routers", "wires", "static power/node [W]"});
+        struct Cand { const char *name; NocTopology topo; };
+        std::vector<Cand> cands;
+        cands.push_back({"fbf (FBF)", makeNamedTopology("fbf4")});
+        cands.push_back({"pfbf (PFBF)", makeNamedTopology("pfbf4")});
+        cands.push_back({"t2d (T2D)", makeNamedTopology("t2d4")});
+        cands.push_back({"cm (CM)", makeNamedTopology("cm4")});
+        cands.push_back(
+            {"sf (naive Slim Fly)",
+             makeSlimNocTopology(SnParams::fromQ(5, 4),
+                                 SnLayout::Basic)});
+        cands.push_back({"df (naive Dragonfly)",
+                         makeDragonfly("df", 3)});
+        for (const auto &c : cands) {
+            PowerModel pm(c.topo, rc, tech);
+            AreaReport a = pm.area();
+            double n = c.topo.numNodes();
+            t.addRow({c.name, TextTable::fmt(a.total() / n, 5),
+                      TextTable::fmt(a.iRouters / n, 5),
+                      TextTable::fmt(a.aRouters / n, 5),
+                      TextTable::fmt((a.rrWires + a.rnWires) / n, 5),
+                      TextTable::fmt(pm.staticPower().total() / n,
+                                     4)});
+        }
+        t.print(std::cout);
+        std::cout << "\nPaper shape: naive SF/DF consume >30% more "
+                     "area and power than PFBF.\n";
+    }
+    return 0;
+}

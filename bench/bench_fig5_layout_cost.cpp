@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Regenerates Figure 5: layout cost analysis across network sizes.
+ *
+ *  (a) average wire length M per layout vs. N (Eq. 4);
+ *  (b) total buffer size per router, no SMART, including the CBR-20
+ *      and CBR-40 horizontal reference lines (Eq. 5 vs Eq. 6);
+ *  (c) the same with SMART links (H = 9);
+ *  (d) maximum wires over one tile (Eq. 3) vs. the technology bound.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/slimnoc.hh"
+
+using namespace snoc;
+
+namespace {
+
+const int kQs[] = {3, 4, 5, 7, 8, 9, 11, 13};
+
+double
+perRouterBuffers(const SnParams &sp, SnLayout layout, int h)
+{
+    BufferModelParams bp;
+    bp.hopsPerCycle = h;
+    SlimNoc sn(sp, layout, bp);
+    return sn.bufferModel().totalEdgeBuffers() / sn.numRouters();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 5a: average wire length M [hops] vs N");
+    {
+        TextTable t({"N", "sn_basic", "sn_subgr", "sn_gr", "sn_rand"});
+        for (int q : kQs) {
+            SnParams sp = SnParams::fromQ(q);
+            std::vector<std::string> row{
+                TextTable::fmt(sp.numNodes())};
+            for (SnLayout l :
+                 {SnLayout::Basic, SnLayout::Subgroup, SnLayout::Group,
+                  SnLayout::Random}) {
+                SlimNoc sn(sp, l);
+                row.push_back(TextTable::fmt(
+                    sn.placementModel().averageWireLength(), 2));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\nPaper shape: sn_subgr and sn_gr reduce M by "
+                     "~25% vs sn_rand/sn_basic.\n";
+    }
+
+    for (int h : {1, 9}) {
+        bench::banner(std::string("Figure 5") + (h == 1 ? "b" : "c") +
+                      ": buffer size per router [flits], " +
+                      (h == 1 ? "no SMART" : "SMART H=9"));
+        TextTable t({"N", "sn_basic", "sn_subgr", "sn_gr", "sn_rand",
+                     "CBR-20", "CBR-40"});
+        for (int q : kQs) {
+            SnParams sp = SnParams::fromQ(q);
+            std::vector<std::string> row{
+                TextTable::fmt(sp.numNodes())};
+            for (SnLayout l :
+                 {SnLayout::Basic, SnLayout::Subgroup, SnLayout::Group,
+                  SnLayout::Random}) {
+                row.push_back(
+                    TextTable::fmt(perRouterBuffers(sp, l, h), 1));
+            }
+            // CBR sizes are layout/SMART independent (Eq. 6).
+            SlimNoc sn(sp, SnLayout::Subgroup);
+            row.push_back(TextTable::fmt(
+                sn.bufferModel().routerCentralBufferTotal(20), 1));
+            row.push_back(TextTable::fmt(
+                sn.bufferModel().routerCentralBufferTotal(40), 1));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nPaper shape: with SMART the subgroup/group "
+                 "layouts cut Delta_eb by ~10% vs sn_basic; central "
+                 "buffers give the smallest totals.\n";
+
+    bench::banner(
+        "Figure 5d: max wires over one tile (per direction, 128-bit "
+        "links) vs technology bound");
+    {
+        TechParams t45 = TechParams::nm45();
+        TechParams t22 = TechParams::nm22();
+        TextTable t({"N", "sn_basic", "sn_subgr", "sn_gr", "sn_rand",
+                     "bound45 [links]", "bound22 [links]"});
+        for (int q : kQs) {
+            SnParams sp = SnParams::fromQ(q);
+            std::vector<std::string> row{
+                TextTable::fmt(sp.numNodes())};
+            for (SnLayout l :
+                 {SnLayout::Basic, SnLayout::Subgroup, SnLayout::Group,
+                  SnLayout::Random}) {
+                SlimNoc sn(sp, l);
+                row.push_back(TextTable::fmt(
+                    sn.placementModel().maxDirectionalWireCount()));
+            }
+            row.push_back(TextTable::fmt(
+                t45.maxWiresOverTile() / 128.0, 1));
+            row.push_back(TextTable::fmt(
+                t22.maxWiresOverTile() / 128.0, 1));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\nNote: we count 128-bit links per routing "
+                     "direction per tile; the bound is wiring density "
+                     "x tile side / 128 (one metal layer per "
+                     "direction). See EXPERIMENTS.md for the "
+                     "convention discussion.\n";
+    }
+    return 0;
+}

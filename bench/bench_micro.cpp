@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's own hot paths:
+ * MMS graph construction, layout analysis, routing table builds, and
+ * raw simulator cycle throughput. These guard the harness's runtime,
+ * not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/slimnoc.hh"
+#include "sim/network.hh"
+#include "topo/table4.hh"
+#include "traffic/synthetic.hh"
+
+using namespace snoc;
+
+namespace {
+
+void
+BM_MmsGraphConstruction(benchmark::State &state)
+{
+    int q = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        MmsGraph m(SnParams::fromQ(q));
+        benchmark::DoNotOptimize(m.graph().numEdges());
+    }
+}
+BENCHMARK(BM_MmsGraphConstruction)->Arg(5)->Arg(9)->Arg(13);
+
+void
+BM_SlimNocWithLayoutAnalysis(benchmark::State &state)
+{
+    int q = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        SlimNoc sn(SnParams::fromQ(q), SnLayout::Subgroup);
+        benchmark::DoNotOptimize(
+            sn.placementModel().averageWireLength());
+    }
+}
+BENCHMARK(BM_SlimNocWithLayoutAnalysis)->Arg(5)->Arg(9);
+
+void
+BM_NetworkBuild(benchmark::State &state)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    for (auto _ : state) {
+        Network net(topo, rc);
+        benchmark::DoNotOptimize(net.topology().numNodes());
+    }
+}
+BENCHMARK(BM_NetworkBuild);
+
+void
+BM_SimulationCycles(benchmark::State &state)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    Network net(topo, rc);
+    auto pat = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, topo));
+    SyntheticConfig sc;
+    sc.load = 0.1;
+    TrafficSource src = makeSyntheticSource(pat, sc);
+    for (auto _ : state) {
+        src(net, net.now());
+        net.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulationCycles);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regenerates the Section 5.5 sensitivity summary:
+ *  - hierarchical NoCs: SN area vs a folded Clos at both sizes
+ *    (paper: ~24% and ~26% smaller);
+ *  - other network sizes (N in {588, 686, 1024});
+ *  - concentration sweep (p in {3,4} small, {8,9} large).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "topo/folded_clos.hh"
+#include "topo/slimnoc_topology.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    TechParams tech = TechParams::nm45();
+    RouterConfig rc = RouterConfig::named("EB-Var");
+
+    banner("Section 5.5: SN vs folded Clos (hierarchical) area");
+    {
+        TextTable t({"size", "sn area [cm^2]", "clos area [cm^2]",
+                     "SN smaller by [%]"});
+        struct Case { const char *sn; const char *clos; };
+        for (auto [snId, closId] :
+             {Case{"sn_subgr_200", "clos_200"},
+              Case{"sn_subgr_1296", "clos_1296"}}) {
+            NocTopology sn = makeNamedTopology(snId);
+            NocTopology clos = makeNamedTopology(closId);
+            double a1 = PowerModel(sn, rc, tech, 9).area().total();
+            double a2 = PowerModel(clos, rc, tech, 9).area().total();
+            t.addRow({std::to_string(sn.numNodes()),
+                      TextTable::fmt(a1, 3), TextTable::fmt(a2, 3),
+                      TextTable::fmt(100.0 * (1.0 - a1 / a2), 0)});
+        }
+        t.print(std::cout);
+        std::cout << "Paper: ~24% (N=200) and ~26% (N=1296).\n";
+    }
+
+    banner("Section 5.5: other network sizes");
+    {
+        TextTable t({"N", "q", "p", "diameter", "avg wire M",
+                     "area/node [cm^2]"});
+        for (int n : {588, 686, 1024}) {
+            SnParams sp = SnParams::fromNetworkSize(n);
+            NocTopology topo =
+                makeSlimNocTopology(sp, SnLayout::Subgroup);
+            PlacementModel pm(topo.routers(), topo.placement());
+            double area =
+                PowerModel(topo, rc, tech, 9).area().total() /
+                topo.numNodes();
+            t.addRow({TextTable::fmt(n), TextTable::fmt(sp.q),
+                      TextTable::fmt(sp.p),
+                      TextTable::fmt(topo.diameter()),
+                      TextTable::fmt(pm.averageWireLength(), 2),
+                      TextTable::fmt(area, 5)});
+        }
+        t.print(std::cout);
+        std::cout << "All sizes keep diameter 2 and the per-node "
+                     "costs of the main configurations.\n";
+    }
+
+    banner("Section 5.5: concentration sweep (latency at RND 0.06, "
+           "SMART)");
+    {
+        TextTable t({"config", "N", "latency [ns]", "area/node"});
+        struct Case { int q, p; };
+        for (auto [q, p] : {Case{5, 3}, Case{5, 4}, Case{8, 8},
+                            Case{9, 8}, Case{9, 9}}) {
+            SnParams sp = SnParams::fromQ(q, p);
+            NocTopology topo =
+                makeSlimNocTopology(sp, SnLayout::Subgroup);
+            LinkConfig lc;
+            lc.hopsPerCycle = 9;
+            Network net(topo, rc, lc);
+            auto pat = std::shared_ptr<TrafficPattern>(
+                makeTrafficPattern(PatternKind::Random, topo));
+            SyntheticConfig sc;
+            sc.load = 0.06;
+            bool big = topo.numNodes() > 1000;
+            SimResult r = runSimulation(
+                net, makeSyntheticSource(pat, sc),
+                big ? simConfig(800, 2000) : simConfig());
+            double area =
+                PowerModel(topo, rc, tech, 9).area().total() /
+                topo.numNodes();
+            t.addRow({sp.describe(),
+                      TextTable::fmt(topo.numNodes()),
+                      TextTable::fmt(r.avgPacketLatency *
+                                         topo.cycleTimeNs(),
+                                     1),
+                      TextTable::fmt(area, 5)});
+        }
+        t.print(std::cout);
+        std::cout << "Paper: SN's advantages hold across p.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Table 2: all Slim NoC configurations with N <= 1300
+ * over prime and non-prime finite fields, with the paper's
+ * highlighting flags (power-of-two N; balanced groups; square N).
+ */
+
+#include <iomanip>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "core/config_table.hh"
+
+using namespace snoc;
+
+int
+main()
+{
+    bench::banner("Table 2: Slim NoC configurations with N <= 1300");
+
+    TextTable table({"k'", "p*", "p", "p/p* [%]", "N", "Nr", "q",
+                     "field", "flags"});
+    auto emit = [&](bool nonPrime) {
+        for (const SnConfig &cfg : enumerateConfigs()) {
+            if (cfg.nonPrimeField != nonPrime)
+                continue;
+            const SnParams &sp = cfg.params;
+            int ideal = (sp.networkRadix() + 1) / 2;
+            std::string flags;
+            if (cfg.powerOfTwoNodes)
+                flags += "N=2^k ";
+            if (cfg.balancedGroups)
+                flags += "balanced-groups ";
+            if (cfg.squareNodes)
+                flags += "square-N";
+            table.addRow(
+                {TextTable::fmt(sp.networkRadix()),
+                 TextTable::fmt(ideal), TextTable::fmt(sp.p),
+                 TextTable::fmt(100.0 * sp.subscription(), 0),
+                 TextTable::fmt(sp.numNodes()),
+                 TextTable::fmt(sp.numRouters()),
+                 TextTable::fmt(sp.q),
+                 nonPrime ? "GF(p^k)" : "GF(p)", flags});
+        }
+    };
+    emit(true);  // non-prime finite fields block first, as the paper
+    emit(false);
+    table.print(std::cout);
+
+    std::cout << "\nPaper check: q=9/p=8 -> N=1296 (SN-L); "
+                 "q=8/p=8 -> N=1024; q=5/p=4 -> N=200 (SN-S)\n";
+    return 0;
+}

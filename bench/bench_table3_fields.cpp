@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Table 3: addition, product, and inverse-element tables
+ * for GF(9) and GF(8), plus the generator sets X and X' that the
+ * Slim NoC construction derives from them (Section 3.5.2).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/generator_sets.hh"
+#include "field/finite_field.hh"
+
+using namespace snoc;
+
+namespace {
+
+void
+printField(int q, int u)
+{
+    FiniteField f(q);
+    bench::banner("Table 3: GF(" + std::to_string(q) + ") tables");
+
+    auto header = [&]() {
+        std::cout << "    ";
+        for (int a = 0; a < q; ++a)
+            std::cout << f.name(a) << ' ';
+        std::cout << '\n';
+    };
+
+    std::cout << "Addition:\n";
+    header();
+    for (int a = 0; a < q; ++a) {
+        std::cout << "  " << f.name(a) << " ";
+        for (int b = 0; b < q; ++b)
+            std::cout << f.name(f.add(a, b)) << ' ';
+        std::cout << '\n';
+    }
+    std::cout << "\nProduct:\n";
+    header();
+    for (int a = 0; a < q; ++a) {
+        std::cout << "  " << f.name(a) << " ";
+        for (int b = 0; b < q; ++b)
+            std::cout << f.name(f.mul(a, b)) << ' ';
+        std::cout << '\n';
+    }
+    std::cout << "\nAdditive inverses (el, -el):\n";
+    for (int a = 0; a < q; ++a)
+        std::cout << "  " << f.name(a) << " -> " << f.name(f.neg(a))
+                  << '\n';
+
+    std::cout << "\nPrimitive elements: ";
+    for (auto e : f.primitiveElements())
+        std::cout << f.name(e) << ' ';
+    GeneratorSets gs = makeGeneratorSets(f, u);
+    std::cout << "\nGenerator set X  = { ";
+    for (auto e : gs.x)
+        std::cout << f.name(e) << ' ';
+    std::cout << "}\nGenerator set X' = { ";
+    for (auto e : gs.xPrime)
+        std::cout << f.name(e) << ' ';
+    std::cout << "}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printField(9, 1);  // SN-L's field (paper: X = {1,x,2,u})
+    printField(8, 0);  // the power-of-two SN's field
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates Table 4: the considered topology configurations for
+ * both size classes, with parameters measured from the instantiated
+ * networks (not hard-coded), plus the layout-cut bisection proxy
+ * showing PFBF's bandwidth matching to SN.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+
+int
+main()
+{
+    for (int sizeClass : {200, 1296}) {
+        bench::banner("Table 4: configurations, size class " +
+                      std::to_string(sizeClass));
+        TextTable t({"sym", "D", "p", "k'", "k", "routers", "N",
+                     "cycle [ns]", "bisection links"});
+        for (const std::string &id : table4Ids(sizeClass)) {
+            NocTopology topo = makeNamedTopology(id);
+            t.addRow({topo.name(),
+                      TextTable::fmt(topo.diameter()),
+                      TextTable::fmt(topo.concentration()),
+                      TextTable::fmt(topo.routers().maxDegree()),
+                      TextTable::fmt(topo.routerRadix()),
+                      TextTable::fmt(topo.numRouters()),
+                      TextTable::fmt(topo.numNodes()),
+                      TextTable::fmt(topo.cycleTimeNs(), 1),
+                      TextTable::fmt(topo.bisectionLinks())});
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nPaper check: fbf3 k'=14, fbf9 k'=22, pfbf3 k'=8, "
+                 "pfbf9 k'=12, sn(200) k'=7, sn(1296) k'=13.\n";
+    return 0;
+}

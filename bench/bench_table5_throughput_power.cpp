@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table 5: SN's relative improvement in throughput per
+ * unit power (RND traffic) over every baseline, for both size
+ * classes and both technology nodes. Throughput is taken at the
+ * highest stable point of a load ramp; power combines static and
+ * measured dynamic power at that point.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+namespace {
+
+/** Delivered flits/J at the best stable load of a ramp. */
+double
+bestThroughputPerPower(const std::string &id, const TechParams &tech)
+{
+    NocTopology topo = makeNamedTopology(id);
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    bool big = topo.numNodes() > 1000;
+    SimConfig cfg = big ? simConfig(800, 2000) : simConfig(1500, 4000);
+    PowerModel pm(topo, rc, tech, 9);
+
+    double best = 0.0;
+    for (double load : fastMode()
+                           ? std::vector<double>{0.2}
+                           : std::vector<double>{0.1, 0.3, 0.6,
+                                                 0.9}) {
+        SimResult r = runSynthetic(id, "EB-Var", PatternKind::Random,
+                                   load, 9, RoutingMode::Minimal, cfg);
+        best = std::max(
+            best, pm.throughputPerPower(r.counters, r.cyclesRun));
+        if (!r.stable)
+            break;
+    }
+    return best;
+}
+
+void
+report(int sizeClass, const std::vector<std::string> &baselines,
+       const std::string &snId)
+{
+    for (const TechParams &tech :
+         {TechParams::nm45(), TechParams::nm22()}) {
+        banner("Table 5 (" + tech.name + ", N class " +
+               std::to_string(sizeClass) +
+               "): SN throughput/power advantage [%] over baselines");
+        double sn = bestThroughputPerPower(snId, tech);
+        TextTable t({"baseline", "baseline [flits/J]", "SN [flits/J]",
+                     "SN advantage [%]"});
+        for (const std::string &id : baselines) {
+            double base = bestThroughputPerPower(id, tech);
+            t.addRow({id, TextTable::fmt(base, 0),
+                      TextTable::fmt(sn, 0),
+                      TextTable::fmt(100.0 * (sn / base - 1.0), 0)});
+        }
+        t.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    report(200, {"t2d4", "cm4", "pfbf3", "fbf3", "fbf4"},
+           "sn_subgr_200");
+    report(1296, {"t2d9", "cm9", "pfbf9", "fbf8", "fbf9"},
+           "sn_subgr_1296");
+    std::cout << "\nPaper shape (45nm): +96/97% over t2d4/cm4, "
+                 "+17/12/6% over pfbf3/fbf3/fbf4; N=1296: "
+                 "+155/235/38/54/52%.\n";
+    return 0;
+}

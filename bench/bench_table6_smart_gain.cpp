@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table 6: the percentage decrease in average packet
+ * latency due to SMART links, per topology, on the PARSEC/SPLASH
+ * workloads at N = 192 (paper: ~7.6% FBF, ~0% CM, ~8% PFBF,
+ * ~11.3% SN geometric means).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace snoc;
+using namespace snoc::bench;
+
+int
+main()
+{
+    const std::vector<std::string> nets = {"fbf3", "pfbf3", "cm3",
+                                           "sn_subgr_200"};
+    Cycle traceCycles = fastMode() ? 1500 : 4000;
+    RouterConfig rc = RouterConfig::named("EB-Var");
+
+    banner("Table 6: % latency decrease from SMART links "
+           "(PARSEC/SPLASH)");
+    TextTable t({"benchmark", "fbf3", "pfbf3", "cm3", "sn_subgr"});
+    std::vector<std::vector<double>> gains(nets.size());
+    for (const WorkloadProfile &w : parsecSplashWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            NocTopology t1 = makeNamedTopology(nets[i]);
+            NocTopology t2 = makeNamedTopology(nets[i]);
+            LinkConfig plain;
+            plain.hopsPerCycle = 1;
+            LinkConfig smart;
+            smart.hopsPerCycle = 9;
+            Network n1(t1, rc, plain);
+            Network n2(t2, rc, smart);
+            SimResult r1 = runWorkload(n1, w, traceCycles);
+            SimResult r2 = runWorkload(n2, w, traceCycles);
+            double gain = 100.0 * (1.0 - r2.avgPacketLatency /
+                                             r1.avgPacketLatency);
+            gains[i].push_back(gain);
+            row.push_back(TextTable::fmt(gain, 1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMean SMART gain per topology: ";
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        std::cout << nets[i] << "="
+                  << TextTable::fmt(arithmeticMean(gains[i]), 1)
+                  << "% ";
+    }
+    std::cout << "\nPaper: fbf ~7.6%, pfbf ~8%, cm ~0%, sn ~11.3%.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness. Every bench binary
+ * regenerates one table or figure of the paper: it prints the same
+ * rows/series the paper reports so shapes can be compared directly.
+ *
+ * Environment knob: SNOC_BENCH_FAST=1 shrinks simulation windows for
+ * smoke runs (used by CI); default windows give stable numbers.
+ */
+
+#ifndef SNOC_BENCH_BENCH_UTIL_HH
+#define SNOC_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "sim/simulation.hh"
+#include "topo/table4.hh"
+#include "trace/trace.hh"
+#include "traffic/synthetic.hh"
+
+namespace snoc::bench {
+
+/** True when SNOC_BENCH_FAST=1: shorter windows, fewer points. */
+inline bool
+fastMode()
+{
+    const char *v = std::getenv("SNOC_BENCH_FAST");
+    return v != nullptr && v[0] == '1';
+}
+
+/** Standard simulation windows (scaled down in fast mode). */
+inline SimConfig
+simConfig(Cycle warmup = 2000, Cycle measure = 8000)
+{
+    SimConfig cfg;
+    cfg.warmupCycles = fastMode() ? warmup / 4 : warmup;
+    cfg.measureCycles = fastMode() ? measure / 4 : measure;
+    return cfg;
+}
+
+/** Run one synthetic point on a named topology. */
+inline SimResult
+runSynthetic(const std::string &topoId, const std::string &routerCfg,
+             PatternKind pattern, double load, int hopsPerCycle = 1,
+             RoutingMode mode = RoutingMode::Minimal,
+             SimConfig cfg = simConfig())
+{
+    NocTopology topo = makeNamedTopology(topoId);
+    RouterConfig rc = RouterConfig::named(routerCfg);
+    LinkConfig lc;
+    lc.hopsPerCycle = hopsPerCycle;
+    Network net(topo, rc, lc, mode);
+    auto pat = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(pattern, topo));
+    SyntheticConfig sc;
+    sc.load = load;
+    return runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+}
+
+/** Latency in nanoseconds (each topology has its own cycle time). */
+inline double
+latencyNs(const std::string &topoId, const SimResult &res)
+{
+    return res.avgPacketLatency *
+           makeNamedTopology(topoId).cycleTimeNs();
+}
+
+/** The standard low/mid/high load grid of the paper's sweeps. */
+inline std::vector<double>
+loadGrid()
+{
+    if (fastMode())
+        return {0.008, 0.06};
+    return {0.008, 0.024, 0.06, 0.16, 0.4};
+}
+
+/** Section header in the output. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace snoc::bench
+
+#endif // SNOC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Design-space explorer: the workflow of Section 3.1 -- enumerate
+ * the feasible Slim NoC configurations for a die (Table 2), then
+ * compare the four layouts of Section 3.3 on wire length, buffer
+ * cost, and wiring-constraint headroom, and recommend one.
+ *
+ * Run: ./design_explorer [maxNodes]   (default 1300)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/config_table.hh"
+#include "core/slimnoc.hh"
+#include "power/tech_params.hh"
+
+using namespace snoc;
+
+int
+main(int argc, char **argv)
+{
+    ConfigTableOptions opt;
+    if (argc > 1)
+        opt.maxNodes = std::atoi(argv[1]);
+
+    // 1. Enumerate configurations (Table 2).
+    std::cout << "Feasible Slim NoC configurations (N <= "
+              << opt.maxNodes << "):\n\n";
+    TextTable table({"q", "field", "k'", "p", "N", "Nr", "flags"});
+    for (const SnConfig &cfg : enumerateConfigs(opt)) {
+        std::string flags;
+        if (cfg.powerOfTwoNodes)
+            flags += "pow2 ";
+        if (cfg.balancedGroups)
+            flags += "balanced ";
+        if (cfg.squareNodes)
+            flags += "square";
+        table.addRow({TextTable::fmt(cfg.params.q),
+                      cfg.nonPrimeField ? "GF(p^k)" : "GF(p)",
+                      TextTable::fmt(cfg.params.networkRadix()),
+                      TextTable::fmt(cfg.params.p),
+                      TextTable::fmt(cfg.params.numNodes()),
+                      TextTable::fmt(cfg.params.numRouters()), flags});
+    }
+    table.print(std::cout);
+
+    // 2. For the largest "nice" configuration, compare layouts.
+    SnParams pick = SnParams::fromQ(9, 8); // SN-L unless overridden
+    for (const SnConfig &cfg : enumerateConfigs(opt)) {
+        if (cfg.balancedGroups &&
+            cfg.params.numNodes() <= opt.maxNodes) {
+            pick = cfg.params;
+        }
+    }
+    std::cout << "\nLayout comparison for " << pick.describe()
+              << ":\n\n";
+    TextTable cmp({"layout", "avg wire M", "max wire", "buffers/router",
+                   "max W", "W bound 45nm ok"});
+    TechParams tech = TechParams::nm45();
+    for (SnLayout layout : kAllSnLayouts) {
+        SlimNoc sn(pick, layout);
+        const PlacementModel &pm = sn.placementModel();
+        double perRouter = sn.bufferModel().totalEdgeBuffers() /
+                           sn.numRouters();
+        // Eq. (3): per-direction routing tracks; a 128-bit link uses
+        // 128 of the density x tile-side tracks.
+        bool ok = pm.maxDirectionalWireCount() * 128 <=
+                  tech.maxWiresOverTile();
+        cmp.addRow({to_string(layout),
+                    TextTable::fmt(pm.averageWireLength(), 2),
+                    TextTable::fmt(pm.maxWireLength()),
+                    TextTable::fmt(perRouter, 1),
+                    TextTable::fmt(pm.maxDirectionalWireCount()),
+                    ok ? "yes" : "NO"});
+    }
+    cmp.print(std::cout);
+
+    // 3. Recommend the layout with the smallest average wire length.
+    SnLayout best = SnLayout::Basic;
+    double bestM = 1e18;
+    for (SnLayout layout : kAllSnLayouts) {
+        if (layout == SnLayout::Random)
+            continue;
+        SlimNoc sn(pick, layout);
+        double m = sn.placementModel().averageWireLength();
+        if (m < bestM) {
+            bestM = m;
+            best = layout;
+        }
+    }
+    std::cout << "\nRecommended layout: " << to_string(best)
+              << " (M = " << bestM << " hops)\n";
+    return 0;
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * noc_cli: a small command-line front end over the library, the kind
+ * of tool a downstream user reaches for first.
+ *
+ *   noc_cli info <topology>
+ *   noc_cli export-dot <topology>
+ *   noc_cli export-json <topology>
+ *   noc_cli simulate <topology> <RND|SHF|REV|ADV1|ADV2|ASYM> <load>
+ *           [--smart] [--router EB-Var|CBR-20|...]
+ *           [--adaptive min|minadaptive|ugal-l|ugal-g]
+ *   noc_cli resilience <topology> <failureFraction>
+ *   noc_cli trace <topology> <workload> <cycles> [--save FILE]
+ *
+ * <topology> accepts every Table 4 id (see `noc_cli list`).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "core/placement_model.hh"
+#include "graph/resilience.hh"
+#include "power/power_model.hh"
+#include "topo/export.hh"
+#include "topo/table4.hh"
+#include "trace/trace_file.hh"
+#include "traffic/synthetic.hh"
+
+using namespace snoc;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: noc_cli <command> [args]\n"
+           "  list\n"
+           "  info <topology>\n"
+           "  export-dot <topology>\n"
+           "  export-json <topology>\n"
+           "  simulate <topology> <pattern> <load> [--smart]\n"
+           "           [--router CFG] [--adaptive MODE]\n"
+           "  resilience <topology> <failureFraction>\n"
+           "  trace <topology> <workload> <cycles> [--save FILE]\n";
+    return 2;
+}
+
+PatternKind
+parsePattern(const std::string &s)
+{
+    if (s == "SHF")
+        return PatternKind::Shuffle;
+    if (s == "REV")
+        return PatternKind::BitReversal;
+    if (s == "ADV1")
+        return PatternKind::Adversarial1;
+    if (s == "ADV2")
+        return PatternKind::Adversarial2;
+    if (s == "ASYM")
+        return PatternKind::Asymmetric;
+    return PatternKind::Random;
+}
+
+RoutingMode
+parseMode(const std::string &s)
+{
+    if (s == "minadaptive")
+        return RoutingMode::MinAdaptive;
+    if (s == "ugal-l")
+        return RoutingMode::UgalL;
+    if (s == "ugal-g")
+        return RoutingMode::UgalG;
+    return RoutingMode::Minimal;
+}
+
+int
+cmdList()
+{
+    for (int cls : {200, 1296, 54}) {
+        std::cout << "size class " << cls << ":";
+        for (const auto &id : table4Ids(cls))
+            std::cout << ' ' << id;
+        std::cout << '\n';
+    }
+    return 0;
+}
+
+int
+cmdInfo(const std::string &id)
+{
+    NocTopology topo = makeNamedTopology(id);
+    PlacementModel pm(topo.routers(), topo.placement());
+    std::cout << "topology        " << topo.name() << "\n"
+              << "nodes           " << topo.numNodes() << "\n"
+              << "routers         " << topo.numRouters() << "\n"
+              << "concentration   " << topo.concentration() << "\n"
+              << "network radix   " << topo.routers().maxDegree()
+              << "\n"
+              << "router radix    " << topo.routerRadix() << "\n"
+              << "diameter        " << topo.diameter() << "\n"
+              << "avg path length "
+              << topo.routers().averagePathLength() << "\n"
+              << "die             " << topo.placement().dimX() << " x "
+              << topo.placement().dimY() << " tiles\n"
+              << "avg wire length " << pm.averageWireLength()
+              << " hops\n"
+              << "bisection links " << topo.bisectionLinks() << "\n"
+              << "cycle time      " << topo.cycleTimeNs() << " ns\n";
+    PowerModel power(topo, RouterConfig::named("EB-Var"),
+                     TechParams::nm45(), 9);
+    std::cout << "area (45nm)     " << power.area().total()
+              << " cm^2\n"
+              << "static power    " << power.staticPower().total()
+              << " W\n";
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    std::string id = args[0];
+    PatternKind pattern = parsePattern(args[1]);
+    double load = std::stod(args[2]);
+    int h = 1;
+    std::string router = "EB-Var";
+    RoutingMode mode = RoutingMode::Minimal;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--smart") {
+            h = 9;
+        } else if (args[i] == "--router" && i + 1 < args.size()) {
+            router = args[++i];
+        } else if (args[i] == "--adaptive" && i + 1 < args.size()) {
+            mode = parseMode(args[++i]);
+        } else {
+            return usage();
+        }
+    }
+
+    NocTopology topo = makeNamedTopology(id);
+    LinkConfig lc;
+    lc.hopsPerCycle = h;
+    Network net(topo, RouterConfig::named(router), lc, mode);
+    auto pat = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(pattern, topo));
+    SyntheticConfig sc;
+    sc.load = load;
+    SimConfig cfg;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 8000;
+    SimResult r =
+        runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+
+    std::cout << "pattern            " << to_string(pattern) << "\n"
+              << "offered load       " << r.offeredLoad
+              << " flits/node/cycle\n"
+              << "delivered          " << r.throughput << "\n"
+              << "avg packet latency " << r.avgPacketLatency
+              << " cycles (" << r.avgPacketLatency * topo.cycleTimeNs()
+              << " ns)\n"
+              << "avg hops           " << r.avgHops << "\n"
+              << "stable             " << (r.stable ? "yes" : "NO")
+              << "\n";
+    std::cout << "\nhottest links (flits/cycle):\n";
+    auto util = net.linkUtilization();
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, util.size());
+         ++i) {
+        std::cout << "  r" << util[i].routerA << " -> r"
+                  << util[i].routerB << "  "
+                  << util[i].flitsPerCycle << "\n";
+    }
+    return r.stable ? 0 : 1;
+}
+
+int
+cmdResilience(const std::string &id, double fraction)
+{
+    NocTopology topo = makeNamedTopology(id);
+    ResilienceReport r =
+        analyzeResilience(topo.routers(), fraction, 25);
+    std::cout << "failure fraction " << r.failureFraction << "\n"
+              << "connected        " << 100.0 * r.connectedFraction
+              << " %\n"
+              << "avg diameter     " << r.avgDiameter << "\n"
+              << "APL inflation    " << r.avgPathInflation << "\n"
+              << "expansion probe  "
+              << edgeExpansionProbe(topo.routers(), 50) << "\n";
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    NocTopology topo = makeNamedTopology(args[0]);
+    const WorkloadProfile &w = workloadByName(args[1]);
+    Cycle cycles = static_cast<Cycle>(std::stoll(args[2]));
+    std::string savePath;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--save" && i + 1 < args.size())
+            savePath = args[++i];
+    }
+    auto events = generateTrace(w, topo, cycles);
+    if (!savePath.empty()) {
+        writeTraceFile(events, savePath);
+        std::cout << "wrote " << events.size() << " events to "
+                  << savePath << "\n";
+    }
+    Network net(topo, RouterConfig::named("EB-Var"));
+    SimConfig cfg;
+    cfg.warmupCycles = cycles / 10;
+    cfg.measureCycles = cycles;
+    cfg.drain = true;
+    SimResult r =
+        runSimulation(net, makeTraceSource(std::move(events)), cfg);
+    std::cout << "workload           " << w.name << "\n"
+              << "packets delivered  " << r.packetsDelivered << "\n"
+              << "avg packet latency " << r.avgPacketLatency
+              << " cycles\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "info" && args.size() == 1)
+            return cmdInfo(args[0]);
+        if (cmd == "export-dot" && args.size() == 1) {
+            writeDot(makeNamedTopology(args[0]), std::cout);
+            return 0;
+        }
+        if (cmd == "export-json" && args.size() == 1) {
+            writeJson(makeNamedTopology(args[0]), std::cout);
+            return 0;
+        }
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+        if (cmd == "resilience" && args.size() == 2)
+            return cmdResilience(args[0], std::stod(args[1]));
+        if (cmd == "trace")
+            return cmdTrace(args);
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

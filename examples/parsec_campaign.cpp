@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PARSEC/SPLASH campaign: replay the 14 trace workloads of
+ * Section 5.1 on a chosen topology and report per-benchmark latency
+ * and the energy-delay product, the Figure 18 methodology as a
+ * user-facing tool.
+ *
+ * Run: ./parsec_campaign [topologyId] [cycles]
+ *      e.g. ./parsec_campaign sn_subgr_200 6000
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "power/power_model.hh"
+#include "topo/table4.hh"
+#include "trace/trace.hh"
+
+using namespace snoc;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = argc > 1 ? argv[1] : "sn_subgr_200";
+    Cycle cycles = argc > 2
+                       ? static_cast<Cycle>(std::atoll(argv[2]))
+                       : 6000;
+
+    NocTopology topo = makeNamedTopology(id);
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    PowerModel power(topo, rc, TechParams::nm45());
+
+    std::cout << "PARSEC/SPLASH campaign on " << topo.name() << " ("
+              << topo.numNodes() << " nodes, " << cycles
+              << " trace cycles/benchmark)\n\n";
+
+    TextTable table({"benchmark", "packets", "latency [cycles]",
+                     "hops", "EDP [pJ*s]"});
+    for (const WorkloadProfile &w : parsecSplashWorkloads()) {
+        Network net(topo, rc);
+        SimResult res = runWorkload(net, w, cycles);
+        double edp = power.energyDelay(res.counters, res.cyclesRun,
+                                       res.avgPacketLatency);
+        table.addRow({w.name,
+                      TextTable::fmt(res.packetsDelivered),
+                      TextTable::fmt(res.avgPacketLatency, 1),
+                      TextTable::fmt(res.avgHops, 2),
+                      TextTable::fmt(edp * 1e12, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

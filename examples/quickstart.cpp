@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: build a Slim NoC, inspect its structure and layout
+ * costs, then simulate uniform random traffic and print latency,
+ * throughput, and power.
+ *
+ * Run: ./quickstart [N]    (default N = 200)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "power/power_model.hh"
+#include "sim/simulation.hh"
+#include "topo/slimnoc_topology.hh"
+#include "traffic/synthetic.hh"
+
+using namespace snoc;
+
+int
+main(int argc, char **argv)
+{
+    int n = argc > 1 ? std::atoi(argv[1]) : 200;
+
+    // 1. Pick a Slim NoC configuration for exactly N nodes
+    //    (Section 3.5.3) and instantiate it with the subgroup layout.
+    SnParams params = SnParams::fromNetworkSize(n);
+    std::cout << "Configuration: " << params.describe() << "\n";
+
+    SlimNoc sn(params, SnLayout::Subgroup);
+    std::cout << "  diameter        = " << sn.routerGraph().diameter()
+              << "\n"
+              << "  avg path length = "
+              << sn.routerGraph().averagePathLength() << " hops\n"
+              << "  avg wire length = "
+              << sn.placementModel().averageWireLength()
+              << " tile hops (M of Eq. 4)\n"
+              << "  total edge buffers = "
+              << sn.bufferModel().totalEdgeBuffers() << " flits\n";
+
+    // 2. Wrap it as a topology and simulate uniform random traffic at
+    //    a moderate load with the paper's default router (2 VCs,
+    //    RTT-sized edge buffers).
+    NocTopology topo = makeSlimNocTopology(params, SnLayout::Subgroup);
+    Network net(topo, RouterConfig::named("EB-Var"));
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, topo));
+    SyntheticConfig traffic;
+    traffic.load = 0.10; // flits/node/cycle
+    SimConfig cfg;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 10000;
+    SimResult res = runSimulation(
+        net, makeSyntheticSource(pattern, traffic), cfg);
+
+    std::cout << "\nUniform random @ " << traffic.load
+              << " flits/node/cycle:\n"
+              << "  avg packet latency = " << res.avgPacketLatency
+              << " cycles (" << res.avgPacketLatency *
+                     topo.cycleTimeNs()
+              << " ns)\n"
+              << "  delivered          = " << res.throughput
+              << " flits/node/cycle\n"
+              << "  avg router hops    = " << res.avgHops << "\n";
+
+    // 3. Area and power at 45 nm.
+    PowerModel power(topo, RouterConfig::named("EB-Var"),
+                     TechParams::nm45());
+    AreaReport area = power.area();
+    std::cout << "\n45 nm estimates:\n"
+              << "  network area       = " << area.total() << " cm^2 ("
+              << area.total() / n << " per node)\n"
+              << "  static power       = "
+              << power.staticPower().total() << " W\n"
+              << "  dynamic power      = "
+              << power.dynamicPower(res.counters, res.cyclesRun).total()
+              << " W at this load\n"
+              << "  throughput/power   = "
+              << power.throughputPerPower(res.counters, res.cyclesRun)
+              << " flits/J\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Topology bake-off: the paper's core comparison as a user-facing
+ * scenario. Pits Slim NoC against torus, concentrated mesh, FBF and
+ * PFBF at equal node count under a chosen traffic pattern, reporting
+ * latency (time-normalized across the different router cycle times),
+ * saturation throughput, and the combined throughput/power metric.
+ *
+ * Run: ./topology_bakeoff [RND|SHF|REV|ADV1] [load]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hh"
+#include "power/power_model.hh"
+#include "topo/table4.hh"
+#include "traffic/synthetic.hh"
+
+using namespace snoc;
+
+namespace {
+
+PatternKind
+parsePattern(const char *s)
+{
+    if (std::strcmp(s, "SHF") == 0)
+        return PatternKind::Shuffle;
+    if (std::strcmp(s, "REV") == 0)
+        return PatternKind::BitReversal;
+    if (std::strcmp(s, "ADV1") == 0)
+        return PatternKind::Adversarial1;
+    return PatternKind::Random;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PatternKind kind =
+        argc > 1 ? parsePattern(argv[1]) : PatternKind::Random;
+    double load = argc > 2 ? std::atof(argv[2]) : 0.06;
+
+    std::cout << "Topology bake-off, N in {192, 200}, pattern "
+              << to_string(kind) << ", load " << load
+              << " flits/node/cycle, SMART links (H = 9)\n\n";
+
+    TextTable table({"network", "latency [ns]", "latency [SN cycles]",
+                     "delivered", "thr/power [flits/J]"});
+    TechParams tech = TechParams::nm45();
+    for (const char *id :
+         {"t2d4", "cm4", "pfbf4", "fbf4", "sn_subgr_200"}) {
+        NocTopology topo = makeNamedTopology(id);
+        RouterConfig rc = RouterConfig::named("EB-Var");
+        LinkConfig lc;
+        lc.hopsPerCycle = 9;
+        Network net(topo, rc, lc);
+        auto pattern = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(kind, topo));
+        SyntheticConfig sc;
+        sc.load = load;
+        SimConfig cfg;
+        cfg.warmupCycles = 2000;
+        cfg.measureCycles = 8000;
+        SimResult res = runSimulation(
+            net, makeSyntheticSource(pattern, sc), cfg);
+
+        PowerModel power(topo, rc, tech, lc.hopsPerCycle);
+        double latencyNs = res.avgPacketLatency * topo.cycleTimeNs();
+        table.addRow(
+            {topo.name(), TextTable::fmt(latencyNs, 1),
+             TextTable::fmt(latencyNs / 0.5, 1),
+             TextTable::fmt(res.throughput, 4),
+             TextTable::fmt(
+                 power.throughputPerPower(res.counters, res.cyclesRun),
+                 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(latency normalized to the 0.5 ns SN cycle; each "
+                 "topology simulates\nwith its own cycle time per "
+                 "Section 5.1)\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * 2D grid geometry shared by layouts, placement models, and the
+ * physical wire/power models. The die is a grid of tiles; each tile
+ * holds one router plus its attached nodes (Section 3.2.1).
+ */
+
+#ifndef SNOC_COMMON_GEOM_HH
+#define SNOC_COMMON_GEOM_HH
+
+#include <cstdlib>
+
+namespace snoc {
+
+/** Integer tile coordinates on the die grid (0-based). */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    friend bool operator==(const Coord &a, const Coord &b) = default;
+};
+
+/** Manhattan (L1) distance between two tiles, in hops. */
+inline int
+manhattan(const Coord &a, const Coord &b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_GEOM_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- the situation is the user's fault (bad configuration,
+ *             invalid arguments); throws snoc::FatalError so library
+ *             users and tests can recover.
+ * panic()  -- the situation is a library bug; aborts.
+ * warn()   -- prints a warning to stderr and continues.
+ */
+
+#ifndef SNOC_COMMON_LOG_HH
+#define SNOC_COMMON_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace snoc {
+
+/** Exception thrown by fatal() for user-recoverable configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Throw a FatalError describing a user-level misconfiguration. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+#define SNOC_PANIC(...) \
+    ::snoc::detail::panicImpl(::snoc::detail::concat(__VA_ARGS__), \
+                              __FILE__, __LINE__)
+
+/** Assert an invariant that indicates a library bug if violated. */
+#define SNOC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SNOC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_LOG_HH

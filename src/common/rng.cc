@@ -1,0 +1,97 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextUint(std::uint64_t bound)
+{
+    SNOC_ASSERT(bound > 0, "nextUint bound must be positive");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t lo, std::int64_t hi)
+{
+    SNOC_ASSERT(lo <= hi, "nextInt range is empty");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextUint(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 1;
+    if (p <= 0.0)
+        return 1;
+    double u = nextDouble();
+    double len = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (len < 1.0)
+        len = 1.0;
+    return static_cast<std::uint64_t>(len);
+}
+
+} // namespace snoc

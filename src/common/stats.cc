@@ -1,0 +1,153 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::uint64_t total = n_ + other.n_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / static_cast<double>(total);
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            static_cast<double>(total);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    SNOC_ASSERT(buckets > 0 && hi > lo, "invalid histogram bounds");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    std::size_t idx;
+    if (x < lo_) {
+        idx = 0;
+    } else if (x >= hi_) {
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+    }
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        SNOC_ASSERT(v > 0.0, "geometricMean requires positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+} // namespace snoc

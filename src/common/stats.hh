@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used across the library and the
+ * benchmark harness: streaming mean/min/max/variance, fixed-width
+ * histograms, and geometric means for cross-workload summaries.
+ */
+
+#ifndef SNOC_COMMON_STATS_HH
+#define SNOC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+/** Streaming accumulator (Welford) for scalar samples. */
+class Accumulator
+{
+  public:
+    void add(double x);
+    void merge(const Accumulator &other);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Histogram with uniform bucket width over [lo, hi); out-of-range samples
+ *  are clamped into the first/last bucket. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of total mass in bucket i (0 if histogram is empty). */
+    double density(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of strictly positive values; returns 0 on empty input. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; returns 0 on empty input. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_STATS_HH

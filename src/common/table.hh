@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text result tables for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * TextTable renders aligned columns to stdout and optionally CSV so
+ * results can be diffed or plotted.
+ */
+
+#ifndef SNOC_COMMON_TABLE_HH
+#define SNOC_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+/** Column-aligned text table with optional CSV export. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a full row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmt(std::uint64_t v);
+    static std::string fmt(int v);
+
+    /** Render aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render comma-separated values. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_TABLE_HH

@@ -1,0 +1,94 @@
+#include "core/buffer_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+BufferModel::BufferModel(const Graph &graph, const Placement &placement,
+                         BufferModelParams params)
+    : graph_(&graph), placement_(&placement), params_(params)
+{
+    SNOC_ASSERT(graph.numVertices() == placement.numRouters(),
+                "graph/placement size mismatch");
+    SNOC_ASSERT(params_.hopsPerCycle >= 1, "H must be >= 1");
+    SNOC_ASSERT(params_.numVcs >= 1, "need at least one VC");
+}
+
+int
+BufferModel::roundTripTime(int i, int j) const
+{
+    int dist = placement_->distance(i, j);
+    int linkCycles = (dist + params_.hopsPerCycle - 1) /
+                     params_.hopsPerCycle;
+    if (dist == 0)
+        linkCycles = 0;
+    return 2 * linkCycles + params_.routerCycles +
+           params_.serializationCycles;
+}
+
+double
+BufferModel::edgeBufferSize(int i, int j) const
+{
+    return static_cast<double>(roundTripTime(i, j)) *
+           params_.flitsPerCycle * static_cast<double>(params_.numVcs);
+}
+
+double
+BufferModel::routerEdgeBufferTotal(int router) const
+{
+    double total = 0.0;
+    for (int j : graph_->neighbors(router))
+        total += edgeBufferSize(router, j);
+    return total;
+}
+
+double
+BufferModel::totalEdgeBuffers() const
+{
+    double total = 0.0;
+    for (int i = 0; i < graph_->numVertices(); ++i)
+        total += routerEdgeBufferTotal(i);
+    return total;
+}
+
+double
+BufferModel::minEdgeBufferSize() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < graph_->numVertices(); ++i)
+        for (int j : graph_->neighbors(i))
+            best = std::min(best, edgeBufferSize(i, j));
+    return graph_->numEdges() ? best : 0.0;
+}
+
+double
+BufferModel::maxEdgeBufferSize() const
+{
+    double best = 0.0;
+    for (int i = 0; i < graph_->numVertices(); ++i)
+        for (int j : graph_->neighbors(i))
+            best = std::max(best, edgeBufferSize(i, j));
+    return best;
+}
+
+double
+BufferModel::routerCentralBufferTotal(int centralBufferFlits) const
+{
+    // delta_cb + 2 k' |VC| staging flits; k' is the router's degree.
+    int radix = graph_->numVertices() ? graph_->maxDegree() : 0;
+    return static_cast<double>(centralBufferFlits) +
+           2.0 * static_cast<double>(radix) *
+               static_cast<double>(params_.numVcs);
+}
+
+double
+BufferModel::totalCentralBuffers(int centralBufferFlits) const
+{
+    return static_cast<double>(graph_->numVertices()) *
+           routerCentralBufferTotal(centralBufferFlits);
+}
+
+} // namespace snoc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Buffer sizing models of Section 3.2.2.
+ *
+ * Edge buffers: the buffer at router i for the link to router j must
+ * cover the link round-trip time to sustain full utilization under
+ * credit flow control:
+ *     delta_ij = T_ij * b * |VC| / L            [flits]
+ *     T_ij     = 2 * ceil(dist(i,j) / H) + 3    [cycles]
+ * where H is the number of grid hops a signal travels per cycle
+ * (H = 1 plain wires, H ~ 9 with SMART links), b the link bandwidth,
+ * L the flit size, and the +3 covers two router-processing cycles
+ * plus one serialization cycle.
+ *
+ * Central buffers: per router a constant-size CB plus one-flit
+ * staging buffers per port and VC:
+ *     Delta_cb = Nr * (delta_cb + 2 k' |VC|)    [flits]
+ */
+
+#ifndef SNOC_CORE_BUFFER_MODEL_HH
+#define SNOC_CORE_BUFFER_MODEL_HH
+
+#include "core/layout.hh"
+#include "graph/graph.hh"
+
+namespace snoc {
+
+/** Wire/link technology parameters for buffer sizing. */
+struct BufferModelParams
+{
+    int hopsPerCycle = 1;        //!< H; 9 with SMART links (Sec. 5.1).
+    int numVcs = 2;              //!< |VC| per physical link.
+    double flitsPerCycle = 1.0;  //!< b / L: link bandwidth in flits.
+    int routerCycles = 2;        //!< Pipeline cycles added to the RTT.
+    int serializationCycles = 1; //!< Serialization cycles added.
+};
+
+/** Edge- and central-buffer sizing for a placed router graph. */
+class BufferModel
+{
+  public:
+    BufferModel(const Graph &graph, const Placement &placement,
+                BufferModelParams params = {});
+
+    const BufferModelParams &params() const { return params_; }
+
+    /** Round-trip time T_ij in cycles for the link i -- j. */
+    int roundTripTime(int i, int j) const;
+
+    /** Edge buffer size delta_ij in flits for the link i -- j. */
+    double edgeBufferSize(int i, int j) const;
+
+    /** Sum of edge buffer sizes at one router (its share of Eq. 5). */
+    double routerEdgeBufferTotal(int router) const;
+
+    /** Total edge buffer size Delta_eb over the network (Eq. 5). */
+    double totalEdgeBuffers() const;
+
+    /** Network-wide min/max single edge-buffer size (Sec. 3.2.2's
+     *  uniform-buffer manufacturing options). */
+    double minEdgeBufferSize() const;
+    double maxEdgeBufferSize() const;
+
+    /**
+     * Total central-buffer space Delta_cb (Eq. 6).
+     * @param centralBufferFlits delta_cb, e.g. 20 or 40
+     */
+    double totalCentralBuffers(int centralBufferFlits) const;
+
+    /** Per-router central-buffer space: delta_cb + 2 k' |VC|. */
+    double routerCentralBufferTotal(int centralBufferFlits) const;
+
+  private:
+    const Graph *graph_;
+    const Placement *placement_;
+    BufferModelParams params_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_BUFFER_MODEL_HH

@@ -1,0 +1,92 @@
+#include "core/config_table.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "field/prime.hh"
+
+namespace snoc {
+
+namespace {
+
+bool
+isPowerOfTwo(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+bool
+isPerfectSquare(int n)
+{
+    int r = static_cast<int>(std::lround(std::sqrt(
+        static_cast<double>(n))));
+    return r * r == n;
+}
+
+/**
+ * "Equally many groups of routers on each side of a die": the q
+ * groups tile a g x g square grid, i.e. q is a perfect square
+ * (q = 4 -> 2x2, q = 9 -> 3x3; the paper shades exactly those rows
+ * plus the prime q with square counts).
+ */
+bool
+hasBalancedGroups(int q)
+{
+    return isPerfectSquare(q);
+}
+
+void
+appendConfigsForQ(int q, const ConfigTableOptions &opt,
+                  std::vector<SnConfig> &out)
+{
+    SnParams base = SnParams::fromQ(q);
+    int ideal = (base.networkRadix() + 1) / 2;
+    for (int p = 1; p <= 2 * ideal; ++p) {
+        SnParams sp = SnParams::fromQ(q, p);
+        double sub = sp.subscription();
+        if (sub < opt.minSubscription || sub > opt.maxSubscription)
+            continue;
+        if (sp.numNodes() > opt.maxNodes)
+            continue;
+        SnConfig cfg;
+        cfg.params = sp;
+        auto pp = asPrimePower(static_cast<std::uint64_t>(q));
+        SNOC_ASSERT(pp.has_value(), "q must be a prime power here");
+        cfg.nonPrimeField = pp->exponent > 1;
+        cfg.powerOfTwoNodes = isPowerOfTwo(sp.numNodes());
+        cfg.balancedGroups = hasBalancedGroups(q);
+        cfg.squareNodes = isPerfectSquare(sp.numNodes());
+        out.push_back(cfg);
+    }
+}
+
+} // namespace
+
+std::vector<SnConfig>
+enumerateConfigs(const ConfigTableOptions &options)
+{
+    // Largest feasible q: 2 q^2 * 1 <= maxNodes at minimum.
+    int qMax = static_cast<int>(std::sqrt(
+        static_cast<double>(options.maxNodes) / 2.0));
+    std::vector<int> nonPrimeQ;
+    std::vector<int> primeQ;
+    for (int q = 2; q <= qMax; ++q) {
+        if (q % 4 == 2 && q != 2)
+            continue;
+        auto pp = asPrimePower(static_cast<std::uint64_t>(q));
+        if (!pp)
+            continue;
+        if (pp->exponent > 1)
+            nonPrimeQ.push_back(q);
+        else
+            primeQ.push_back(q);
+    }
+    std::vector<SnConfig> out;
+    for (int q : nonPrimeQ)
+        appendConfigsForQ(q, options, out);
+    for (int q : primeQ)
+        appendConfigsForQ(q, options, out);
+    return out;
+}
+
+} // namespace snoc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Enumeration of feasible Slim NoC configurations (Table 2): for each
+ * prime power q, the concentrations p whose over/under-subscription
+ * relative to the balanced ceil(k'/2) stays within a window, with the
+ * NoC-friendliness flags the paper highlights (power-of-two node
+ * count; equally many groups per die side; square node count).
+ */
+
+#ifndef SNOC_CORE_CONFIG_TABLE_HH
+#define SNOC_CORE_CONFIG_TABLE_HH
+
+#include <vector>
+
+#include "core/sn_params.hh"
+
+namespace snoc {
+
+/** One row of Table 2. */
+struct SnConfig
+{
+    SnParams params;
+    bool nonPrimeField = false;  //!< q is a proper prime power.
+    bool powerOfTwoNodes = false;//!< N is a power of two (bold rows).
+    bool balancedGroups = false; //!< equal groups per die side (shaded).
+    bool squareNodes = false;    //!< N is a perfect square (dark grey).
+};
+
+/** Options for enumerating configurations. */
+struct ConfigTableOptions
+{
+    int maxNodes = 1300;        //!< Paper's N <= 1300 bound.
+    double minSubscription = 0.66;
+    double maxSubscription = 1.34;
+};
+
+/**
+ * Enumerate all configurations with N <= maxNodes, ordered like the
+ * paper: non-prime fields first, then prime fields; within a field
+ * class ascending by q then p.
+ */
+std::vector<SnConfig> enumerateConfigs(
+    const ConfigTableOptions &options = {});
+
+} // namespace snoc
+
+#endif // SNOC_CORE_CONFIG_TABLE_HH

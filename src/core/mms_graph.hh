@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The MMS (McKay-Miller-Siran) router graph underlying Slim NoC.
+ *
+ * Routers are labeled [G|a,b] (Section 3.2.1): G in {0,1} is the
+ * subgroup type, a in {1..q} the subgroup id, b in {1..q} the
+ * position within the subgroup. The unique index is
+ *     i = G q^2 + (a-1) q + b          (1-based, as in the paper)
+ * internally we store 0-based indices i-1.
+ *
+ * Connectivity (Section 3.5, Eqs. (8)-(10)), with a, b mapped to
+ * field elements via their 0-based offsets:
+ *     [0|a,b]  ~ [0|a,b']  iff  b - b'  in X
+ *     [1|m,c]  ~ [1|m,c']  iff  c - c'  in X'
+ *     [0|a,b]  ~ [1|m,c]   iff  b = m*a + c
+ */
+
+#ifndef SNOC_CORE_MMS_GRAPH_HH
+#define SNOC_CORE_MMS_GRAPH_HH
+
+#include <memory>
+
+#include "core/generator_sets.hh"
+#include "core/sn_params.hh"
+#include "field/finite_field.hh"
+#include "graph/graph.hh"
+
+namespace snoc {
+
+/** A router label in the subgroup view (Figure 2b). */
+struct RouterLabel
+{
+    int type = 0;       //!< G: subgroup type, 0 or 1.
+    int subgroup = 1;   //!< a: subgroup id, 1..q.
+    int position = 1;   //!< b: position within subgroup, 1..q.
+
+    friend bool operator==(const RouterLabel &l,
+                           const RouterLabel &r) = default;
+};
+
+/** Slim NoC's underlying diameter-2 MMS router graph. */
+class MmsGraph
+{
+  public:
+    /**
+     * Build the graph for the given parameters.
+     * The finite field and generator sets are constructed internally.
+     */
+    explicit MmsGraph(const SnParams &params);
+
+    const SnParams &params() const { return params_; }
+    const Graph &graph() const { return graph_; }
+    const FiniteField &field() const { return *field_; }
+    const GeneratorSets &generatorSets() const { return sets_; }
+
+    int numRouters() const { return params_.numRouters(); }
+
+    /** 0-based router index for a label (paper's i = Gq^2+(a-1)q+b). */
+    int indexOf(const RouterLabel &label) const;
+
+    /** Label for a 0-based router index. */
+    RouterLabel labelOf(int index) const;
+
+    /** True when routers i and j share a link. */
+    bool connected(int i, int j) const { return graph_.hasEdge(i, j); }
+
+  private:
+    SnParams params_;
+    std::unique_ptr<FiniteField> field_;
+    GeneratorSets sets_;
+    Graph graph_;
+
+    void build();
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_MMS_GRAPH_HH

@@ -1,0 +1,166 @@
+#include "core/placement_model.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+PlacementModel::PlacementModel(const Graph &graph,
+                               const Placement &placement)
+    : graph_(&graph), placement_(&placement)
+{
+    SNOC_ASSERT(graph.numVertices() == placement.numRouters(),
+                "graph/placement size mismatch");
+    std::size_t tiles = static_cast<std::size_t>(placement.dimX()) *
+                        static_cast<std::size_t>(placement.dimY());
+    crossing_.assign(tiles, 0);
+    crossingH_.assign(tiles, 0);
+    crossingV_.assign(tiles, 0);
+    analyze();
+}
+
+std::vector<Coord>
+PlacementModel::wirePath(int i, int j) const
+{
+    const Coord a = placement_->coordOf(i);
+    const Coord b = placement_->coordOf(j);
+    std::vector<Coord> tiles;
+
+    // Corner tile of the L route per the paper's Phi/Psi rule.
+    Coord corner;
+    if (std::abs(a.x - b.x) > std::abs(a.y - b.y))
+        corner = {a.x, b.y}; // vertical first out of i
+    else
+        corner = {b.x, a.y}; // horizontal first out of i
+
+    auto addSegment = [&tiles](Coord from, Coord to) {
+        int dx = to.x > from.x ? 1 : to.x < from.x ? -1 : 0;
+        int dy = to.y > from.y ? 1 : to.y < from.y ? -1 : 0;
+        Coord c = from;
+        for (;;) {
+            if (tiles.empty() || !(tiles.back() == c))
+                tiles.push_back(c);
+            if (c == to)
+                break;
+            c.x += dx;
+            c.y += dy;
+        }
+    };
+    addSegment(a, corner);
+    addSegment(corner, b);
+    return tiles;
+}
+
+void
+PlacementModel::analyze()
+{
+    const int n = graph_->numVertices();
+    long long total = 0;
+    int links = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j : graph_->neighbors(i)) {
+            if (j <= i)
+                continue; // each undirected link once
+            int d = placement_->distance(i, j);
+            total += d;
+            maxWireLength_ = std::max(maxWireLength_, d);
+            ++links;
+            auto tiles = wirePath(i, j);
+            for (std::size_t t = 0; t < tiles.size(); ++t) {
+                const Coord &c = tiles[t];
+                std::size_t idx =
+                    static_cast<std::size_t>(c.y) *
+                        static_cast<std::size_t>(placement_->dimX()) +
+                    static_cast<std::size_t>(c.x);
+                crossing_[idx] += 1;
+                // Direction of travel into / out of this tile.
+                bool horiz = false;
+                bool vert = false;
+                if (t > 0) {
+                    horiz |= tiles[t - 1].y == c.y &&
+                             tiles[t - 1].x != c.x;
+                    vert |= tiles[t - 1].x == c.x &&
+                            tiles[t - 1].y != c.y;
+                }
+                if (t + 1 < tiles.size()) {
+                    horiz |= tiles[t + 1].y == c.y &&
+                             tiles[t + 1].x != c.x;
+                    vert |= tiles[t + 1].x == c.x &&
+                            tiles[t + 1].y != c.y;
+                }
+                if (horiz)
+                    crossingH_[idx] += 1;
+                if (vert)
+                    crossingV_[idx] += 1;
+            }
+        }
+    }
+    totalWireLength_ = total;
+    numLinks_ = links;
+    avgWireLength_ =
+        links ? static_cast<double>(total) / static_cast<double>(links)
+              : 0.0;
+}
+
+int
+PlacementModel::wireCount(int x, int y) const
+{
+    SNOC_ASSERT(x >= 0 && x < placement_->dimX() && y >= 0 &&
+                    y < placement_->dimY(),
+                "tile out of range");
+    return crossing_[static_cast<std::size_t>(y) *
+                         static_cast<std::size_t>(placement_->dimX()) +
+                     static_cast<std::size_t>(x)];
+}
+
+int
+PlacementModel::maxWireCount() const
+{
+    int best = 0;
+    for (int c : crossing_)
+        best = std::max(best, c);
+    return best;
+}
+
+int
+PlacementModel::wireCountDirectional(int x, int y, int dir) const
+{
+    SNOC_ASSERT(x >= 0 && x < placement_->dimX() && y >= 0 &&
+                    y < placement_->dimY() && (dir == 0 || dir == 1),
+                "tile/direction out of range");
+    std::size_t idx = static_cast<std::size_t>(y) *
+                          static_cast<std::size_t>(placement_->dimX()) +
+                      static_cast<std::size_t>(x);
+    return dir == 0 ? crossingH_[idx] : crossingV_[idx];
+}
+
+int
+PlacementModel::maxDirectionalWireCount() const
+{
+    int best = 0;
+    for (int c : crossingH_)
+        best = std::max(best, c);
+    for (int c : crossingV_)
+        best = std::max(best, c);
+    return best;
+}
+
+Histogram
+PlacementModel::distanceDistribution(std::size_t buckets) const
+{
+    // Two-hop buckets starting at distance 1: [1,3), [3,5), ...
+    Histogram h(1.0, 1.0 + 2.0 * static_cast<double>(buckets), buckets);
+    const int n = graph_->numVertices();
+    for (int i = 0; i < n; ++i) {
+        for (int j : graph_->neighbors(i)) {
+            if (j <= i)
+                continue;
+            h.add(static_cast<double>(placement_->distance(i, j)));
+        }
+    }
+    return h;
+}
+
+} // namespace snoc

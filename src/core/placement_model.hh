@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The placement / wiring model of Section 3.2.1 and the cost model of
+ * Section 3.2.3: L-shaped Manhattan wire routes, per-tile wire
+ * crossing counts (Eq. 3), average wire length M (Eq. 4), and the
+ * link-distance distribution of Figure 6.
+ */
+
+#ifndef SNOC_CORE_PLACEMENT_MODEL_HH
+#define SNOC_CORE_PLACEMENT_MODEL_HH
+
+#include <vector>
+
+#include "common/geom.hh"
+#include "common/stats.hh"
+#include "core/layout.hh"
+#include "graph/graph.hh"
+
+namespace snoc {
+
+/**
+ * Wire-level analysis of a (graph, placement) pair.
+ *
+ * Wires follow the paper's tie-breaking rule: between routers i and j
+ * the first segment leaves i along the axis with the *smaller*
+ * distance, i.e. vertically when |xi-xj| > |yi-yj| (path through
+ * (xi, yj)) and horizontally otherwise (path through (xj, yi)).
+ */
+class PlacementModel
+{
+  public:
+    PlacementModel(const Graph &graph, const Placement &placement);
+
+    /** Average Manhattan wire length M over all links (Eq. 4). */
+    double averageWireLength() const { return avgWireLength_; }
+
+    /** Longest single wire, in hops. */
+    int maxWireLength() const { return maxWireLength_; }
+
+    /** Total wire length over all links, in hops. */
+    long long totalWireLength() const { return totalWireLength_; }
+
+    /** Number of (possibly parallel) links. */
+    int numLinks() const { return numLinks_; }
+
+    /** Wires crossing the tile at (x, y), endpoints included (Eq. 3). */
+    int wireCount(int x, int y) const;
+
+    /** Maximum wire count over all tiles: the W to check against the
+     *  technology bound of Eq. (3). */
+    int maxWireCount() const;
+
+    /**
+     * Directional variant: links crossing the tile on horizontal
+     * (dir = 0) or vertical (dir = 1) routing tracks. Physical metal
+     * layers budget tracks per direction, so the Eq. (3) check is
+     * per-direction; a corner tile counts in both.
+     */
+    int wireCountDirectional(int x, int y, int dir) const;
+
+    /** Max over tiles and directions of the directional count. */
+    int maxDirectionalWireCount() const;
+
+    /**
+     * Distribution of link Manhattan distances as in Figure 6, using
+     * two-hop buckets [1-2], [3-4], ...
+     * @param buckets number of two-hop buckets
+     */
+    Histogram distanceDistribution(std::size_t buckets = 11) const;
+
+    /** The tiles of the L-shaped route between routers i and j
+     *  (endpoints included). */
+    std::vector<Coord> wirePath(int i, int j) const;
+
+  private:
+    const Graph *graph_;
+    const Placement *placement_;
+    double avgWireLength_ = 0.0;
+    int maxWireLength_ = 0;
+    long long totalWireLength_ = 0;
+    int numLinks_ = 0;
+    std::vector<int> crossing_;  // dimX * dimY tile counts
+    std::vector<int> crossingH_; // horizontal-track crossings
+    std::vector<int> crossingV_; // vertical-track crossings
+
+    void analyze();
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_PLACEMENT_MODEL_HH

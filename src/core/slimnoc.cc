@@ -1,0 +1,38 @@
+#include "core/slimnoc.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+SlimNoc::SlimNoc(const SnParams &params, SnLayout layout,
+                 BufferModelParams buffers, std::uint64_t seed)
+    : mms_(std::make_unique<MmsGraph>(params)), layoutKind_(layout)
+{
+    placement_ = std::make_unique<Placement>(
+        Placement::forSlimNoc(*mms_, layout, seed));
+    model_ = std::make_unique<PlacementModel>(mms_->graph(), *placement_);
+    buffers_ =
+        std::make_unique<BufferModel>(mms_->graph(), *placement_, buffers);
+}
+
+SlimNoc
+SlimNoc::forNetworkSize(int n, SnLayout layout)
+{
+    return SlimNoc(SnParams::fromNetworkSize(n), layout);
+}
+
+int
+SlimNoc::routerOfNode(int node) const
+{
+    SNOC_ASSERT(node >= 0 && node < numNodes(), "node out of range");
+    return node / params().p;
+}
+
+int
+SlimNoc::firstNodeOfRouter(int router) const
+{
+    SNOC_ASSERT(router >= 0 && router < numRouters(), "router range");
+    return router * params().p;
+}
+
+} // namespace snoc

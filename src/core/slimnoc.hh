@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SlimNoc: the top-level facade of the library's primary
+ * contribution. Bundles the MMS router graph, a physical layout, and
+ * the placement/buffer analysis models behind one object, mirroring
+ * how a chip designer would use the paper: pick a configuration
+ * (Table 2), pick a layout (Section 3.3), inspect costs, then hand
+ * the instance to the simulator and power models.
+ */
+
+#ifndef SNOC_CORE_SLIMNOC_HH
+#define SNOC_CORE_SLIMNOC_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/buffer_model.hh"
+#include "core/layout.hh"
+#include "core/mms_graph.hh"
+#include "core/placement_model.hh"
+#include "core/sn_params.hh"
+
+namespace snoc {
+
+/** A fully-instantiated Slim NoC: graph + layout + analysis models. */
+class SlimNoc
+{
+  public:
+    /**
+     * Build a Slim NoC.
+     *
+     * @param params  structural parameters (q, p)
+     * @param layout  one of the Section 3.3 layouts
+     * @param buffers wire/VC parameters for buffer sizing
+     * @param seed    randomness for SnLayout::Random
+     */
+    explicit SlimNoc(const SnParams &params,
+                     SnLayout layout = SnLayout::Subgroup,
+                     BufferModelParams buffers = {},
+                     std::uint64_t seed = 1);
+
+    /** Convenience: exact node count (Section 3.5.3). */
+    static SlimNoc forNetworkSize(int n,
+                                  SnLayout layout = SnLayout::Subgroup);
+
+    const SnParams &params() const { return mms_->params(); }
+    SnLayout layoutKind() const { return layoutKind_; }
+
+    const MmsGraph &mms() const { return *mms_; }
+    const Graph &routerGraph() const { return mms_->graph(); }
+    const Placement &placement() const { return *placement_; }
+    const PlacementModel &placementModel() const { return *model_; }
+    const BufferModel &bufferModel() const { return *buffers_; }
+
+    int numRouters() const { return params().numRouters(); }
+    int numNodes() const { return params().numNodes(); }
+
+    /** Router serving a given node (nodes packed p per router). */
+    int routerOfNode(int node) const;
+
+    /** First node attached to a router; nodes are contiguous. */
+    int firstNodeOfRouter(int router) const;
+
+  private:
+    std::unique_ptr<MmsGraph> mms_;
+    SnLayout layoutKind_;
+    std::unique_ptr<Placement> placement_;
+    std::unique_ptr<PlacementModel> model_;
+    std::unique_ptr<BufferModel> buffers_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_SLIMNOC_HH

@@ -1,0 +1,89 @@
+#include "core/sn_params.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+#include "field/prime.hh"
+
+namespace snoc {
+
+namespace {
+
+/** Derive u in {-1, 0, +1} from q, or throw for infeasible q. */
+int
+uForQ(int q)
+{
+    if (q < 2)
+        fatal("Slim NoC parameter q must be >= 2, got ", q);
+    if (!asPrimePower(static_cast<std::uint64_t>(q)))
+        fatal("Slim NoC parameter q = ", q, " is not a prime power");
+    switch (q % 4) {
+      case 0:
+        return 0;
+      case 1:
+        return 1;
+      case 3:
+        return -1;
+      default:
+        // q == 2 mod 4: the only prime power is q = 2 itself, which the
+        // paper's Table 2 includes with k' = 3, i.e. u = 0 semantics.
+        if (q == 2)
+            return 0;
+        fatal("q = ", q, " = 2 (mod 4) is not a feasible Slim NoC size");
+    }
+}
+
+} // namespace
+
+double
+SnParams::subscription() const
+{
+    int ideal = (networkRadix() + 1) / 2;
+    return static_cast<double>(p) / static_cast<double>(ideal);
+}
+
+std::string
+SnParams::describe() const
+{
+    std::ostringstream oss;
+    oss << "SN q=" << q << " p=" << p << " (N=" << numNodes()
+        << ", Nr=" << numRouters() << ", k'=" << networkRadix() << ")";
+    return oss.str();
+}
+
+SnParams
+SnParams::fromQ(int q, int p)
+{
+    SnParams sp;
+    sp.q = q;
+    sp.u = uForQ(q);
+    if (p <= 0)
+        p = (sp.networkRadix() + 1) / 2; // balanced ceil(k'/2)
+    sp.p = p;
+    return sp;
+}
+
+SnParams
+SnParams::fromNetworkSize(int n, double minSub, double maxSub)
+{
+    if (n <= 0)
+        fatal("network size must be positive, got ", n);
+    for (int q = 2; 2 * q * q <= n; ++q) {
+        if (q % 4 == 2 && q != 2)
+            continue;
+        if (!asPrimePower(static_cast<std::uint64_t>(q)))
+            continue;
+        int nr = 2 * q * q;
+        if (n % nr != 0)
+            continue;
+        SnParams sp = fromQ(q, n / nr);
+        double sub = sp.subscription();
+        if (sub >= minSub && sub <= maxSub)
+            return sp;
+    }
+    fatal("no Slim NoC configuration with exactly N = ", n,
+          " nodes and subscription in [", minSub, ", ", maxSub, "]");
+}
+
+} // namespace snoc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structural parameters of a Slim NoC (Section 2.1 and Table 1).
+ *
+ * A Slim NoC is determined by a prime power q = 4w + u (u in
+ * {-1, 0, +1}) and a concentration p:
+ *   - router count            Nr = 2 q^2
+ *   - network radix           k' = (3q - u) / 2
+ *   - router radix            k  = k' + p
+ *   - node count              N  = Nr * p
+ *   - diameter                D  = 2
+ * The paper's kappa parameter expresses concentration relative to the
+ * balanced value: p = floor(k'/2) + kappa.
+ */
+
+#ifndef SNOC_CORE_SN_PARAMS_HH
+#define SNOC_CORE_SN_PARAMS_HH
+
+#include <string>
+
+namespace snoc {
+
+/** Validated parameter bundle for one Slim NoC instance. */
+struct SnParams
+{
+    int q = 0;              //!< Prime power structure parameter.
+    int u = 0;              //!< q = 4w + u with u in {-1, 0, +1}.
+    int p = 0;              //!< Concentration (nodes per router).
+
+    int numRouters() const { return 2 * q * q; }
+    int networkRadix() const { return (3 * q - u) / 2; }
+    int routerRadix() const { return networkRadix() + p; }
+    int numNodes() const { return numRouters() * p; }
+    int diameter() const { return 2; }
+
+    /** Size of each generator set X, X': (q - u) / 2 (intra degree). */
+    int generatorSetSize() const { return (q - u) / 2; }
+
+    /** Balanced concentration floor(k'/2) (footnote 2). */
+    int balancedConcentration() const { return networkRadix() / 2; }
+
+    /** kappa = p - floor(k'/2): node density vs. contention knob. */
+    int kappa() const { return p - balancedConcentration(); }
+
+    /** Over/under-subscription ratio p / ceil(k'/2) (Table 2 column). */
+    double subscription() const;
+
+    /** "SN q=9 p=8 (N=1296)"-style description. */
+    std::string describe() const;
+
+    /**
+     * Build parameters from q, deriving u from q mod 4.
+     *
+     * @param q prime power (q mod 4 != 2 except the degenerate q = 2)
+     * @param p concentration; if <= 0, the balanced ceil(k'/2) is used
+     * @throws FatalError when q is not a feasible Slim NoC parameter
+     */
+    static SnParams fromQ(int q, int p = 0);
+
+    /**
+     * Find parameters with node count exactly N (Section 3.5.3):
+     * pick the smallest feasible q such that some p with
+     * N == 2 q^2 p keeps subscription within [minSub, maxSub].
+     * @throws FatalError when no configuration exists.
+     */
+    static SnParams fromNetworkSize(int n, double minSub = 0.5,
+                                    double maxSub = 1.5);
+};
+
+} // namespace snoc
+
+#endif // SNOC_CORE_SN_PARAMS_HH

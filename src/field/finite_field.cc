@@ -1,0 +1,292 @@
+#include "field/finite_field.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+#include "field/prime.hh"
+
+namespace snoc {
+
+namespace {
+
+/** Polynomials over GF(p) as little-endian digit vectors. */
+using Poly = std::vector<int>;
+
+Poly
+indexToPoly(int index, int p, int k)
+{
+    Poly d(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < k; ++i) {
+        d[static_cast<std::size_t>(i)] = index % p;
+        index /= p;
+    }
+    return d;
+}
+
+int
+polyToIndex(const Poly &d, int p)
+{
+    int index = 0;
+    for (std::size_t i = d.size(); i-- > 0;)
+        index = index * p + d[i];
+    return index;
+}
+
+int
+polyDegree(const Poly &d)
+{
+    for (std::size_t i = d.size(); i-- > 0;) {
+        if (d[i] != 0)
+            return static_cast<int>(i);
+    }
+    return -1; // zero polynomial
+}
+
+Poly
+polyAdd(const Poly &a, const Poly &b, int p)
+{
+    Poly r(std::max(a.size(), b.size()), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+        int v = 0;
+        if (i < a.size())
+            v += a[i];
+        if (i < b.size())
+            v += b[i];
+        r[i] = v % p;
+    }
+    return r;
+}
+
+Poly
+polyMul(const Poly &a, const Poly &b, int p)
+{
+    Poly r(a.size() + b.size(), 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            r[i + j] = (r[i + j] + a[i] * b[j]) % p;
+    }
+    return r;
+}
+
+/** Reduce a modulo the monic polynomial m (in place on a copy). */
+Poly
+polyMod(Poly a, const Poly &m, int p)
+{
+    int dm = polyDegree(m);
+    SNOC_ASSERT(dm >= 1, "modulus must be non-constant");
+    for (int da = polyDegree(a); da >= dm; da = polyDegree(a)) {
+        // m is monic so the leading coefficient of the quotient term is
+        // simply a's leading coefficient.
+        int coef = a[static_cast<std::size_t>(da)];
+        int shift = da - dm;
+        for (int i = 0; i <= dm; ++i) {
+            std::size_t ai = static_cast<std::size_t>(i + shift);
+            a[ai] = ((a[ai] - coef * m[static_cast<std::size_t>(i)]) % p +
+                     p * p) % p;
+        }
+    }
+    a.resize(static_cast<std::size_t>(dm));
+    return a;
+}
+
+/**
+ * Irreducibility over GF(p) by trial division with every monic
+ * polynomial of degree 1 .. deg/2. Fine for the tiny degrees we use.
+ */
+bool
+polyIrreducible(const Poly &m, int p)
+{
+    int dm = polyDegree(m);
+    if (dm < 1)
+        return false;
+    for (int dd = 1; dd <= dm / 2; ++dd) {
+        // Enumerate monic divisor candidates of degree dd.
+        int count = 1;
+        for (int i = 0; i < dd; ++i)
+            count *= p;
+        for (int lo = 0; lo < count; ++lo) {
+            Poly div = indexToPoly(lo, p, dd + 1);
+            div[static_cast<std::size_t>(dd)] = 1; // monic
+            Poly rem = polyMod(m, div, p);
+            if (polyDegree(rem) < 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Lexicographically smallest monic irreducible polynomial of degree k. */
+Poly
+findIrreducible(int p, int k)
+{
+    int count = 1;
+    for (int i = 0; i < k; ++i)
+        count *= p;
+    for (int lo = 0; lo < count; ++lo) {
+        Poly m = indexToPoly(lo, p, k + 1);
+        m[static_cast<std::size_t>(k)] = 1;
+        if (polyIrreducible(m, p))
+            return m;
+    }
+    SNOC_PANIC("no irreducible polynomial found for p=", p, " k=", k);
+}
+
+} // namespace
+
+FiniteField::FiniteField(int q) : q_(q)
+{
+    if (q < 2 || q > 4096)
+        fatal("finite field order ", q, " out of supported range [2, 4096]");
+    auto pp = asPrimePower(static_cast<std::uint64_t>(q));
+    if (!pp)
+        fatal("finite field order ", q, " is not a prime power");
+    p_ = static_cast<int>(pp->base);
+    k_ = static_cast<int>(pp->exponent);
+    if (k_ > 1)
+        modPoly_ = findIrreducible(p_, k_);
+    buildTables();
+}
+
+void
+FiniteField::buildTables()
+{
+    std::size_t n = static_cast<std::size_t>(q_);
+    addTable_.assign(n * n, 0);
+    mulTable_.assign(n * n, 0);
+    negTable_.assign(n, 0);
+    invTable_.assign(n, 0);
+
+    for (int a = 0; a < q_; ++a) {
+        Poly pa = indexToPoly(a, p_, k_);
+        for (int b = 0; b < q_; ++b) {
+            Poly pb = indexToPoly(b, p_, k_);
+            Poly s = polyAdd(pa, pb, p_);
+            addTable_[static_cast<std::size_t>(a) * n +
+                      static_cast<std::size_t>(b)] = polyToIndex(s, p_);
+            Poly m = polyMul(pa, pb, p_);
+            if (k_ > 1)
+                m = polyMod(m, modPoly_, p_);
+            else if (!m.empty())
+                m.resize(1);
+            mulTable_[static_cast<std::size_t>(a) * n +
+                      static_cast<std::size_t>(b)] = polyToIndex(m, p_);
+        }
+    }
+    // Negation: the unique b with a + b == 0.
+    for (int a = 0; a < q_; ++a) {
+        for (int b = 0; b < q_; ++b) {
+            if (addTable_[static_cast<std::size_t>(a) * n +
+                          static_cast<std::size_t>(b)] == 0) {
+                negTable_[static_cast<std::size_t>(a)] = b;
+                break;
+            }
+        }
+    }
+    // Inversion: the unique b with a * b == 1.
+    invTable_[0] = 0; // sentinel; inv(0) traps in the accessor
+    for (int a = 1; a < q_; ++a) {
+        for (int b = 1; b < q_; ++b) {
+            if (mulTable_[static_cast<std::size_t>(a) * n +
+                          static_cast<std::size_t>(b)] == 1) {
+                invTable_[static_cast<std::size_t>(a)] = b;
+                break;
+            }
+        }
+    }
+}
+
+FiniteField::Elem
+FiniteField::check(Elem a) const
+{
+    SNOC_ASSERT(a >= 0 && a < q_, "element ", a, " outside GF(", q_, ")");
+    return a;
+}
+
+FiniteField::Elem
+FiniteField::inv(Elem a) const
+{
+    check(a);
+    SNOC_ASSERT(a != 0, "0 has no multiplicative inverse");
+    return invTable_[static_cast<std::size_t>(a)];
+}
+
+FiniteField::Elem
+FiniteField::pow(Elem a, std::uint64_t e) const
+{
+    check(a);
+    Elem result = one();
+    Elem base = a;
+    while (e > 0) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+int
+FiniteField::order(Elem a) const
+{
+    check(a);
+    SNOC_ASSERT(a != 0, "0 has no multiplicative order");
+    Elem x = a;
+    int t = 1;
+    while (x != one()) {
+        x = mul(x, a);
+        ++t;
+        SNOC_ASSERT(t <= q_, "order search failed; field tables corrupt");
+    }
+    return t;
+}
+
+bool
+FiniteField::isPrimitive(Elem a) const
+{
+    if (a == 0)
+        return false;
+    return order(a) == q_ - 1;
+}
+
+std::vector<FiniteField::Elem>
+FiniteField::primitiveElements() const
+{
+    std::vector<Elem> out;
+    for (Elem a = 1; a < q_; ++a) {
+        if (isPrimitive(a))
+            out.push_back(a);
+    }
+    return out;
+}
+
+FiniteField::Elem
+FiniteField::primitiveElement() const
+{
+    for (Elem a = 1; a < q_; ++a) {
+        if (isPrimitive(a))
+            return a;
+    }
+    SNOC_PANIC("GF(", q_, ") has no primitive element; tables corrupt");
+}
+
+std::string
+FiniteField::name(Elem a) const
+{
+    check(a);
+    if (a < p_)
+        return std::to_string(a);
+    // Extension elements: u, v, w, x, y, z, then uu, uv, ... if ever
+    // needed. GF(8) -> 0,1,u..z and GF(9) -> 0,1,2,u..z as in Table 3.
+    int offset = a - p_;
+    std::string s;
+    do {
+        s.insert(s.begin(), static_cast<char>('u' + offset % 6));
+        offset = offset / 6 - 1;
+    } while (offset >= 0);
+    return s;
+}
+
+} // namespace snoc

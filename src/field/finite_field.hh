@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Finite fields GF(p^k), including the non-prime fields at the heart of
+ * the Slim NoC construction (Section 3.5.2 and Table 3 of the paper).
+ *
+ * Elements are represented by dense indices 0 .. q-1. For GF(p) the
+ * index is the residue itself; for GF(p^k) the index encodes a degree
+ * k-1 polynomial over GF(p) in base-p digits (index = sum d_i * p^i).
+ * Arithmetic is performed modulo a lexicographically-smallest monic
+ * irreducible polynomial found by exhaustive search, and then cached
+ * in addition / product / inverse tables exactly as the paper builds
+ * its hand-made F8 and F9 tables.
+ */
+
+#ifndef SNOC_FIELD_FINITE_FIELD_HH
+#define SNOC_FIELD_FINITE_FIELD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+/**
+ * A finite field GF(q), q = p^k a prime power, with O(1) table-driven
+ * arithmetic and primitive-element (generator) search.
+ */
+class FiniteField
+{
+  public:
+    /** Dense element handle in [0, size()). 0 is the additive identity. */
+    using Elem = int;
+
+    /**
+     * Construct GF(q).
+     *
+     * @param q field order; must be a prime power (and <= 4096 so the
+     *          q x q operation tables stay small).
+     * @throws FatalError if q is not a prime power in range.
+     */
+    explicit FiniteField(int q);
+
+    int size() const { return q_; }
+    int characteristic() const { return p_; }
+    int degree() const { return k_; }
+    bool isPrimeField() const { return k_ == 1; }
+
+    Elem zero() const { return 0; }
+    Elem one() const { return 1; }
+
+    Elem
+    add(Elem a, Elem b) const
+    {
+        return addTable_[idx(a, b)];
+    }
+
+    Elem
+    mul(Elem a, Elem b) const
+    {
+        return mulTable_[idx(a, b)];
+    }
+
+    /** Additive inverse. */
+    Elem neg(Elem a) const { return negTable_[check(a)]; }
+
+    /** a - b. */
+    Elem sub(Elem a, Elem b) const { return add(a, neg(b)); }
+
+    /** Multiplicative inverse. @pre a != 0. */
+    Elem inv(Elem a) const;
+
+    /** a^e for e >= 0 (a^0 == 1, including 0^0 by convention). */
+    Elem pow(Elem a, std::uint64_t e) const;
+
+    /**
+     * Multiplicative order of a nonzero element
+     * (smallest t > 0 with a^t == 1).
+     */
+    int order(Elem a) const;
+
+    /** True when a generates the multiplicative group GF(q)*. */
+    bool isPrimitive(Elem a) const;
+
+    /** All primitive elements, in increasing index order. */
+    std::vector<Elem> primitiveElements() const;
+
+    /** The smallest-index primitive element. */
+    Elem primitiveElement() const;
+
+    /**
+     * Human-readable element name matching the paper's Table 3
+     * conventions: residues print as digits; extension-field elements
+     * beyond the prime subfield print as u, v, w, x, y, z, ...
+     */
+    std::string name(Elem a) const;
+
+    /** The irreducible polynomial coefficients (degree k, monic),
+     *  c[0] + c[1] X + ... + c[k] X^k, as GF(p) residues. */
+    const std::vector<int> &modulusPoly() const { return modPoly_; }
+
+  private:
+    int q_;
+    int p_;
+    int k_;
+    std::vector<int> modPoly_;
+    std::vector<Elem> addTable_;
+    std::vector<Elem> mulTable_;
+    std::vector<Elem> negTable_;
+    std::vector<Elem> invTable_;
+
+    std::size_t
+    idx(Elem a, Elem b) const
+    {
+        return static_cast<std::size_t>(check(a)) *
+                   static_cast<std::size_t>(q_) +
+               static_cast<std::size_t>(check(b));
+    }
+
+    Elem check(Elem a) const;
+
+    void buildTables();
+};
+
+} // namespace snoc
+
+#endif // SNOC_FIELD_FINITE_FIELD_HH

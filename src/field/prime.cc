@@ -1,0 +1,52 @@
+#include "field/prime.hh"
+
+namespace snoc {
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    if (n % 2 == 0)
+        return n == 2;
+    if (n % 3 == 0)
+        return n == 3;
+    for (std::uint64_t d = 5; d * d <= n; d += 6) {
+        if (n % d == 0 || n % (d + 2) == 0)
+            return false;
+    }
+    return true;
+}
+
+std::optional<PrimePower>
+asPrimePower(std::uint64_t n)
+{
+    if (n < 2)
+        return std::nullopt;
+    // Find the smallest prime factor; n is a prime power iff dividing it
+    // out repeatedly reaches 1.
+    std::uint64_t p = 0;
+    if (n % 2 == 0) {
+        p = 2;
+    } else {
+        for (std::uint64_t d = 3; d * d <= n; d += 2) {
+            if (n % d == 0) {
+                p = d;
+                break;
+            }
+        }
+        if (p == 0)
+            p = n; // n itself is prime
+    }
+    unsigned k = 0;
+    std::uint64_t m = n;
+    while (m % p == 0) {
+        m /= p;
+        ++k;
+    }
+    if (m != 1)
+        return std::nullopt;
+    return PrimePower{p, k};
+}
+
+} // namespace snoc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small number-theory helpers: primality, prime-power factoring.
+ *
+ * Slim NoC graphs are parameterized by a prime power q = p^k
+ * (Section 2.1 of the paper); these utilities classify candidate q
+ * values when enumerating feasible configurations (Table 2).
+ */
+
+#ifndef SNOC_FIELD_PRIME_HH
+#define SNOC_FIELD_PRIME_HH
+
+#include <cstdint>
+#include <optional>
+
+namespace snoc {
+
+/** Trial-division primality test; exact for the 64-bit range we use. */
+bool isPrime(std::uint64_t n);
+
+/** Decomposition of a prime power q = base^exponent. */
+struct PrimePower
+{
+    std::uint64_t base;     //!< The prime p.
+    unsigned exponent;      //!< The exponent k >= 1.
+};
+
+/**
+ * Factor n as p^k if n is a prime power.
+ *
+ * @return the decomposition, or std::nullopt when n is not a prime power
+ *         (including n < 2).
+ */
+std::optional<PrimePower> asPrimePower(std::uint64_t n);
+
+} // namespace snoc
+
+#endif // SNOC_FIELD_PRIME_HH

@@ -1,0 +1,155 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+Graph::Graph(int numVertices)
+{
+    SNOC_ASSERT(numVertices >= 0, "negative vertex count");
+    adj_.resize(static_cast<std::size_t>(numVertices));
+}
+
+void
+Graph::checkVertex(int v) const
+{
+    SNOC_ASSERT(v >= 0 && v < numVertices(), "vertex ", v, " out of range");
+}
+
+void
+Graph::addEdge(int u, int v)
+{
+    checkVertex(u);
+    checkVertex(v);
+    SNOC_ASSERT(u != v, "self loop at vertex ", u);
+    adj_[static_cast<std::size_t>(u)].push_back(v);
+    adj_[static_cast<std::size_t>(v)].push_back(u);
+    ++numEdges_;
+}
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    checkVertex(u);
+    checkVertex(v);
+    const auto &nu = adj_[static_cast<std::size_t>(u)];
+    return std::find(nu.begin(), nu.end(), v) != nu.end();
+}
+
+int
+Graph::multiplicity(int u, int v) const
+{
+    checkVertex(u);
+    checkVertex(v);
+    const auto &nu = adj_[static_cast<std::size_t>(u)];
+    return static_cast<int>(std::count(nu.begin(), nu.end(), v));
+}
+
+const std::vector<int> &
+Graph::neighbors(int v) const
+{
+    checkVertex(v);
+    return adj_[static_cast<std::size_t>(v)];
+}
+
+int
+Graph::degree(int v) const
+{
+    return static_cast<int>(neighbors(v).size());
+}
+
+int
+Graph::minDegree() const
+{
+    int best = numVertices() ? degree(0) : 0;
+    for (int v = 1; v < numVertices(); ++v)
+        best = std::min(best, degree(v));
+    return best;
+}
+
+int
+Graph::maxDegree() const
+{
+    int best = numVertices() ? degree(0) : 0;
+    for (int v = 1; v < numVertices(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+bool
+Graph::isRegular() const
+{
+    return minDegree() == maxDegree();
+}
+
+std::vector<int>
+Graph::bfsDistances(int src) const
+{
+    checkVertex(src);
+    std::vector<int> dist(static_cast<std::size_t>(numVertices()), -1);
+    std::queue<int> frontier;
+    dist[static_cast<std::size_t>(src)] = 0;
+    frontier.push(src);
+    while (!frontier.empty()) {
+        int v = frontier.front();
+        frontier.pop();
+        for (int w : adj_[static_cast<std::size_t>(v)]) {
+            if (dist[static_cast<std::size_t>(w)] < 0) {
+                dist[static_cast<std::size_t>(w)] =
+                    dist[static_cast<std::size_t>(v)] + 1;
+                frontier.push(w);
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+Graph::isConnected() const
+{
+    if (numVertices() == 0)
+        return true;
+    auto dist = bfsDistances(0);
+    return std::find(dist.begin(), dist.end(), -1) == dist.end();
+}
+
+int
+Graph::diameter() const
+{
+    int best = 0;
+    for (int v = 0; v < numVertices(); ++v) {
+        auto dist = bfsDistances(v);
+        for (int d : dist) {
+            if (d < 0)
+                return -1;
+            best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+double
+Graph::averagePathLength() const
+{
+    std::uint64_t pairs = 0;
+    std::uint64_t total = 0;
+    for (int v = 0; v < numVertices(); ++v) {
+        auto dist = bfsDistances(v);
+        for (int w = 0; w < numVertices(); ++w) {
+            if (w == v)
+                continue;
+            int d = dist[static_cast<std::size_t>(w)];
+            if (d >= 0) {
+                ++pairs;
+                total += static_cast<std::uint64_t>(d);
+            }
+        }
+    }
+    return pairs ? static_cast<double>(total) / static_cast<double>(pairs)
+                 : 0.0;
+}
+
+} // namespace snoc

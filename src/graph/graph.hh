@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Undirected multigraph substrate used by every topology in the
+ * library. Vertices are routers; parallel edges model multiple
+ * physical channels between the same router pair (as in Flattened
+ * Butterfly partitions or Dragonfly global links).
+ */
+
+#ifndef SNOC_GRAPH_GRAPH_HH
+#define SNOC_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace snoc {
+
+/** Undirected multigraph over dense vertex ids [0, n). */
+class Graph
+{
+  public:
+    explicit Graph(int numVertices);
+
+    int numVertices() const { return static_cast<int>(adj_.size()); }
+    int numEdges() const { return numEdges_; }
+
+    /**
+     * Add an undirected edge u -- v.
+     * Self loops are rejected; parallel edges are allowed.
+     */
+    void addEdge(int u, int v);
+
+    /** True when at least one edge connects u and v. */
+    bool hasEdge(int u, int v) const;
+
+    /** Number of parallel edges between u and v. */
+    int multiplicity(int u, int v) const;
+
+    /** Neighbor list of v (with repetition for parallel edges). */
+    const std::vector<int> &neighbors(int v) const;
+
+    /** Degree counting parallel edges. */
+    int degree(int v) const;
+
+    /** Minimum / maximum vertex degree over the whole graph. */
+    int minDegree() const;
+    int maxDegree() const;
+
+    /** True when every vertex has the same degree. */
+    bool isRegular() const;
+
+    bool isConnected() const;
+
+    /** BFS hop distances from src; unreachable vertices get -1. */
+    std::vector<int> bfsDistances(int src) const;
+
+    /** Maximum over all pairs of the BFS distance; -1 if disconnected. */
+    int diameter() const;
+
+    /** Mean hop distance over ordered distinct reachable pairs. */
+    double averagePathLength() const;
+
+  private:
+    std::vector<std::vector<int>> adj_;
+    int numEdges_ = 0;
+
+    void checkVertex(int v) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_GRAPH_GRAPH_HH

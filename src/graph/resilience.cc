@@ -1,0 +1,129 @@
+#include "graph/resilience.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+namespace {
+
+/** Collect each undirected edge once as an (u, v) pair. */
+std::vector<std::pair<int, int>>
+edgeList(const Graph &g)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < g.numVertices(); ++u) {
+        for (int v : g.neighbors(u)) {
+            if (v > u)
+                edges.emplace_back(u, v);
+            else if (v == u)
+                SNOC_PANIC("self loop in graph");
+        }
+    }
+    // Parallel edges appear once per instance, matching numEdges().
+    return edges;
+}
+
+Graph
+withoutEdges(const Graph &g,
+             const std::vector<std::pair<int, int>> &edges,
+             const std::vector<bool> &failed)
+{
+    Graph out(g.numVertices());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (!failed[e])
+            out.addEdge(edges[e].first, edges[e].second);
+    }
+    return out;
+}
+
+} // namespace
+
+ResilienceReport
+analyzeResilience(const Graph &g, double fraction, int trials,
+                  std::uint64_t seed)
+{
+    SNOC_ASSERT(fraction >= 0.0 && fraction < 1.0,
+                "failure fraction out of range");
+    SNOC_ASSERT(trials >= 1, "need at least one trial");
+    auto edges = edgeList(g);
+    SNOC_ASSERT(static_cast<int>(edges.size()) == g.numEdges(),
+                "edge list mismatch");
+    int toFail = static_cast<int>(fraction *
+                                  static_cast<double>(edges.size()));
+    double aplIntact = g.averagePathLength();
+
+    Rng rng(seed);
+    ResilienceReport rep;
+    rep.failureFraction = fraction;
+    rep.trials = trials;
+    int connected = 0;
+    double diamSum = 0.0;
+    double inflSum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        // Choose `toFail` distinct edges via partial shuffle.
+        std::vector<std::size_t> idx(edges.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        for (int k = 0; k < toFail; ++k) {
+            std::size_t j = k + static_cast<std::size_t>(rng.nextUint(
+                                    idx.size() - static_cast<std::size_t>(k)));
+            std::swap(idx[static_cast<std::size_t>(k)], idx[j]);
+        }
+        std::vector<bool> failed(edges.size(), false);
+        for (int k = 0; k < toFail; ++k)
+            failed[idx[static_cast<std::size_t>(k)]] = true;
+
+        Graph damaged = withoutEdges(g, edges, failed);
+        int diam = damaged.diameter();
+        if (diam >= 0) {
+            ++connected;
+            diamSum += static_cast<double>(diam);
+            if (aplIntact > 0.0)
+                inflSum += damaged.averagePathLength() / aplIntact;
+        }
+    }
+    rep.connectedFraction =
+        static_cast<double>(connected) / static_cast<double>(trials);
+    if (connected > 0) {
+        rep.avgDiameter = diamSum / static_cast<double>(connected);
+        rep.avgPathInflation = inflSum / static_cast<double>(connected);
+    }
+    return rep;
+}
+
+double
+edgeExpansionProbe(const Graph &g, int samples, std::uint64_t seed)
+{
+    SNOC_ASSERT(samples >= 1, "need at least one sample");
+    const int n = g.numVertices();
+    SNOC_ASSERT(n >= 2, "graph too small");
+    Rng rng(seed);
+    double best = 1e18;
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] = i;
+    for (int s = 0; s < samples; ++s) {
+        rng.shuffle(perm);
+        std::vector<bool> inS(static_cast<std::size_t>(n), false);
+        int half = n / 2;
+        for (int i = 0; i < half; ++i)
+            inS[static_cast<std::size_t>(perm[static_cast<std::size_t>(
+                i)])] = true;
+        long long cut = 0;
+        for (int u = 0; u < n; ++u) {
+            if (!inS[static_cast<std::size_t>(u)])
+                continue;
+            for (int v : g.neighbors(u)) {
+                if (!inS[static_cast<std::size_t>(v)])
+                    ++cut;
+            }
+        }
+        best = std::min(best, static_cast<double>(cut) /
+                                  static_cast<double>(half));
+    }
+    return best;
+}
+
+} // namespace snoc

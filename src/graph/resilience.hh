@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Link-failure resilience analysis.
+ *
+ * Section 2.1 attributes Slim Fly's "high resilience to link
+ * failures" to the expander properties of the underlying
+ * degree-diameter graphs. This module quantifies that: sample random
+ * link failures and measure connectivity, diameter inflation, and
+ * average-path-length inflation, plus a cheap edge-expansion probe
+ * (minimum cut ratio over random bipartitions).
+ */
+
+#ifndef SNOC_GRAPH_RESILIENCE_HH
+#define SNOC_GRAPH_RESILIENCE_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+
+namespace snoc {
+
+/** Aggregate results of a failure-injection campaign. */
+struct ResilienceReport
+{
+    double failureFraction = 0.0;  //!< fraction of links removed
+    int trials = 0;
+    double connectedFraction = 0.0; //!< trials remaining connected
+    double avgDiameter = 0.0;       //!< over connected trials
+    double avgPathInflation = 0.0;  //!< APL(failed) / APL(intact)
+};
+
+/**
+ * Remove a random fraction of links repeatedly and measure the
+ * degradation.
+ *
+ * @param g        intact graph
+ * @param fraction fraction of links to fail per trial, in [0, 1)
+ * @param trials   number of independent trials
+ * @param seed     determinism knob
+ */
+ResilienceReport analyzeResilience(const Graph &g, double fraction,
+                                   int trials, std::uint64_t seed = 5);
+
+/**
+ * Edge-expansion probe: over random balanced bipartitions (S, V\S),
+ * the minimum observed cut(S) / |S|. Larger values indicate better
+ * expansion (the property behind MMS resilience).
+ *
+ * @param samples number of random bipartitions to probe
+ */
+double edgeExpansionProbe(const Graph &g, int samples,
+                          std::uint64_t seed = 5);
+
+} // namespace snoc
+
+#endif // SNOC_GRAPH_RESILIENCE_HH

@@ -1,0 +1,118 @@
+#include "graph/shortest_paths.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+ShortestPaths::ShortestPaths(const Graph &g)
+    : graph_(&g), n_(g.numVertices())
+{
+    dist_.resize(static_cast<std::size_t>(n_));
+    next_.resize(static_cast<std::size_t>(n_));
+    for (int dst = 0; dst < n_; ++dst) {
+        auto d = g.bfsDistances(dst);
+        std::vector<int> nh(static_cast<std::size_t>(n_), -1);
+        for (int v = 0; v < n_; ++v) {
+            if (v == dst || d[static_cast<std::size_t>(v)] < 0)
+                continue;
+            int best = -1;
+            for (int w : g.neighbors(v)) {
+                if (d[static_cast<std::size_t>(w)] ==
+                    d[static_cast<std::size_t>(v)] - 1) {
+                    if (best < 0 || w < best)
+                        best = w;
+                }
+            }
+            nh[static_cast<std::size_t>(v)] = best;
+        }
+        dist_[static_cast<std::size_t>(dst)] = std::move(d);
+        next_[static_cast<std::size_t>(dst)] = std::move(nh);
+    }
+}
+
+int
+ShortestPaths::distance(int src, int dst) const
+{
+    SNOC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_,
+                "vertex out of range");
+    return dist_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)];
+}
+
+int
+ShortestPaths::nextHop(int src, int dst) const
+{
+    SNOC_ASSERT(src != dst, "nextHop with src == dst");
+    int nh = next_[static_cast<std::size_t>(dst)]
+                  [static_cast<std::size_t>(src)];
+    SNOC_ASSERT(nh >= 0, "destination ", dst, " unreachable from ", src);
+    return nh;
+}
+
+std::vector<int>
+ShortestPaths::minimalNextHops(int src, int dst) const
+{
+    SNOC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_,
+                "vertex out of range");
+    std::vector<int> hops;
+    if (src == dst)
+        return hops;
+    const auto &d = dist_[static_cast<std::size_t>(dst)];
+    for (int w : graph_->neighbors(src)) {
+        if (d[static_cast<std::size_t>(w)] ==
+            d[static_cast<std::size_t>(src)] - 1) {
+            // Parallel edges produce duplicate neighbors; keep one each.
+            if (std::find(hops.begin(), hops.end(), w) == hops.end())
+                hops.push_back(w);
+        }
+    }
+    return hops;
+}
+
+std::vector<int>
+ShortestPaths::path(int src, int dst) const
+{
+    std::vector<int> p;
+    p.push_back(src);
+    int v = src;
+    while (v != dst) {
+        v = nextHop(v, dst);
+        p.push_back(v);
+        SNOC_ASSERT(static_cast<int>(p.size()) <= n_,
+                    "routing loop from ", src, " to ", dst);
+    }
+    return p;
+}
+
+std::vector<double>
+dijkstra(const Graph &g, int src,
+         const std::function<double(int, int)> &weight)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(static_cast<std::size_t>(g.numVertices()), inf);
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    pq.emplace(0.0, src);
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[static_cast<std::size_t>(v)])
+            continue;
+        for (int w : g.neighbors(v)) {
+            double ew = weight(v, w);
+            SNOC_ASSERT(ew >= 0.0, "negative edge weight");
+            double nd = d + ew;
+            if (nd < dist[static_cast<std::size_t>(w)]) {
+                dist[static_cast<std::size_t>(w)] = nd;
+                pq.emplace(nd, w);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace snoc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shortest-path machinery backing the static minimum routing used by
+ * the paper (Section 5.1: paths computed with Dijkstra's algorithm)
+ * and the minimal-path sets needed by adaptive schemes (UGAL,
+ * XY-adaptive).
+ */
+
+#ifndef SNOC_GRAPH_SHORTEST_PATHS_HH
+#define SNOC_GRAPH_SHORTEST_PATHS_HH
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace snoc {
+
+/**
+ * All-pairs minimal routing tables for a router graph.
+ *
+ * Ties between equal-length paths are broken deterministically toward
+ * the lowest-id neighbor, which keeps the routing static and
+ * reproducible (the paper's "static minimum routing").
+ *
+ * The referenced Graph must outlive this object.
+ */
+class ShortestPaths
+{
+  public:
+    /** Precompute tables for g. O(V * (V + E)). */
+    explicit ShortestPaths(const Graph &g);
+
+    /** Hop distance between routers. */
+    int distance(int src, int dst) const;
+
+    /**
+     * Deterministic next hop from src toward dst.
+     * @pre src != dst and dst reachable.
+     */
+    int nextHop(int src, int dst) const;
+
+    /** All neighbors of src that lie on some minimal src->dst path. */
+    std::vector<int> minimalNextHops(int src, int dst) const;
+
+    /** The full deterministic path src -> ... -> dst (inclusive). */
+    std::vector<int> path(int src, int dst) const;
+
+    int numVertices() const { return n_; }
+
+  private:
+    const Graph *graph_;
+    int n_;
+    std::vector<std::vector<int>> dist_;    // dist_[dst][v]
+    std::vector<std::vector<int>> next_;    // next_[dst][v]
+};
+
+/**
+ * Single-source Dijkstra with arbitrary non-negative edge weights
+ * (used for physically-weighted wire-length analyses).
+ *
+ * @param g        the graph
+ * @param src      source vertex
+ * @param weight   weight(u, v) for each adjacent pair; must be >= 0
+ * @return per-vertex distance; unreachable vertices get infinity
+ */
+std::vector<double> dijkstra(
+    const Graph &g, int src,
+    const std::function<double(int, int)> &weight);
+
+} // namespace snoc
+
+#endif // SNOC_GRAPH_SHORTEST_PATHS_HH

@@ -1,0 +1,204 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "sim/routing.hh"
+
+namespace snoc {
+
+namespace {
+
+constexpr double kMm2PerCm2 = 100.0;
+
+} // namespace
+
+PowerModel::PowerModel(const NocTopology &topo,
+                       const RouterConfig &router,
+                       const TechParams &tech, int hopsPerCycle,
+                       int flitBits)
+    : topo_(&topo), routerCfg_(router), tech_(tech),
+      hopsPerCycle_(hopsPerCycle), flitBits_(flitBits)
+{
+    SNOC_ASSERT(hopsPerCycle_ >= 1 && flitBits_ >= 1, "bad params");
+    // VC count follows the topology's routing scheme, as in the
+    // simulator.
+    numVcs_ = routerCfg_.numVcs > 0
+                  ? routerCfg_.numVcs
+                  : makeRouting(topo, RoutingMode::Minimal)->numVcs();
+}
+
+int
+PowerModel::linkLatency(int distanceHops) const
+{
+    int d = std::max(distanceHops, 1);
+    return (d + hopsPerCycle_ - 1) / hopsPerCycle_;
+}
+
+double
+PowerModel::routerBufferFlits(int router) const
+{
+    double flits = 0.0;
+    for (int j : topo_->routers().neighbors(router)) {
+        int lat = linkLatency(topo_->placement().distance(router, j));
+        flits += static_cast<double>(
+                     routerCfg_.inputBufferDepth(lat)) *
+                 numVcs_;
+        if (routerCfg_.arch == RouterArch::CentralBuffer)
+            flits += 1.0 * numVcs_; // output staging flit per VC
+    }
+    if (routerCfg_.arch == RouterArch::CentralBuffer)
+        flits += routerCfg_.centralBufferFlits;
+    // Injection/ejection queues belong to the node interfaces, not
+    // the router (the paper's router-area breakdowns exclude NIs).
+    return flits;
+}
+
+double
+PowerModel::totalBufferFlits() const
+{
+    double total = 0.0;
+    for (int r = 0; r < topo_->numRouters(); ++r)
+        total += routerBufferFlits(r);
+    return total;
+}
+
+double
+PowerModel::routerLogicMm2(int router) const
+{
+    int ports = topo_->routers().degree(router) +
+                topo_->concentrationOf(router);
+    double xbar = tech_.xbarMm2PerPortBit *
+                  static_cast<double>(ports) *
+                  static_cast<double>(ports) * flitBits_ / 128.0;
+    double alloc = tech_.allocMm2PerPort2 *
+                   static_cast<double>(ports) *
+                   static_cast<double>(ports) *
+                   (1.0 + 0.3 * (numVcs_ - 1));
+    if (routerCfg_.arch == RouterArch::CentralBuffer) {
+        // CBR: 3 allocation + 3 traversal stages grow arbiters
+        // (Section 4.1) while buffers shrink.
+        alloc *= 1.5;
+    }
+    return xbar + alloc;
+}
+
+double
+PowerModel::routerBufferMm2(int router) const
+{
+    return routerBufferFlits(router) * flitBits_ * tech_.sramMm2PerBit;
+}
+
+double
+PowerModel::totalRrWireMm() const
+{
+    double mm = 0.0;
+    for (int i = 0; i < topo_->numRouters(); ++i) {
+        for (int j : topo_->routers().neighbors(i)) {
+            if (j <= i)
+                continue;
+            mm += topo_->placement().distance(i, j) *
+                  tech_.tileSideMm();
+        }
+    }
+    return mm;
+}
+
+double
+PowerModel::totalRnWireMm() const
+{
+    // Each node connects to its router within the tile: on average
+    // half a tile side each way.
+    return static_cast<double>(topo_->numNodes()) * tech_.tileSideMm();
+}
+
+AreaReport
+PowerModel::area() const
+{
+    AreaReport a;
+    for (int r = 0; r < topo_->numRouters(); ++r) {
+        a.aRouters += routerLogicMm2(r) / kMm2PerCm2;
+        a.iRouters += routerBufferMm2(r) / kMm2PerCm2;
+    }
+    double bits = static_cast<double>(flitBits_);
+    a.rrWires = totalRrWireMm() * bits * tech_.wireAreaMm2PerBitMm /
+                kMm2PerCm2;
+    a.rnWires = totalRnWireMm() * bits * tech_.wireAreaMm2PerBitMm /
+                kMm2PerCm2;
+    return a;
+}
+
+StaticPowerReport
+PowerModel::staticPower() const
+{
+    StaticPowerReport s;
+    for (int r = 0; r < topo_->numRouters(); ++r) {
+        s.routers += routerLogicMm2(r) * tech_.leakWPerMm2Logic;
+        s.routers += routerBufferMm2(r) * tech_.leakWPerMm2Sram;
+    }
+    double bitMm =
+        (totalRrWireMm() + totalRnWireMm()) * flitBits_;
+    s.wires = bitMm * tech_.leakWPerMmBitWire;
+    return s;
+}
+
+DynamicPowerReport
+PowerModel::dynamicPower(const SimCounters &counters,
+                         Cycle cycles) const
+{
+    SNOC_ASSERT(cycles > 0, "empty measurement window");
+    double seconds = static_cast<double>(cycles) *
+                     topo_->cycleTimeNs() * 1e-9;
+    double pjToW = 1e-12 / seconds;
+    double bits = static_cast<double>(flitBits_);
+
+    DynamicPowerReport d;
+    d.buffers =
+        (static_cast<double>(counters.bufferWrites + counters.cbWrites) *
+             tech_.eBufferWritePjPerBit +
+         static_cast<double>(counters.bufferReads + counters.cbReads) *
+             tech_.eBufferReadPjPerBit) *
+        bits * pjToW;
+    // Crossbar traversal energy grows with crossbar size: a flit
+    // drives wires spanning all ports. Normalize to a radix-16
+    // crossbar so high-radix FBF routers pay proportionally more.
+    double xbarScale = static_cast<double>(topo_->routerRadix()) / 16.0;
+    d.crossbars = static_cast<double>(counters.crossbarTraversals) *
+                  tech_.eXbarPjPerBit * xbarScale * bits * pjToW;
+    d.wires = static_cast<double>(counters.linkFlitHops) *
+              tech_.tileSideMm() * tech_.eWirePjPerBitMm * bits * pjToW;
+    return d;
+}
+
+double
+PowerModel::totalPower(const SimCounters &counters, Cycle cycles) const
+{
+    return staticPower().total() +
+           dynamicPower(counters, cycles).total();
+}
+
+double
+PowerModel::throughputPerPower(const SimCounters &counters,
+                               Cycle cycles) const
+{
+    double seconds = static_cast<double>(cycles) *
+                     topo_->cycleTimeNs() * 1e-9;
+    double flitsPerSecond =
+        static_cast<double>(counters.flitsDelivered) / seconds;
+    double watts = totalPower(counters, cycles);
+    return watts > 0.0 ? flitsPerSecond / watts : 0.0;
+}
+
+double
+PowerModel::energyDelay(const SimCounters &counters, Cycle cycles,
+                        double avgLatencyCycles) const
+{
+    double seconds = static_cast<double>(cycles) *
+                     topo_->cycleTimeNs() * 1e-9;
+    double energy = totalPower(counters, cycles) * seconds;
+    double delay = avgLatencyCycles * topo_->cycleTimeNs() * 1e-9;
+    return energy * delay;
+}
+
+} // namespace snoc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Network area, static power, and dynamic power model (Section 5.1's
+ * "Area and Power Evaluation", reproducing the breakdowns of
+ * Figures 15-17: routers split into active-layer logic (a-routers)
+ * and intermediate-layer buffers (i-routers); wires split into
+ * router-router (RR, global layer) and router-node (RN, intermediate
+ * layer) components).
+ */
+
+#ifndef SNOC_POWER_POWER_MODEL_HH
+#define SNOC_POWER_POWER_MODEL_HH
+
+#include "power/tech_params.hh"
+#include "sim/counters.hh"
+#include "sim/router_config.hh"
+#include "sim/types.hh"
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/** Area breakdown in cm^2 (whole network). */
+struct AreaReport
+{
+    double aRouters = 0.0;  //!< active layer: crossbars + allocators
+    double iRouters = 0.0;  //!< intermediate layer: buffers
+    double rrWires = 0.0;   //!< router-router wires (global layer)
+    double rnWires = 0.0;   //!< router-node wires
+
+    double
+    total() const
+    {
+        return aRouters + iRouters + rrWires + rnWires;
+    }
+};
+
+/** Static power breakdown in W (whole network). */
+struct StaticPowerReport
+{
+    double routers = 0.0; //!< buffers + crossbars + allocators
+    double wires = 0.0;   //!< RR + RN repeated wires
+
+    double total() const { return routers + wires; }
+};
+
+/** Dynamic power breakdown in W (whole network, at measured load). */
+struct DynamicPowerReport
+{
+    double buffers = 0.0;
+    double crossbars = 0.0;
+    double wires = 0.0;
+
+    double total() const { return buffers + crossbars + wires; }
+};
+
+/** Analytical area/power model for one network configuration. */
+class PowerModel
+{
+  public:
+    /**
+     * @param topo    the topology instance
+     * @param router  router microarchitecture (buffer sizing)
+     * @param tech    technology corner
+     * @param hopsPerCycle SMART H (affects EB-Var buffer depths)
+     * @param flitBits link width (Section 5.1: 128 bits)
+     */
+    PowerModel(const NocTopology &topo, const RouterConfig &router,
+               const TechParams &tech, int hopsPerCycle = 1,
+               int flitBits = 128);
+
+    /** Total buffer storage of one router, in flits. */
+    double routerBufferFlits(int router) const;
+
+    /** Network-wide buffer storage in flits. */
+    double totalBufferFlits() const;
+
+    AreaReport area() const;
+
+    StaticPowerReport staticPower() const;
+
+    /**
+     * Dynamic power from activity counters.
+     * @param counters activity over the measurement window
+     * @param cycles   window length in router cycles
+     */
+    DynamicPowerReport dynamicPower(const SimCounters &counters,
+                                    Cycle cycles) const;
+
+    /** Total power (static + dynamic) in W. */
+    double totalPower(const SimCounters &counters, Cycle cycles) const;
+
+    /**
+     * Delivered throughput per watt [flits/J]: flits per second
+     * divided by total power (the paper's Figure 1b/1c metric).
+     */
+    double throughputPerPower(const SimCounters &counters,
+                              Cycle cycles) const;
+
+    /**
+     * Energy-delay product [J * s]: window energy times average
+     * packet latency (Figure 18's metric, before normalization).
+     */
+    double energyDelay(const SimCounters &counters, Cycle cycles,
+                       double avgLatencyCycles) const;
+
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    const NocTopology *topo_;
+    RouterConfig routerCfg_;
+    TechParams tech_;
+    int hopsPerCycle_;
+    int flitBits_;
+    int numVcs_;
+
+    double totalRrWireMm() const;
+    double totalRnWireMm() const;
+    double routerLogicMm2(int router) const;
+    double routerBufferMm2(int router) const;
+    int linkLatency(int distanceHops) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_POWER_POWER_MODEL_HH

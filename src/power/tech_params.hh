@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Technology parameters for the analytical area/power model.
+ *
+ * The paper uses MIT DSENT [74] at 45 nm / 1.0 V and 22 nm / 0.8 V.
+ * DSENT itself is an analytical model; this module reproduces the
+ * same functional dependencies -- SRAM area per bit, crossbar area
+ * growing with (ports x width)^2, wire area/energy proportional to
+ * length -- with coefficients calibrated to DSENT-era publications.
+ * Absolute numbers are model estimates; all paper comparisons are
+ * relative (SN vs. baselines), which these dependencies preserve.
+ *
+ * Per Section 3.3.2 the tile (one router plus its nodes) side length
+ * comes from the processing-core area: 4 mm^2 at 45 nm and 1 mm^2 at
+ * 22 nm [17]; wiring densities are 3.5k/7k wires per mm.
+ */
+
+#ifndef SNOC_POWER_TECH_PARAMS_HH
+#define SNOC_POWER_TECH_PARAMS_HH
+
+#include <string>
+
+namespace snoc {
+
+/** One technology corner. */
+struct TechParams
+{
+    std::string name;          //!< "45nm" or "22nm"
+    double voltage = 1.0;      //!< V
+    double coreAreaMm2 = 4.0;  //!< processing core area (one node)
+    double wiresPerMm = 3500;  //!< wiring density (Eq. 3 bound input)
+
+    // Area coefficients. Wire "area" follows DSENT's convention:
+    // metal tracks route over logic, so a wire's area cost is its
+    // repeaters/drivers, not the track footprint.
+    double sramMm2PerBit = 1.0e-5;     //!< buffer cell incl. overhead
+    double xbarMm2PerPortBit = 9.0e-5; //!< area = c * ports^2 * width
+    double allocMm2PerPort2 = 1.5e-4;  //!< allocators/arbiters
+    double wireAreaMm2PerBitMm = 1.5e-5; //!< repeaters per bit-mm
+
+    // Static (leakage) power coefficients.
+    double leakWPerMm2Logic = 0.10;  //!< crossbar + allocators
+    double leakWPerMm2Sram = 0.10;   //!< buffers
+    double leakWPerMmBitWire = 1.2e-6; //!< repeated wire, per bit-mm
+
+    // Dynamic energy coefficients. Router energy (buffer access +
+    // crossbar) dominates per-hop wire energy at 45 nm, as in DSENT:
+    // that is what makes many-hop low-radix paths expensive.
+    double eBufferWritePjPerBit = 0.08;
+    double eBufferReadPjPerBit = 0.06;
+    double eXbarPjPerBit = 0.25;  //!< scaled by radix/16 at use site
+    double eWirePjPerBitMm = 0.03;
+
+    /** Tile side in mm: one hop of wire spans this distance. */
+    double tileSideMm() const;
+
+    /** Maximum wires over a tile: density x tile side (Eq. 3's W). */
+    double maxWiresOverTile() const;
+
+    static TechParams nm45();
+    static TechParams nm22();
+};
+
+} // namespace snoc
+
+#endif // SNOC_POWER_TECH_PARAMS_HH

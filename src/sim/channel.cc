@@ -1,0 +1,52 @@
+#include "sim/channel.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+FlitChannel::FlitChannel(int latency) : latency_(latency)
+{
+    SNOC_ASSERT(latency_ >= 1, "channel latency must be >= 1");
+}
+
+void
+FlitChannel::pushFlit(Flit flit, Cycle now, int extraDelay)
+{
+    Cycle arrival = now + static_cast<Cycle>(latency_ + extraDelay);
+    SNOC_ASSERT(flits_.empty() || flits_.back().first <= arrival,
+                "non-monotonic flit arrival");
+    flits_.emplace_back(arrival, std::move(flit));
+}
+
+std::vector<Flit>
+FlitChannel::popArrivedFlits(Cycle now)
+{
+    std::vector<Flit> out;
+    while (!flits_.empty() && flits_.front().first <= now) {
+        out.push_back(std::move(flits_.front().second));
+        flits_.pop_front();
+    }
+    return out;
+}
+
+void
+FlitChannel::pushCredit(int vc, Cycle now)
+{
+    Cycle arrival = now + static_cast<Cycle>(latency_);
+    SNOC_ASSERT(credits_.empty() || credits_.back().first <= arrival,
+                "non-monotonic credit arrival");
+    credits_.emplace_back(arrival, vc);
+}
+
+std::vector<int>
+FlitChannel::popArrivedCredits(Cycle now)
+{
+    std::vector<int> out;
+    while (!credits_.empty() && credits_.front().first <= now) {
+        out.push_back(credits_.front().second);
+        credits_.pop_front();
+    }
+    return out;
+}
+
+} // namespace snoc

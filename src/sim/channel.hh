@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pipelined link channels.
+ *
+ * A FlitChannel carries flits downstream with a fixed latency and
+ * credits upstream with the same latency (the credit wire runs along
+ * the data wire). Latency in router cycles is ceil(dist / H) where
+ * dist is the Manhattan wire length and H the SMART hops-per-cycle
+ * factor (Section 3.2.2); H = 1 without SMART, H ~ 9 with SMART.
+ *
+ * With ElastiStore elastic links (Section 4.1) the pipeline latches
+ * themselves store flits; the simulator models this as additional
+ * effective buffer depth at the downstream input (see RouterConfig).
+ */
+
+#ifndef SNOC_SIM_CHANNEL_HH
+#define SNOC_SIM_CHANNEL_HH
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snoc {
+
+/** One directed link: flits downstream, credits upstream. */
+class FlitChannel
+{
+  public:
+    /**
+     * @param latency cycles a flit (or returning credit) spends on
+     *        the wire; >= 1
+     */
+    explicit FlitChannel(int latency);
+
+    int latency() const { return latency_; }
+
+    /** Send a flit; it arrives at now + latency (+ extraDelay). */
+    void pushFlit(Flit flit, Cycle now, int extraDelay = 0);
+
+    /** Pop all flits that have arrived by `now` (ordered). */
+    std::vector<Flit> popArrivedFlits(Cycle now);
+
+    /** Return a credit for `vc`; arrives upstream at now + latency. */
+    void pushCredit(int vc, Cycle now);
+
+    /** Pop all credits that have arrived by `now`. */
+    std::vector<int> popArrivedCredits(Cycle now);
+
+    /** Number of flits currently in flight. */
+    std::size_t flitsInFlight() const { return flits_.size(); }
+
+  private:
+    int latency_;
+    std::deque<std::pair<Cycle, Flit>> flits_;
+    std::deque<std::pair<Cycle, int>> credits_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_CHANNEL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Activity and delivery counters collected during simulation; the
+ * dynamic-power model converts activity counts into energy.
+ */
+
+#ifndef SNOC_SIM_COUNTERS_HH
+#define SNOC_SIM_COUNTERS_HH
+
+#include <cstdint>
+
+namespace snoc {
+
+/** Raw event counts over a run (or measurement window). */
+struct SimCounters
+{
+    std::uint64_t bufferWrites = 0;     //!< flits written to buffers
+    std::uint64_t bufferReads = 0;      //!< flits read from buffers
+    std::uint64_t cbWrites = 0;         //!< flits entering a CB
+    std::uint64_t cbReads = 0;          //!< flits leaving a CB
+    std::uint64_t crossbarTraversals = 0;
+    std::uint64_t linkFlitHops = 0;     //!< flits x wire length [hops]
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t flitsDelivered = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsDelivered = 0;
+
+    void
+    reset()
+    {
+        *this = SimCounters();
+    }
+
+    /** Window counters: activity since an earlier snapshot. */
+    friend SimCounters
+    operator-(const SimCounters &a, const SimCounters &b)
+    {
+        SimCounters d;
+        d.bufferWrites = a.bufferWrites - b.bufferWrites;
+        d.bufferReads = a.bufferReads - b.bufferReads;
+        d.cbWrites = a.cbWrites - b.cbWrites;
+        d.cbReads = a.cbReads - b.cbReads;
+        d.crossbarTraversals =
+            a.crossbarTraversals - b.crossbarTraversals;
+        d.linkFlitHops = a.linkFlitHops - b.linkFlitHops;
+        d.flitsInjected = a.flitsInjected - b.flitsInjected;
+        d.flitsDelivered = a.flitsDelivered - b.flitsDelivered;
+        d.packetsInjected = a.packetsInjected - b.packetsInjected;
+        d.packetsDelivered = a.packetsDelivered - b.packetsDelivered;
+        return d;
+    }
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_COUNTERS_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Network: wires routers and channels up from a NocTopology, drives
+ * the per-cycle pipeline, and accounts statistics.
+ *
+ * Nodes inject packets via unbounded source queues (open-loop
+ * semantics: generation timestamps are kept, so source queueing
+ * counts toward packet latency) feeding the routers' 20-flit
+ * injection queues. Link latencies are ceil(wireLength / H) with
+ * H = 1 (plain) or H ~ 9 (SMART links, Section 5.1).
+ */
+
+#ifndef SNOC_SIM_NETWORK_HH
+#define SNOC_SIM_NETWORK_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/channel.hh"
+#include "sim/router.hh"
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/** Wire / SMART configuration. */
+struct LinkConfig
+{
+    int hopsPerCycle = 1; //!< SMART H; 1 disables SMART
+};
+
+/** Called for every delivered packet (trace replay hooks replies). */
+using DeliveryCallback = std::function<void(const PacketPtr &)>;
+
+/** A simulated network instance. */
+class Network : public NetworkState
+{
+  public:
+    /**
+     * @param topo    topology (copied; self-contained afterwards)
+     * @param router  router microarchitecture
+     * @param link    wire configuration
+     * @param mode    routing mode
+     * @param seed    seed for routing randomness
+     */
+    Network(const NocTopology &topo, const RouterConfig &router,
+            const LinkConfig &link = {},
+            RoutingMode mode = RoutingMode::Minimal,
+            std::uint64_t seed = 7);
+
+    const NocTopology &topology() const { return topo_; }
+    Cycle now() const { return now_; }
+
+    /**
+     * Queue a packet for injection at its source node. Generation
+     * time is `now()` unless createdAt is provided.
+     */
+    void offerPacket(int srcNode, int dstNode, int sizeFlits,
+                     MsgClass msgClass = MsgClass::Generic);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Set a callback invoked at packet delivery. */
+    void setDeliveryCallback(DeliveryCallback cb) { onDeliver_ = cb; }
+
+    /** Flits currently anywhere in the network (drain check). */
+    std::uint64_t flitsInFlight() const;
+
+    /** Packets waiting in source queues. */
+    std::uint64_t sourceQueueDepth() const;
+
+    // --- measurement ---
+
+    /** Reset measurement accumulators (start of the window). */
+    void beginMeasurement();
+
+    /** Latency from generation to tail ejection [cycles]. */
+    const Accumulator &packetLatency() const { return latency_; }
+
+    /** Latency from injection (head leaves source queue). */
+    const Accumulator &networkLatency() const { return netLatency_; }
+
+    /** Hops per delivered packet. */
+    const Accumulator &hopCount() const { return hops_; }
+
+    /** Flits delivered since beginMeasurement(). */
+    std::uint64_t flitsDeliveredInWindow() const { return winFlits_; }
+
+    /** Activity counters (whole run). */
+    const SimCounters &counters() const { return *counters_; }
+
+    /** Per-link utilization sample. */
+    struct LinkUtilization
+    {
+        int routerA = 0;
+        int routerB = 0;
+        int wireLength = 0;
+        double flitsPerCycle = 0.0;
+    };
+
+    /**
+     * Flits sent per cycle on every directed link since construction
+     * (utilization heat map; sorted by decreasing utilization).
+     */
+    std::vector<LinkUtilization> linkUtilization() const;
+
+    // --- NetworkState (adaptive routing) ---
+    int linkOccupancy(int router, int nextRouter) const override;
+    int pathOccupancy(int srcRouter, int dstRouter) const override;
+
+  private:
+    NocTopology topo_;
+    RouterConfig routerCfg_;
+    LinkConfig linkCfg_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    std::unique_ptr<ShortestPaths> paths_; //!< for pathOccupancy
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<FlitChannel>> channels_;
+    DeliveryCallback onDeliver_;
+
+    /** Per-node source queue of not-yet-flitized packets. */
+    std::vector<std::deque<PacketPtr>> sourceQueues_;
+    /** Local slot of each node within its router. */
+    std::vector<int> localSlot_;
+
+    Cycle now_ = 0;
+    bool stateAttached_ = false;
+    std::uint64_t nextPacketId_ = 1;
+    // Heap-allocated so routers' pointers stay valid if the Network
+    // is moved (factories return Network by value).
+    std::unique_ptr<SimCounters> counters_ =
+        std::make_unique<SimCounters>();
+    Accumulator latency_;
+    Accumulator netLatency_;
+    Accumulator hops_;
+    std::uint64_t winFlits_ = 0;
+
+    std::vector<PacketPtr> deliveredScratch_;
+
+    void build(std::uint64_t seed, RoutingMode mode);
+    void pumpInjection();
+    int linkLatencyFor(int distance) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_NETWORK_HH

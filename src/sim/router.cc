@@ -1,0 +1,546 @@
+#include "sim/router.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+Router::Router(int id, const RouterConfig &cfg,
+               RoutingAlgorithm &routing, SimCounters &counters)
+    : id_(id), cfg_(cfg), routing_(&routing), counters_(&counters)
+{
+    numVcs_ = cfg_.numVcs > 0 ? cfg_.numVcs : routing.numVcs();
+    SNOC_ASSERT(numVcs_ >= routing.numVcs(),
+                "router has fewer VCs than the routing scheme needs");
+}
+
+int
+Router::addNetworkPort(FlitChannel *out, FlitChannel *in, int neighbor,
+                       int wireLength)
+{
+    SNOC_ASSERT(localPorts_.empty(),
+                "add network ports before local ports");
+    InputPort ip;
+    ip.in = in;
+    ip.neighbor = neighbor;
+    int depth = cfg_.inputBufferDepth(in->latency()) +
+                cfg_.elasticBonus(in->latency());
+    ip.vcs.resize(static_cast<std::size_t>(numVcs_));
+    for (auto &vc : ip.vcs)
+        vc.capacity = depth;
+    inputs_.push_back(std::move(ip));
+
+    OutputPort op;
+    op.out = out;
+    op.neighbor = neighbor;
+    op.wireLength = wireLength;
+    op.vcs.resize(static_cast<std::size_t>(numVcs_));
+    // Credits cover the downstream input buffer, whose depth mirrors
+    // ours (same strategy, same link latency both directions).
+    int downstreamDepth = cfg_.inputBufferDepth(out->latency()) +
+                          cfg_.elasticBonus(out->latency());
+    for (auto &vc : op.vcs)
+        vc.credits = downstreamDepth;
+    outputs_.push_back(std::move(op));
+
+    ++numNetPorts_;
+    return numNetPorts_ - 1;
+}
+
+int
+Router::addLocalPort(int node)
+{
+    InputPort ip;
+    ip.node = node;
+    ip.vcs.resize(1);
+    ip.vcs[0].capacity = cfg_.injectionQueueFlits;
+    inputs_.push_back(std::move(ip));
+
+    OutputPort op;
+    op.node = node;
+    op.vcs.resize(static_cast<std::size_t>(numVcs_));
+    op.ejectionCapacity = cfg_.ejectionQueueFlits;
+    outputs_.push_back(std::move(op));
+
+    int port = static_cast<int>(inputs_.size()) - 1;
+    localPorts_.push_back(port);
+    return port;
+}
+
+void
+Router::finalize()
+{
+    inputBusy_.assign(inputs_.size(), false);
+    if (cfg_.arch == RouterArch::CentralBuffer) {
+        cbCapacity_ = cfg_.centralBufferFlits;
+        cbQueues_.resize(outputs_.size() *
+                         static_cast<std::size_t>(numVcs_));
+    }
+}
+
+Router::CbQueue &
+Router::cbQueue(int port, int vc)
+{
+    return cbQueues_[static_cast<std::size_t>(port) *
+                         static_cast<std::size_t>(numVcs_) +
+                     static_cast<std::size_t>(vc)];
+}
+
+int
+Router::injectionSpace(int localIndex) const
+{
+    int port = localPorts_[static_cast<std::size_t>(localIndex)];
+    const InputVc &vc = inputs_[static_cast<std::size_t>(port)].vcs[0];
+    return vc.capacity - static_cast<int>(vc.buffer.size());
+}
+
+void
+Router::injectFlit(int localIndex, Flit flit)
+{
+    int port = localPorts_[static_cast<std::size_t>(localIndex)];
+    InputVc &vc = inputs_[static_cast<std::size_t>(port)].vcs[0];
+    SNOC_ASSERT(static_cast<int>(vc.buffer.size()) < vc.capacity,
+                "injection queue overflow");
+    vc.buffer.push_back(std::move(flit));
+    ++counters_->bufferWrites;
+}
+
+void
+Router::collectArrivals(Cycle now)
+{
+    for (std::size_t p = 0; p < inputs_.size(); ++p) {
+        InputPort &ip = inputs_[p];
+        if (!ip.in)
+            continue;
+        for (Flit &flit : ip.in->popArrivedFlits(now)) {
+            InputVc &vc = ip.vcs[static_cast<std::size_t>(flit.vc)];
+            SNOC_ASSERT(static_cast<int>(vc.buffer.size()) <
+                            vc.capacity,
+                        "credit protocol violated: input VC overflow "
+                        "at router ", id_);
+            vc.buffer.push_back(std::move(flit));
+            ++counters_->bufferWrites;
+        }
+    }
+    for (std::size_t p = 0; p < outputs_.size(); ++p) {
+        OutputPort &op = outputs_[p];
+        if (!op.out)
+            continue;
+        for (int vc : op.out->popArrivedCredits(now))
+            ++op.vcs[static_cast<std::size_t>(vc)].credits;
+    }
+}
+
+void
+Router::routeHeads(Cycle now)
+{
+    (void)now;
+    for (std::size_t p = 0; p < inputs_.size(); ++p) {
+        InputPort &ip = inputs_[p];
+        for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+            InputVc &ivc = ip.vcs[v];
+            if (ivc.routed || ivc.buffer.empty())
+                continue;
+            const Flit &head = ivc.buffer.front();
+            if (!head.head)
+                continue; // stale body flit; handled by flitsLeft
+            RouteDecision rd = routing_->route(id_, *head.pkt);
+            ivc.routed = true;
+            ivc.viaCb = false;
+            ivc.flitsLeft = head.pkt->sizeFlits;
+            if (rd.nextRouter < 0) {
+                // Eject to the local port of the destination node.
+                int slot = -1;
+                for (std::size_t l = 0; l < localPorts_.size(); ++l) {
+                    int port = localPorts_[l];
+                    if (outputs_[static_cast<std::size_t>(port)].node ==
+                        head.pkt->dstNode) {
+                        slot = port;
+                        break;
+                    }
+                }
+                SNOC_ASSERT(slot >= 0, "destination node ",
+                            head.pkt->dstNode, " not on router ", id_);
+                ivc.outPort = slot;
+                ivc.outVc = 0;
+            } else {
+                SNOC_ASSERT(rd.vc >= 0 && rd.vc < numVcs_,
+                            "routing chose invalid VC");
+                ivc.outPort = resolveOutPort(rd.nextRouter, rd.vc);
+                ivc.outVc = rd.vc;
+            }
+        }
+    }
+}
+
+int
+Router::resolveOutPort(int nextRouter, int vcForTieBreak) const
+{
+    // Parallel links to the same neighbor: spread VCs across them.
+    int first = -1;
+    int count = 0;
+    for (int p = 0; p < numNetPorts_; ++p) {
+        if (outputs_[static_cast<std::size_t>(p)].neighbor ==
+            nextRouter) {
+            if (first < 0)
+                first = p;
+            ++count;
+        }
+    }
+    SNOC_ASSERT(first >= 0, "router ", id_, " has no port toward ",
+                nextRouter);
+    if (count == 1)
+        return first;
+    int pick = vcForTieBreak % count;
+    int seen = 0;
+    for (int p = first; p < numNetPorts_; ++p) {
+        if (outputs_[static_cast<std::size_t>(p)].neighbor ==
+            nextRouter) {
+            if (seen == pick)
+                return p;
+            ++seen;
+        }
+    }
+    return first;
+}
+
+void
+Router::cbIntake(Cycle now)
+{
+    (void)now;
+    if (cfg_.arch != RouterArch::CentralBuffer || cbInputBusy_)
+        return;
+    // Single CB input port: move at most one flit per cycle from an
+    // input VC that holds a CB-assigned packet. Round-robin over
+    // input ports for fairness.
+    int n = static_cast<int>(inputs_.size());
+    for (int k = 0; k < n; ++k) {
+        int p = (rrOutput_ + k) % n; // reuse rotating pointer
+        InputPort &ip = inputs_[static_cast<std::size_t>(p)];
+        if (inputBusy_[static_cast<std::size_t>(p)])
+            continue;
+        for (auto &ivc : ip.vcs) {
+            if (!ivc.routed || !ivc.viaCb || ivc.buffer.empty())
+                continue;
+            CbQueue &q = cbQueue(ivc.outPort, ivc.outVc);
+            const Packet *pkt = ivc.buffer.front().pkt.get();
+            if (q.appender && q.appender != pkt)
+                continue; // another packet mid-append to this queue
+            Flit flit = std::move(ivc.buffer.front());
+            ivc.buffer.pop_front();
+            ++counters_->bufferReads;
+            ++counters_->cbWrites;
+            ++cbOccupied_;
+            q.appender = flit.tail ? nullptr : pkt;
+            bool tail = flit.tail;
+            q.flits.push_back(std::move(flit));
+            if (ip.in)
+                ip.in->pushCredit(static_cast<int>(&ivc - ip.vcs.data()),
+                                  now);
+            inputBusy_[static_cast<std::size_t>(p)] = true;
+            cbInputBusy_ = true;
+            if (tail) {
+                // Input VC is free for the next packet.
+                ivc.routed = false;
+                ivc.flitsLeft = 0;
+            }
+            return;
+        }
+    }
+}
+
+void
+Router::step(Cycle now)
+{
+    std::fill(inputBusy_.begin(), inputBusy_.end(), false);
+    cbOutputBusy_ = false;
+    cbInputBusy_ = false;
+
+    routeHeads(now);
+    switchAllocate(now);
+    if (cfg_.arch == RouterArch::CentralBuffer) {
+        cbDivert(now);
+        cbIntake(now);
+    }
+}
+
+void
+Router::switchAllocate(Cycle now)
+{
+    int numOutputs = static_cast<int>(outputs_.size());
+    if (numOutputs == 0)
+        return;
+    for (int k = 0; k < numOutputs; ++k) {
+        int port = (rrOutput_ + k) % numOutputs;
+        tryGrantOutput(port, now);
+    }
+    rrOutput_ = (rrOutput_ + 1) % numOutputs;
+}
+
+bool
+Router::tryGrantOutput(int port, Cycle now)
+{
+    OutputPort &op = outputs_[static_cast<std::size_t>(port)];
+    bool isLocal = op.out == nullptr;
+
+    for (int kv = 0; kv < numVcs_; ++kv) {
+        int vc = (op.rrVc + kv) % numVcs_;
+        OutputVc &ovc = op.vcs[static_cast<std::size_t>(vc)];
+
+        // Downstream space check.
+        if (isLocal) {
+            if (static_cast<int>(op.ejectionQueue.size()) >=
+                op.ejectionCapacity)
+                continue;
+        } else if (ovc.credits <= 0) {
+            continue;
+        }
+
+        // Owned VC: only its owner may send.
+        if (ovc.owner.kind == VcOwner::Kind::Input) {
+            InputPort &ip = inputs_[static_cast<std::size_t>(
+                ovc.owner.inputPort)];
+            if (inputBusy_[static_cast<std::size_t>(
+                    ovc.owner.inputPort)])
+                continue;
+            InputVc &ivc = ip.vcs[static_cast<std::size_t>(
+                ovc.owner.inputVc)];
+            if (ivc.buffer.empty() || ivc.flitsLeft <= 0)
+                continue;
+            Flit flit = std::move(ivc.buffer.front());
+            ivc.buffer.pop_front();
+            ++counters_->bufferReads;
+            if (ip.in) {
+                ip.in->pushCredit(ovc.owner.inputVc, now);
+            }
+            inputBusy_[static_cast<std::size_t>(ovc.owner.inputPort)] =
+                true;
+            --ivc.flitsLeft;
+            bool tail = flit.tail;
+            sendFlit(port, vc, std::move(flit), now, false);
+            if (tail) {
+                ovc.owner = VcOwner();
+                ivc.routed = false;
+            }
+            op.rrVc = (vc + 1) % numVcs_;
+            return true;
+        }
+        if (ovc.owner.kind == VcOwner::Kind::Cb) {
+            if (cbOutputBusy_)
+                continue;
+            CbQueue &q = cbQueue(port, vc);
+            if (q.flits.empty())
+                continue;
+            Flit flit = std::move(q.flits.front());
+            q.flits.pop_front();
+            ++counters_->cbReads;
+            --cbOccupied_;
+            --cbReserved_;
+            cbOutputBusy_ = true;
+            bool tail = flit.tail;
+            sendFlit(port, vc, std::move(flit), now, true);
+            if (tail)
+                ovc.owner = VcOwner();
+            op.rrVc = (vc + 1) % numVcs_;
+            return true;
+        }
+
+        // Unowned: grant to a requesting head flit. CB queues get
+        // priority (they are "part of the output buffer").
+        if (cfg_.arch == RouterArch::CentralBuffer && !cbOutputBusy_) {
+            CbQueue &q = cbQueue(port, vc);
+            if (!q.flits.empty() && q.flits.front().head) {
+                ovc.owner.kind = VcOwner::Kind::Cb;
+                Flit flit = std::move(q.flits.front());
+                q.flits.pop_front();
+                ++counters_->cbReads;
+                --cbOccupied_;
+                --cbReserved_;
+                cbOutputBusy_ = true;
+                bool tail = flit.tail;
+                sendFlit(port, vc, std::move(flit), now, true);
+                if (tail)
+                    ovc.owner = VcOwner();
+                op.rrVc = (vc + 1) % numVcs_;
+                return true;
+            }
+        }
+
+        int numInputs = static_cast<int>(inputs_.size());
+        for (int ki = 0; ki < numInputs; ++ki) {
+            int ipIdx = (op.rrInput + ki) % numInputs;
+            if (inputBusy_[static_cast<std::size_t>(ipIdx)])
+                continue;
+            InputPort &ip = inputs_[static_cast<std::size_t>(ipIdx)];
+            for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+                InputVc &ivc = ip.vcs[v];
+                if (!ivc.routed || ivc.viaCb || ivc.buffer.empty())
+                    continue;
+                if (ivc.outPort != port || ivc.outVc != vc)
+                    continue;
+                const Flit &front = ivc.buffer.front();
+                if (!front.head)
+                    continue;
+
+                // CBR path choice: on an output conflict the packet
+                // is diverted into the CB if space allows.
+                // (Reaching here means the VC is free, so this is
+                // the bypass path.)
+                Flit flit = std::move(ivc.buffer.front());
+                ivc.buffer.pop_front();
+                ++counters_->bufferReads;
+                if (ip.in)
+                    ip.in->pushCredit(static_cast<int>(v), now);
+                inputBusy_[static_cast<std::size_t>(ipIdx)] = true;
+                --ivc.flitsLeft;
+                ovc.owner.kind = VcOwner::Kind::Input;
+                ovc.owner.inputPort = ipIdx;
+                ovc.owner.inputVc = static_cast<int>(v);
+                ++flit.pkt->hops;
+                bool tail = flit.tail;
+                sendFlit(port, vc, std::move(flit), now, false);
+                if (tail) {
+                    ovc.owner = VcOwner();
+                    ivc.routed = false;
+                }
+                op.rrInput = (ipIdx + 1) % numInputs;
+                op.rrVc = (vc + 1) % numVcs_;
+                return true;
+            }
+        }
+    }
+
+    return false;
+}
+
+void
+Router::cbDivert(Cycle now)
+{
+    (void)now;
+    // Section 4.1: on a conflict at the output port a packet takes
+    // the central-buffer path. A head conflicts when its output VC
+    // is owned by another packet or has no downstream space; a free
+    // VC that merely lost this cycle's arbitration keeps trying the
+    // bypass.
+    for (std::size_t ipIdx = 0; ipIdx < inputs_.size(); ++ipIdx) {
+        InputPort &ip = inputs_[ipIdx];
+        for (auto &ivc : ip.vcs) {
+            if (!ivc.routed || ivc.viaCb || ivc.buffer.empty())
+                continue;
+            if (!ivc.buffer.front().head)
+                continue;
+            OutputPort &op =
+                outputs_[static_cast<std::size_t>(ivc.outPort)];
+            OutputVc &ovc =
+                op.vcs[static_cast<std::size_t>(ivc.outVc)];
+            bool downstreamSpace =
+                op.out ? ovc.credits > 0
+                       : static_cast<int>(op.ejectionQueue.size()) <
+                             op.ejectionCapacity;
+            bool ownedByMe =
+                ovc.owner.kind == VcOwner::Kind::Input &&
+                ovc.owner.inputPort == static_cast<int>(ipIdx) &&
+                &ip.vcs[static_cast<std::size_t>(
+                    ovc.owner.inputVc)] == &ivc;
+            if (ownedByMe ||
+                (ovc.owner.kind == VcOwner::Kind::None &&
+                 downstreamSpace)) {
+                continue; // bypass is (still) available
+            }
+            int size = ivc.buffer.front().pkt->sizeFlits;
+            if (cbReserved_ + size > cbCapacity_)
+                continue; // CB full; wait
+            cbReserved_ += size;
+            ivc.viaCb = true;
+            ++ivc.buffer.front().pkt->hops;
+        }
+    }
+}
+
+void
+Router::sendFlit(int port, int vc, Flit flit, Cycle now, bool fromCb)
+{
+    OutputPort &op = outputs_[static_cast<std::size_t>(port)];
+    ++counters_->crossbarTraversals;
+    ++op.flitsSent;
+    flit.vc = vc;
+    if (op.out) {
+        --op.vcs[static_cast<std::size_t>(vc)].credits;
+        counters_->linkFlitHops +=
+            static_cast<std::uint64_t>(op.wireLength);
+        // The router pipeline (2-cycle bypass; the CB path's extra
+        // queue stages emerge from the CB intake/drain cycles) is
+        // added as a constant so arrivals stay monotonic per channel.
+        op.out->pushFlit(std::move(flit), now, cfg_.pipelineCycles - 1);
+    } else {
+        op.ejectionQueue.push_back(std::move(flit));
+    }
+    (void)fromCb;
+}
+
+void
+Router::drainEjection(Cycle now, std::vector<PacketPtr> &delivered)
+{
+    for (int portIdx : localPorts_) {
+        OutputPort &op = outputs_[static_cast<std::size_t>(portIdx)];
+        if (op.ejectionQueue.empty())
+            continue;
+        Flit flit = std::move(op.ejectionQueue.front());
+        op.ejectionQueue.pop_front();
+        ++counters_->flitsDelivered;
+        if (flit.tail) {
+            flit.pkt->ejectedAt = now;
+            ++counters_->packetsDelivered;
+            delivered.push_back(flit.pkt);
+        }
+    }
+}
+
+int
+Router::linkOccupancyToward(int neighbor) const
+{
+    // Occupied downstream slots = capacity - credits, summed over VCs
+    // and parallel ports.
+    int occ = 0;
+    for (int p = 0; p < numNetPorts_; ++p) {
+        const OutputPort &op = outputs_[static_cast<std::size_t>(p)];
+        if (op.neighbor != neighbor)
+            continue;
+        int depth = cfg_.inputBufferDepth(op.out->latency()) +
+                    cfg_.elasticBonus(op.out->latency());
+        for (const auto &vc : op.vcs)
+            occ += depth - vc.credits;
+    }
+    return occ;
+}
+
+std::uint64_t
+Router::portFlitsSent(int port) const
+{
+    SNOC_ASSERT(port >= 0 &&
+                    port < static_cast<int>(outputs_.size()),
+                "port out of range");
+    return outputs_[static_cast<std::size_t>(port)].flitsSent;
+}
+
+int
+Router::portNeighbor(int port) const
+{
+    SNOC_ASSERT(port >= 0 && port < numNetPorts_, "not a net port");
+    return outputs_[static_cast<std::size_t>(port)].neighbor;
+}
+
+int
+Router::bufferedFlits() const
+{
+    int total = cbOccupied_;
+    for (const auto &ip : inputs_)
+        for (const auto &vc : ip.vcs)
+            total += static_cast<int>(vc.buffer.size());
+    for (const auto &op : outputs_)
+        total += static_cast<int>(op.ejectionQueue.size());
+    return total;
+}
+
+} // namespace snoc

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The router model: a wormhole virtual-channel router with credit
+ * flow control supporting both the paper's router architectures.
+ *
+ * Edge-buffer router (Section 5.1): multi-flit per-VC input buffers,
+ * a 2-cycle pipeline, per-output-VC ownership from head grant to tail.
+ *
+ * Central-buffer router (Section 4, [Hassan & Yalamanchili]): one-flit
+ * per-VC input staging; at a head flit the router first tries the
+ * 2-cycle bypass path (free output VC and at least one credit); on
+ * conflict it atomically reserves central-buffer space for the whole
+ * packet (Section 4.3's condition 1) and streams the packet through
+ * the CB, which has a single input and a single output port
+ * (Section 4.2) and drains into the output as "part of the output
+ * buffer of the corresponding port and VC". The extra CB hops make
+ * the buffered path cost ~4 cycles, as in the paper.
+ *
+ * Port space: [0, numNetPorts) are network ports aligned with the
+ * topology adjacency list; [numNetPorts, numNetPorts + localNodes)
+ * are per-node local ports (injection in, ejection out).
+ */
+
+#ifndef SNOC_SIM_ROUTER_HH
+#define SNOC_SIM_ROUTER_HH
+
+#include <deque>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/counters.hh"
+#include "sim/router_config.hh"
+#include "sim/routing.hh"
+#include "sim/types.hh"
+
+namespace snoc {
+
+/** One router instance. */
+class Router
+{
+  public:
+    /**
+     * @param id        router id (graph vertex)
+     * @param cfg       microarchitecture configuration
+     * @param routing   shared routing algorithm
+     * @param counters  shared activity counters
+     */
+    Router(int id, const RouterConfig &cfg, RoutingAlgorithm &routing,
+           SimCounters &counters);
+
+    /**
+     * Attach a bidirectional network port.
+     *
+     * @param out        channel carrying flits to the neighbor
+     * @param in         channel carrying the neighbor's flits to us
+     * @param neighbor   neighbor router id
+     * @param wireLength Manhattan wire length in grid hops
+     * @return the port index
+     */
+    int addNetworkPort(FlitChannel *out, FlitChannel *in, int neighbor,
+                       int wireLength);
+
+    /** Attach a local node (injection + ejection). Returns port. */
+    int addLocalPort(int node);
+
+    /** Finish construction once all ports exist. */
+    void finalize();
+
+    int id() const { return id_; }
+    int numVcs() const { return numVcs_; }
+
+    /** Free flit slots in the injection queue of a local port. */
+    int injectionSpace(int localIndex) const;
+
+    /** Enqueue one flit of a packet being injected. @pre space. */
+    void injectFlit(int localIndex, Flit flit);
+
+    /** Phase 1: absorb arriving flits and credits. */
+    void collectArrivals(Cycle now);
+
+    /** Phase 2: route, manage the CB, allocate the switch, send. */
+    void step(Cycle now);
+
+    /** Phase 3: drain ejection queues (1 flit/node/cycle); completed
+     *  packets are appended to `delivered`. */
+    void drainEjection(Cycle now, std::vector<PacketPtr> &delivered);
+
+    /** Downstream buffer occupancy toward a neighbor (for UGAL). */
+    int linkOccupancyToward(int neighbor) const;
+
+    /** Total flits buffered in this router (for drain checks). */
+    int bufferedFlits() const;
+
+    /** Flits sent on the port toward the k-th adjacency entry. */
+    std::uint64_t portFlitsSent(int port) const;
+
+    int numNetPorts() const { return numNetPorts_; }
+
+    /** Neighbor of a network port. */
+    int portNeighbor(int port) const;
+
+  private:
+    /** Per-input-VC state. */
+    struct InputVc
+    {
+        std::deque<Flit> buffer;
+        int capacity = 1;
+        // Current packet's routing state.
+        bool routed = false;
+        int outPort = -1;
+        int outVc = 0;
+        bool viaCb = false;   //!< diverted to the central buffer
+        int flitsLeft = 0;    //!< flits of the current packet not yet
+                              //!< forwarded out of this input VC
+    };
+
+    /** An input port: network neighbor or local injection. */
+    struct InputPort
+    {
+        FlitChannel *in = nullptr; //!< null for local ports
+        int neighbor = -1;
+        int node = -1;             //!< local port's node id
+        std::vector<InputVc> vcs;  //!< single pseudo-VC for local
+        int rrVc = 0;              //!< round-robin pointer
+    };
+
+    /** Ownership marker for an output VC. */
+    struct VcOwner
+    {
+        enum class Kind { None, Input, Cb };
+        Kind kind = Kind::None;
+        int inputPort = -1;
+        int inputVc = -1;
+    };
+
+    /** Per-output-VC state. */
+    struct OutputVc
+    {
+        int credits = 0;
+        VcOwner owner;
+    };
+
+    /** An output port: network neighbor or local ejection. */
+    struct OutputPort
+    {
+        FlitChannel *out = nullptr; //!< null for local ports
+        int neighbor = -1;
+        int node = -1;
+        int wireLength = 0;
+        std::vector<OutputVc> vcs;
+        int rrInput = 0; //!< round-robin over requesters
+        int rrVc = 0;
+        // Local ejection queue (flits), drained 1/cycle.
+        std::deque<Flit> ejectionQueue;
+        int ejectionCapacity = 0;
+        std::uint64_t flitsSent = 0; //!< utilization instrumentation
+    };
+
+    /** A central-buffer queue: flits bound for one (port, vc). */
+    struct CbQueue
+    {
+        std::deque<Flit> flits;
+        // The packet currently being appended (atomicity guard);
+        // null when the last append was a tail flit.
+        const Packet *appender = nullptr;
+    };
+
+    int id_;
+    RouterConfig cfg_;
+    RoutingAlgorithm *routing_;
+    SimCounters *counters_;
+    int numVcs_;
+    int numNetPorts_ = 0;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    std::vector<int> localPorts_; //!< port index per local node slot
+
+    // Central buffer state.
+    int cbCapacity_ = 0;
+    int cbReserved_ = 0;               //!< slots reserved for packets
+    int cbOccupied_ = 0;               //!< flits physically present
+    std::vector<CbQueue> cbQueues_;    //!< indexed port * numVcs + vc
+
+    int rrOutput_ = 0;
+
+    // Per-cycle scratch: which input ports / CB already moved a flit.
+    std::vector<bool> inputBusy_;
+    bool cbOutputBusy_ = false;
+    bool cbInputBusy_ = false;
+
+    void routeHeads(Cycle now);
+    void cbDivert(Cycle now);
+    void cbIntake(Cycle now);
+    void switchAllocate(Cycle now);
+    bool tryGrantOutput(int port, Cycle now);
+    void sendFlit(int port, int vc, Flit flit, Cycle now,
+                  bool fromCb);
+    int resolveOutPort(int nextRouter, int vcForTieBreak) const;
+    CbQueue &cbQueue(int port, int vc);
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_ROUTER_HH

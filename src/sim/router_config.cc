@@ -1,0 +1,70 @@
+#include "sim/router_config.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+RouterConfig
+RouterConfig::named(const std::string &name)
+{
+    RouterConfig cfg;
+    if (name == "EB-Small") {
+        cfg.strategy = BufferStrategy::EbSmall;
+    } else if (name == "EB-Large") {
+        cfg.strategy = BufferStrategy::EbLarge;
+    } else if (name == "EB-Var") {
+        cfg.strategy = BufferStrategy::EbVar;
+    } else if (name == "EL-Links") {
+        cfg.strategy = BufferStrategy::ElLinks;
+    } else if (name == "CBR-6") {
+        cfg.arch = RouterArch::CentralBuffer;
+        cfg.strategy = BufferStrategy::Cbr;
+        cfg.centralBufferFlits = 6;
+    } else if (name == "CBR-20") {
+        cfg.arch = RouterArch::CentralBuffer;
+        cfg.strategy = BufferStrategy::Cbr;
+        cfg.centralBufferFlits = 20;
+    } else if (name == "CBR-40") {
+        cfg.arch = RouterArch::CentralBuffer;
+        cfg.strategy = BufferStrategy::Cbr;
+        cfg.centralBufferFlits = 40;
+    } else {
+        fatal("unknown router configuration '", name, "'");
+    }
+    return cfg;
+}
+
+int
+RouterConfig::inputBufferDepth(int linkLatency) const
+{
+    switch (strategy) {
+      case BufferStrategy::EbSmall:
+        return 5;
+      case BufferStrategy::EbLarge:
+        return 15;
+      case BufferStrategy::EbVar:
+        // Credit round trip: downlink + uplink + pipeline + serializer.
+        return 2 * linkLatency + 3;
+      case BufferStrategy::ElLinks:
+      case BufferStrategy::Cbr:
+        return 1; // staging flit; elastic latches add elasticBonus()
+    }
+    SNOC_PANIC("unhandled buffer strategy");
+}
+
+int
+RouterConfig::elasticBonus(int linkLatency) const
+{
+    switch (strategy) {
+      case BufferStrategy::ElLinks:
+      case BufferStrategy::Cbr:
+        // ElastiStore keeps one slave latch per VC per pipeline
+        // stage (Section 4.2): the wire itself buffers ~latency
+        // flits, plus the returning-credit stages.
+        return 2 * linkLatency + 2;
+      default:
+        return 0;
+    }
+}
+
+} // namespace snoc

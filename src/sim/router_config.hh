@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Router microarchitecture configuration (Sections 4 and 5.1).
+ *
+ * Two router architectures:
+ *  - EdgeBuffer: standard 2-stage input-queued VC router; per-VC
+ *    input buffers sized by one of the paper's buffering strategies.
+ *  - CentralBuffer (CBR, Section 4): one-flit per-VC input/output
+ *    staging, a shared central buffer with atomic per-packet
+ *    allocation, a 2-cycle bypass path and a ~4-cycle buffered path,
+ *    combined with ElastiStore elastic links whose pipeline latches
+ *    add effective buffering on long wires (Section 4.4).
+ *
+ * Buffering strategies (Section 5.1): EB-Small (5 flits/VC),
+ * EB-Large (15), EB-Var (per-link minimal RTT depth for 100%
+ * utilization, with or without SMART), EL-Links (elastic storage
+ * only), CBR-x (central buffer of x flits).
+ */
+
+#ifndef SNOC_SIM_ROUTER_CONFIG_HH
+#define SNOC_SIM_ROUTER_CONFIG_HH
+
+#include <string>
+
+namespace snoc {
+
+/** Router architecture selector. */
+enum class RouterArch
+{
+    EdgeBuffer,
+    CentralBuffer,
+};
+
+/** Input-buffer sizing policy. */
+enum class BufferStrategy
+{
+    EbSmall,   //!< 5 flits per VC
+    EbLarge,   //!< 15 flits per VC
+    EbVar,     //!< per-link RTT depth (min size for full utilization)
+    ElLinks,   //!< elastic-link storage only (1 staging flit + latches)
+    Cbr,       //!< central-buffer router (implies RouterArch::CentralBuffer)
+};
+
+/** Full microarchitecture bundle. */
+struct RouterConfig
+{
+    RouterArch arch = RouterArch::EdgeBuffer;
+    BufferStrategy strategy = BufferStrategy::EbVar;
+
+    int pipelineCycles = 2;      //!< edge router / CBR bypass latency
+    int numVcs = 0;              //!< 0: let the routing scheme decide
+
+    int centralBufferFlits = 20; //!< delta_cb for CBR-x
+    int injectionQueueFlits = 20;
+    int ejectionQueueFlits = 20;
+
+    /** Resolve one of the paper's named configurations. */
+    static RouterConfig named(const std::string &name);
+
+    /** Per-VC input buffer depth for a link of the given latency. */
+    int inputBufferDepth(int linkLatency) const;
+
+    /** Extra effective depth from elastic-link latches. */
+    int elasticBonus(int linkLatency) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_ROUTER_CONFIG_HH

@@ -1,0 +1,125 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+SimResult
+runSimulation(Network &net, const TrafficSource &source,
+              const SimConfig &cfg)
+{
+    bool alive = true;
+    for (Cycle c = 0; c < cfg.warmupCycles && alive; ++c) {
+        alive = source(net, net.now());
+        net.step();
+    }
+    net.beginMeasurement();
+    SimCounters before = net.counters();
+    std::uint64_t offeredBefore = before.flitsInjected;
+
+    Cycle measured = 0;
+    for (Cycle c = 0; c < cfg.measureCycles && alive; ++c) {
+        alive = source(net, net.now());
+        net.step();
+        ++measured;
+    }
+
+    // Offered load measured at the injection boundary plus what is
+    // still waiting in source queues (overload shows up here).
+    std::uint64_t sourceBacklog = net.sourceQueueDepth();
+
+    if (cfg.drain) {
+        // Keep pumping the source while it still has pending events
+        // (trace replies are generated in response to deliveries).
+        Cycle waited = 0;
+        while ((alive || net.flitsInFlight() > 0 ||
+                net.sourceQueueDepth() > 0) &&
+               waited < cfg.drainCycleLimit) {
+            if (alive)
+                alive = source(net, net.now());
+            net.step();
+            ++waited;
+        }
+    }
+
+    SimResult r;
+    r.cyclesRun = measured;
+    r.avgPacketLatency = net.packetLatency().mean();
+    r.avgNetworkLatency = net.networkLatency().mean();
+    r.p99PacketLatencyBound =
+        net.packetLatency().mean() + 3.0 * net.packetLatency().stddev();
+    r.avgHops = net.hopCount().mean();
+    r.packetsDelivered = net.packetLatency().count();
+    double nodes = static_cast<double>(net.topology().numNodes());
+    double cycles = std::max<double>(1.0, static_cast<double>(measured));
+    r.throughput =
+        static_cast<double>(net.flitsDeliveredInWindow()) /
+        (nodes * cycles);
+    std::uint64_t offered =
+        net.counters().flitsInjected - offeredBefore;
+    r.offeredLoad = static_cast<double>(offered) / (nodes * cycles);
+    // A run is unstable when the source backlog grew to a sizable
+    // fraction of the measurement window's traffic.
+    r.stable = static_cast<double>(sourceBacklog) * 6.0 <
+               std::max<double>(1.0, static_cast<double>(offered));
+    // Window activity only: drives the dynamic-power model.
+    r.counters = net.counters() - before;
+    return r;
+}
+
+std::vector<LoadPoint>
+sweepLoads(const std::function<Network()> &makeNet,
+           const std::function<TrafficSource(double)> &makeSource,
+           const std::vector<double> &loads, const SimConfig &cfg,
+           bool stopAtSaturation, double saturationFactor)
+{
+    std::vector<LoadPoint> points;
+    double baseLatency = -1.0;
+    for (double load : loads) {
+        Network net = makeNet();
+        TrafficSource src = makeSource(load);
+        SimResult res = runSimulation(net, src, cfg);
+        points.push_back({load, res});
+        if (baseLatency < 0.0 && res.packetsDelivered > 0)
+            baseLatency = res.avgPacketLatency;
+        bool saturated =
+            !res.stable ||
+            (baseLatency > 0.0 &&
+             res.avgPacketLatency > saturationFactor * baseLatency);
+        if (stopAtSaturation && saturated)
+            break;
+    }
+    return points;
+}
+
+double
+saturationThroughput(
+    const std::function<Network()> &makeNet,
+    const std::function<TrafficSource(double)> &makeSource,
+    const SimConfig &cfg)
+{
+    double best = 0.0;
+    double load = 0.05;
+    for (int i = 0; i < 8; ++i) {
+        Network net = makeNet();
+        SimResult res = runSimulation(net, makeSource(load), cfg);
+        best = std::max(best, res.throughput);
+        if (!res.stable)
+            break;
+        load *= 1.7;
+        if (load > 1.0) {
+            load = 1.0;
+            Network net2 = makeNet();
+            SimResult res2 =
+                runSimulation(net2, makeSource(load), cfg);
+            best = std::max(best, res2.throughput);
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace snoc

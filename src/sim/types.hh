@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Core simulator types: packets, flits, and route decisions.
+ *
+ * The simulator is flit-level and cycle-accurate: packets are split
+ * into flits, flits move under wormhole switching with virtual
+ * channels and credit-based flow control, and every router pipeline
+ * and link stage costs explicit cycles.
+ */
+
+#ifndef SNOC_SIM_TYPES_HH
+#define SNOC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace snoc {
+
+using Cycle = std::uint64_t;
+
+/** Message classes, used by trace-driven runs (Section 5.1). */
+enum class MsgClass : std::uint8_t
+{
+    Generic,    //!< synthetic traffic
+    ReadReq,    //!< 2 flits
+    WriteReq,   //!< 6 flits
+    Reply,      //!< 6 flits, generated in response to a ReadReq
+    Coherence,  //!< 2 flits
+};
+
+/** One network packet. Shared by all its flits. */
+struct Packet
+{
+    std::uint64_t id = 0;
+    int srcNode = -1;
+    int dstNode = -1;
+    int srcRouter = -1;
+    int dstRouter = -1;
+    int sizeFlits = 1;
+    MsgClass msgClass = MsgClass::Generic;
+    Cycle createdAt = 0;   //!< generation time (enters source queue)
+    Cycle injectedAt = 0;  //!< head flit leaves the source queue
+    Cycle ejectedAt = 0;   //!< tail flit consumed at destination
+
+    // Adaptive-routing state (UGAL): optional Valiant intermediate
+    // router; -1 for minimal routing. `phase` flips to 1 once the
+    // intermediate has been reached.
+    int valiantRouter = -1;
+    int phase = 0;
+
+    // Router-visit count, used for hop-indexed VC selection.
+    int hops = 0;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/** One flit of a packet. */
+struct Flit
+{
+    PacketPtr pkt;
+    bool head = false;
+    bool tail = false;
+    int vc = 0;        //!< VC on the link it last traversed
+};
+
+/** Routing output: the next router and the VC to use toward it. */
+struct RouteDecision
+{
+    int nextRouter = -1; //!< -1 means "eject here"
+    int vc = 0;
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_TYPES_HH

@@ -1,0 +1,67 @@
+#include "topo/dragonfly.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "topo/grid_topologies.hh"
+
+namespace snoc {
+
+NocTopology
+makeDragonfly(const std::string &name, int h)
+{
+    SNOC_ASSERT(h >= 1, "dragonfly h must be >= 1");
+    const int a = 2 * h;          // routers per group
+    const int g = a * h + 1;      // groups
+    const int p = h;              // nodes per router (balanced)
+    const int nr = a * g;
+
+    Graph graph(nr);
+    auto routerId = [a](int group, int local) {
+        return group * a + local;
+    };
+
+    // Intra-group: full connectivity.
+    for (int grp = 0; grp < g; ++grp)
+        for (int i = 0; i < a; ++i)
+            for (int j = i + 1; j < a; ++j)
+                graph.addEdge(routerId(grp, i), routerId(grp, j));
+
+    // Global links: one channel between every group pair. The
+    // standard "consecutive" assignment: group pairs are enumerated
+    // and assigned to router global-port slots in order.
+    for (int g1 = 0; g1 < g; ++g1) {
+        for (int g2 = g1 + 1; g2 < g; ++g2) {
+            // Offset of g2 from g1 determines the port slot.
+            int off12 = g2 - g1 - 1;          // 0 .. g-2
+            int off21 = g - (g2 - g1) - 1;    // offset of g1 from g2
+            int r1 = routerId(g1, off12 / h);
+            int r2 = routerId(g2, off21 / h);
+            graph.addEdge(r1, r2);
+        }
+    }
+
+    // Layout: groups tiled in a near-square grid; each group is a
+    // (2h x 1)-tile horizontal strip of routers.
+    int gridCols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(g))));
+    int gridRows = (g + gridCols - 1) / gridCols;
+    std::vector<Coord> coords(static_cast<std::size_t>(nr));
+    for (int grp = 0; grp < g; ++grp) {
+        int gx = grp % gridCols;
+        int gy = grp / gridCols;
+        for (int i = 0; i < a; ++i) {
+            coords[static_cast<std::size_t>(routerId(grp, i))] = {
+                gx * a + i, gy};
+        }
+    }
+    Placement placement(gridCols * a, gridRows, std::move(coords));
+
+    NocTopology t(name, std::move(graph), std::move(placement),
+                  std::vector<int>(static_cast<std::size_t>(nr), p),
+                  kCycleNsMidRadix, -1);
+    t.setRoutingHint({RoutingHint::Kind::Dragonfly, 0, 0, 1, 1});
+    return t;
+}
+
+} // namespace snoc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Balanced Dragonfly topology [Kim, Dally, Scott & Abts, ISCA'08],
+ * used by the paper's Section 2.2 analysis of naive off-chip
+ * topologies on-chip (Figure 3).
+ *
+ * A balanced Dragonfly has groups of `a` routers each; routers within
+ * a group are fully connected, each router has h global channels, and
+ * every pair of groups is connected by exactly one global channel
+ * (g = a*h + 1 groups). Balance sets a = 2p = 2h.
+ */
+
+#ifndef SNOC_TOPO_DRAGONFLY_HH
+#define SNOC_TOPO_DRAGONFLY_HH
+
+#include <string>
+
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/**
+ * Build a balanced Dragonfly.
+ *
+ * @param name id such as "df_h2"
+ * @param h    global channels per router; a = 2h, g = 2h^2 + 1,
+ *             p = h nodes per router
+ * Groups are laid out as rectangular blocks tiled over the die.
+ */
+NocTopology makeDragonfly(const std::string &name, int h);
+
+} // namespace snoc
+
+#endif // SNOC_TOPO_DRAGONFLY_HH

@@ -1,0 +1,58 @@
+#include "topo/export.hh"
+
+#include <ostream>
+
+namespace snoc {
+
+void
+writeDot(const NocTopology &topo, std::ostream &os)
+{
+    os << "graph \"" << topo.name() << "\" {\n"
+       << "  node [shape=box];\n";
+    for (int r = 0; r < topo.numRouters(); ++r) {
+        const Coord &c = topo.placement().coordOf(r);
+        os << "  r" << r << " [label=\"r" << r << " (p="
+           << topo.concentrationOf(r) << ")\" pos=\"" << c.x * 100
+           << "," << c.y * 100 << "\"];\n";
+    }
+    for (int u = 0; u < topo.numRouters(); ++u) {
+        for (int v : topo.routers().neighbors(u)) {
+            if (v > u)
+                os << "  r" << u << " -- r" << v << ";\n";
+        }
+    }
+    os << "}\n";
+}
+
+void
+writeJson(const NocTopology &topo, std::ostream &os)
+{
+    os << "{\n"
+       << "  \"name\": \"" << topo.name() << "\",\n"
+       << "  \"cycle_time_ns\": " << topo.cycleTimeNs() << ",\n"
+       << "  \"dim_x\": " << topo.placement().dimX() << ",\n"
+       << "  \"dim_y\": " << topo.placement().dimY() << ",\n"
+       << "  \"num_nodes\": " << topo.numNodes() << ",\n"
+       << "  \"routers\": [";
+    for (int r = 0; r < topo.numRouters(); ++r) {
+        const Coord &c = topo.placement().coordOf(r);
+        os << (r ? "," : "") << "\n    {\"id\": " << r
+           << ", \"x\": " << c.x << ", \"y\": " << c.y
+           << ", \"nodes\": " << topo.concentrationOf(r) << "}";
+    }
+    os << "\n  ],\n  \"links\": [";
+    bool first = true;
+    for (int u = 0; u < topo.numRouters(); ++u) {
+        for (int v : topo.routers().neighbors(u)) {
+            if (v <= u)
+                continue;
+            os << (first ? "" : ",") << "\n    {\"a\": " << u
+               << ", \"b\": " << v << ", \"length\": "
+               << topo.placement().distance(u, v) << "}";
+            first = false;
+        }
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace snoc

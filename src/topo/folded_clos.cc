@@ -1,0 +1,54 @@
+#include "topo/folded_clos.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "topo/grid_topologies.hh"
+
+namespace snoc {
+
+NocTopology
+makeFoldedClos(const std::string &name, int numLeaves, int p,
+               int numSpines)
+{
+    SNOC_ASSERT(numLeaves >= 2 && p >= 1 && numSpines >= 1,
+                "bad folded Clos parameters");
+    const int nr = numLeaves + numSpines;
+    Graph g(nr);
+    // Spines occupy ids [numLeaves, nr).
+    for (int leaf = 0; leaf < numLeaves; ++leaf)
+        for (int s = 0; s < numSpines; ++s)
+            g.addEdge(leaf, numLeaves + s);
+
+    // Placement: leaves tiled over a near-square grid with a dedicated
+    // center row for spines (indirect networks route through the die
+    // center in physical realizations).
+    int cols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(numLeaves))));
+    int leafRows = (numLeaves + cols - 1) / cols;
+    int spineCols = std::max(cols, numSpines);
+    int dimX = std::max(cols, spineCols);
+    int dimY = leafRows + 1;
+    std::vector<Coord> coords(static_cast<std::size_t>(nr));
+    int centerRow = leafRows / 2;
+    for (int leaf = 0; leaf < numLeaves; ++leaf) {
+        int y = leaf / cols;
+        if (y >= centerRow)
+            ++y; // leave the center row for spines
+        coords[static_cast<std::size_t>(leaf)] = {leaf % cols, y};
+    }
+    for (int s = 0; s < numSpines; ++s)
+        coords[static_cast<std::size_t>(numLeaves + s)] = {s, centerRow};
+
+    std::vector<int> nodes(static_cast<std::size_t>(nr), 0);
+    for (int leaf = 0; leaf < numLeaves; ++leaf)
+        nodes[static_cast<std::size_t>(leaf)] = p;
+
+    NocTopology t(name, std::move(g),
+                  Placement(dimX, dimY, std::move(coords)),
+                  std::move(nodes), kCycleNsMidRadix, 2);
+    t.setRoutingHint({RoutingHint::Kind::Clos, 0, 0, 1, 1});
+    return t;
+}
+
+} // namespace snoc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Two-level folded Clos (fat tree), the representative of indirect
+ * hierarchical networks in the paper's Section 5.5 comparison.
+ *
+ * Leaf routers carry p nodes each and connect to every spine router;
+ * spine routers are transit-only (zero concentration).
+ */
+
+#ifndef SNOC_TOPO_FOLDED_CLOS_HH
+#define SNOC_TOPO_FOLDED_CLOS_HH
+
+#include <string>
+
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/**
+ * Build a 2-level folded Clos.
+ *
+ * @param name      id such as "clos200"
+ * @param numLeaves leaf router count
+ * @param p         nodes per leaf router
+ * @param numSpines spine router count (each links to every leaf)
+ */
+NocTopology makeFoldedClos(const std::string &name, int numLeaves,
+                           int p, int numSpines);
+
+} // namespace snoc
+
+#endif // SNOC_TOPO_FOLDED_CLOS_HH

@@ -1,0 +1,162 @@
+#include "topo/grid_topologies.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+namespace {
+
+/** Row-major placement of cols x rows routers. */
+Placement
+gridPlacement(int cols, int rows)
+{
+    std::vector<Coord> coords;
+    coords.reserve(static_cast<std::size_t>(cols) *
+                   static_cast<std::size_t>(rows));
+    for (int y = 0; y < rows; ++y)
+        for (int x = 0; x < cols; ++x)
+            coords.push_back({x, y});
+    return Placement(cols, rows, std::move(coords));
+}
+
+int
+routerAt(int x, int y, int cols)
+{
+    return y * cols + x;
+}
+
+} // namespace
+
+NocTopology
+makeConcentratedMesh(const std::string &name, int cols, int rows, int p)
+{
+    SNOC_ASSERT(cols >= 2 && rows >= 1 && p >= 1, "bad mesh params");
+    Graph g(cols * rows);
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            if (x + 1 < cols)
+                g.addEdge(routerAt(x, y, cols), routerAt(x + 1, y, cols));
+            if (y + 1 < rows)
+                g.addEdge(routerAt(x, y, cols), routerAt(x, y + 1, cols));
+        }
+    }
+    NocTopology t(name, std::move(g), gridPlacement(cols, rows),
+                  std::vector<int>(
+                      static_cast<std::size_t>(cols * rows), p),
+                  kCycleNsLowRadix, (cols - 1) + (rows - 1));
+    t.setRoutingHint({RoutingHint::Kind::Mesh, cols, rows, 1, 1});
+    return t;
+}
+
+NocTopology
+makeTorus(const std::string &name, int cols, int rows, int p)
+{
+    SNOC_ASSERT(cols >= 2 && rows >= 2 && p >= 1, "bad torus params");
+    Graph g(cols * rows);
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            g.addEdge(routerAt(x, y, cols),
+                      routerAt((x + 1) % cols, y, cols));
+            g.addEdge(routerAt(x, y, cols),
+                      routerAt(x, (y + 1) % rows, cols));
+        }
+    }
+    NocTopology t(name, std::move(g), gridPlacement(cols, rows),
+                  std::vector<int>(
+                      static_cast<std::size_t>(cols * rows), p),
+                  kCycleNsLowRadix, cols / 2 + rows / 2);
+    t.setRoutingHint({RoutingHint::Kind::Torus, cols, rows, 1, 1});
+    return t;
+}
+
+NocTopology
+makeFlattenedButterfly(const std::string &name, int cols, int rows,
+                       int p)
+{
+    SNOC_ASSERT(cols >= 2 && rows >= 1 && p >= 1, "bad FBF params");
+    Graph g(cols * rows);
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            int r = routerAt(x, y, cols);
+            for (int x2 = x + 1; x2 < cols; ++x2)
+                g.addEdge(r, routerAt(x2, y, cols));
+            for (int y2 = y + 1; y2 < rows; ++y2)
+                g.addEdge(r, routerAt(x, y2, cols));
+        }
+    }
+    int expectDiam = (cols > 1 ? 1 : 0) + (rows > 1 ? 1 : 0);
+    NocTopology t(name, std::move(g), gridPlacement(cols, rows),
+                  std::vector<int>(
+                      static_cast<std::size_t>(cols * rows), p),
+                  kCycleNsHighRadix, expectDiam);
+    t.setRoutingHint({RoutingHint::Kind::Fbf, cols, rows, 1, 1});
+    return t;
+}
+
+NocTopology
+makePartitionedFbf(const std::string &name, int cols, int rows, int p,
+                   int partsX, int partsY)
+{
+    SNOC_ASSERT(partsX >= 1 && partsY >= 1 &&
+                    (partsX > 1 || partsY > 1),
+                "PFBF needs at least one partitioned dimension");
+    SNOC_ASSERT(cols % partsX == 0 && rows % partsY == 0,
+                "partition counts must divide the grid");
+    const int subCols = cols / partsX;
+    const int subRows = rows / partsY;
+    SNOC_ASSERT(subCols >= 2 || subRows >= 2, "degenerate partitions");
+
+    Graph g(cols * rows);
+    // Full FBF connectivity restricted to each partition.
+    for (int y = 0; y < rows; ++y) {
+        for (int x = 0; x < cols; ++x) {
+            int r = routerAt(x, y, cols);
+            // Same row, same x-partition.
+            for (int x2 = x + 1; x2 < cols; ++x2) {
+                if (x2 / subCols == x / subCols)
+                    g.addEdge(r, routerAt(x2, y, cols));
+            }
+            // Same column, same y-partition.
+            for (int y2 = y + 1; y2 < rows; ++y2) {
+                if (y2 / subRows == y / subRows)
+                    g.addEdge(r, routerAt(x, y2, cols));
+            }
+        }
+    }
+    // One port per partitioned dimension: link each router to its
+    // same-position counterpart in the next partition. Partitions form
+    // a path for two partitions and a ring for more, so each router
+    // gains exactly one or two ports per partitioned dimension.
+    auto linkPartitions = [&](bool alongX) {
+        int parts = alongX ? partsX : partsY;
+        if (parts < 2)
+            return;
+        for (int y = 0; y < rows; ++y) {
+            for (int x = 0; x < cols; ++x) {
+                int part = alongX ? x / subCols : y / subRows;
+                bool wrap = part + 1 == parts;
+                if (wrap && parts <= 2)
+                    continue; // path: single link already added
+                int nextPart = (part + 1) % parts;
+                int nx = alongX
+                             ? nextPart * subCols + x % subCols
+                             : x;
+                int ny = alongX
+                             ? y
+                             : nextPart * subRows + y % subRows;
+                g.addEdge(routerAt(x, y, cols), routerAt(nx, ny, cols));
+            }
+        }
+    };
+    linkPartitions(true);
+    linkPartitions(false);
+    NocTopology t(name, std::move(g), gridPlacement(cols, rows),
+                  std::vector<int>(
+                      static_cast<std::size_t>(cols * rows), p),
+                  kCycleNsMidRadix, -1);
+    t.setRoutingHint(
+        {RoutingHint::Kind::Pfbf, cols, rows, partsX, partsY});
+    return t;
+}
+
+} // namespace snoc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Grid-based baseline topologies of Section 5.1 / Table 4:
+ *   - concentrated 2D mesh (CM) [Balfour & Dally]
+ *   - 2D torus (T2D)
+ *   - Flattened Butterfly (FBF) [Kim, Dally & Abts]
+ *   - Partitioned Flattened Butterfly (PFBF), the paper's
+ *     bandwidth-matched FBF variant (Figure 9)
+ *
+ * All factories place routers on a cols x rows die grid with p nodes
+ * per router and use the paper's per-radix-class cycle times.
+ */
+
+#ifndef SNOC_TOPO_GRID_TOPOLOGIES_HH
+#define SNOC_TOPO_GRID_TOPOLOGIES_HH
+
+#include <string>
+
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/** Paper cycle times (Section 5.1). */
+inline constexpr double kCycleNsLowRadix = 0.4;  //!< T2D, CM
+inline constexpr double kCycleNsMidRadix = 0.5;  //!< SN, PFBF
+inline constexpr double kCycleNsHighRadix = 0.6; //!< FBF
+
+/**
+ * Concentrated 2D mesh: cols x rows routers, neighbor links only.
+ * @param name id such as "cm4"
+ * @param cols,rows die grid dimensions in routers
+ * @param p nodes per router
+ */
+NocTopology makeConcentratedMesh(const std::string &name, int cols,
+                                 int rows, int p);
+
+/** 2D torus: mesh plus wraparound links in both dimensions. */
+NocTopology makeTorus(const std::string &name, int cols, int rows,
+                      int p);
+
+/**
+ * Flattened Butterfly: every router links to all routers sharing its
+ * row and all sharing its column; k' = (cols-1) + (rows-1), D = 2.
+ */
+NocTopology makeFlattenedButterfly(const std::string &name, int cols,
+                                   int rows, int p);
+
+/**
+ * Partitioned Flattened Butterfly (Figure 9): the cols x rows array
+ * is split into partsX x partsY identical sub-FBFs; each router keeps
+ * full FBF connectivity inside its partition and gains one port per
+ * partitioned dimension to its same-position counterpart in the
+ * adjacent partition. Diameter 4, radix and bisection bandwidth
+ * matched to SN (Table 4).
+ *
+ * @pre cols % partsX == 0 and rows % partsY == 0
+ */
+NocTopology makePartitionedFbf(const std::string &name, int cols,
+                               int rows, int p, int partsX, int partsY);
+
+} // namespace snoc
+
+#endif // SNOC_TOPO_GRID_TOPOLOGIES_HH

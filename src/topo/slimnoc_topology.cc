@@ -1,0 +1,66 @@
+#include "topo/slimnoc_topology.hh"
+
+#include "common/log.hh"
+#include "field/prime.hh"
+#include "topo/grid_topologies.hh"
+
+namespace snoc {
+
+NocTopology
+makeSlimNocTopology(const SnParams &params, SnLayout layout,
+                    std::uint64_t seed)
+{
+    MmsGraph mms(params);
+    Placement placement = Placement::forSlimNoc(mms, layout, seed);
+    // Copy the router graph out of the MmsGraph.
+    Graph g = mms.graph();
+    NocTopology t(to_string(layout), std::move(g), std::move(placement),
+                  std::vector<int>(
+                      static_cast<std::size_t>(params.numRouters()),
+                      params.p),
+                  kCycleNsMidRadix, 2);
+    t.setRoutingHint({RoutingHint::Kind::SlimNoc, 0, 0, 1, 1});
+    return t;
+}
+
+NocTopology
+makeSlimNocTopologyExactNodes(int n, SnLayout layout,
+                              std::uint64_t seed)
+{
+    if (n < 2)
+        fatal("need at least two nodes, got ", n);
+    // Smallest feasible q: ceiling concentration p = ceil(n / Nr)
+    // must keep the subscription ratio within the Table 2 band, and
+    // every router should keep at least one node.
+    for (int q = 2; 2 * q * q <= n; ++q) {
+        if (q % 4 == 2 && q != 2)
+            continue;
+        if (!asPrimePower(static_cast<std::uint64_t>(q)))
+            continue;
+        int nr = 2 * q * q;
+        int pCeil = (n + nr - 1) / nr;
+        SnParams sp = SnParams::fromQ(q, pCeil);
+        double sub = sp.subscription();
+        if (sub < 0.5 || sub > 1.5)
+            continue;
+
+        MmsGraph mms(sp);
+        Placement placement =
+            Placement::forSlimNoc(mms, layout, seed);
+        Graph g = mms.graph();
+        // Distribute n nodes evenly: the first (n mod Nr) routers
+        // carry one extra (Section 3.5.3's trimming strategy).
+        std::vector<int> nodes(static_cast<std::size_t>(nr),
+                               n / nr);
+        for (int r = 0; r < n % nr; ++r)
+            ++nodes[static_cast<std::size_t>(r)];
+        NocTopology t(to_string(layout) + "_exact", std::move(g),
+                      std::move(placement), std::move(nodes),
+                      kCycleNsMidRadix, 2);
+        t.setRoutingHint({RoutingHint::Kind::SlimNoc, 0, 0, 1, 1});
+        return t;
+    }
+    fatal("no Slim NoC configuration can host exactly ", n, " nodes");
+}
+
+} // namespace snoc

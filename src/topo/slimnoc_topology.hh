@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Adapter producing a NocTopology from the core SlimNoc object, so
+ * the simulator / power models treat SN uniformly with baselines.
+ */
+
+#ifndef SNOC_TOPO_SLIMNOC_TOPOLOGY_HH
+#define SNOC_TOPO_SLIMNOC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/slimnoc.hh"
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/**
+ * Instantiate a Slim NoC as a NocTopology.
+ *
+ * @param params structural parameters (q, p)
+ * @param layout physical layout; names the instance "sn_basic" etc.
+ * @param seed   randomness for SnLayout::Random
+ */
+NocTopology makeSlimNocTopology(const SnParams &params, SnLayout layout,
+                                std::uint64_t seed = 1);
+
+/**
+ * Instantiate a Slim NoC with an *exact* node count that need not be
+ * Nr * p: per Section 3.5.3, surplus nodes are removed from selected
+ * tiles (the strategy used by, e.g., fat trees). Picks the smallest
+ * feasible q whose ceiling concentration keeps subscription in a
+ * sane band, then distributes n nodes as evenly as possible over the
+ * 2q^2 routers.
+ *
+ * @throws FatalError when no feasible configuration exists.
+ */
+NocTopology makeSlimNocTopologyExactNodes(int n, SnLayout layout,
+                                          std::uint64_t seed = 1);
+
+} // namespace snoc
+
+#endif // SNOC_TOPO_SLIMNOC_TOPOLOGY_HH

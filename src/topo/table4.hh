@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The named topology configurations of Table 4 (plus the small-scale
+ * N = 54 class of Section 5.6), resolvable by their paper ids:
+ *
+ *   N in {192, 200}: t2d3 t2d4 cm3 cm4 fbf3 fbf4 pfbf3 pfbf4 sn_*
+ *   N = 1296:        t2d8 t2d9 cm8 cm9 fbf8 fbf9 pfbf8 pfbf9 sn_*
+ *   N = 54:          t2d_54 cm_54 fbf_54 pfbf_54 sn_54 (Section 5.6)
+ *
+ * sn ids follow the layouts: "sn_basic", "sn_subgr", "sn_gr",
+ * "sn_rand" with a size suffix: e.g. "sn_subgr_200", "sn_gr_1296".
+ */
+
+#ifndef SNOC_TOPO_TABLE4_HH
+#define SNOC_TOPO_TABLE4_HH
+
+#include <string>
+#include <vector>
+
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/**
+ * Resolve a paper configuration id to a topology instance.
+ * @throws FatalError for unknown ids.
+ */
+NocTopology makeNamedTopology(const std::string &id);
+
+/** All ids of one size class: 200, 1296 or 54. */
+std::vector<std::string> table4Ids(int sizeClass);
+
+} // namespace snoc
+
+#endif // SNOC_TOPO_TABLE4_HH

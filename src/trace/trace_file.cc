@@ -1,0 +1,116 @@
+#include "trace/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+namespace {
+
+char
+classChar(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::ReadReq:
+        return 'R';
+      case MsgClass::WriteReq:
+        return 'W';
+      case MsgClass::Coherence:
+        return 'C';
+      case MsgClass::Reply:
+        return 'P';
+      case MsgClass::Generic:
+        return 'G';
+    }
+    return 'G';
+}
+
+MsgClass
+classFromChar(char c, int lineNo)
+{
+    switch (c) {
+      case 'R':
+        return MsgClass::ReadReq;
+      case 'W':
+        return MsgClass::WriteReq;
+      case 'C':
+        return MsgClass::Coherence;
+      case 'P':
+        return MsgClass::Reply;
+      case 'G':
+        return MsgClass::Generic;
+      default:
+        fatal("trace line ", lineNo, ": unknown message class '", c,
+              "'");
+    }
+}
+
+} // namespace
+
+void
+writeTrace(const std::vector<TraceEvent> &events, std::ostream &os)
+{
+    os << "# snoc trace: cycle src dst class\n";
+    for (const TraceEvent &e : events) {
+        os << e.cycle << ' ' << e.srcNode << ' ' << e.dstNode << ' '
+           << classChar(e.msgClass) << '\n';
+    }
+}
+
+std::vector<TraceEvent>
+readTrace(std::istream &is)
+{
+    std::vector<TraceEvent> events;
+    std::string line;
+    int lineNo = 0;
+    Cycle lastCycle = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        unsigned long long cycle = 0;
+        int src = 0;
+        int dst = 0;
+        char cls = 0;
+        if (!(ls >> cycle >> src >> dst >> cls))
+            fatal("trace line ", lineNo, ": malformed: '", line, "'");
+        if (src < 0 || dst < 0)
+            fatal("trace line ", lineNo, ": negative node id");
+        if (cycle < lastCycle)
+            fatal("trace line ", lineNo, ": cycles not sorted");
+        lastCycle = cycle;
+        TraceEvent e;
+        e.cycle = cycle;
+        e.srcNode = src;
+        e.dstNode = dst;
+        e.msgClass = classFromChar(cls, lineNo);
+        events.push_back(e);
+    }
+    return events;
+}
+
+void
+writeTraceFile(const std::vector<TraceEvent> &events,
+               const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeTrace(events, os);
+    if (!os)
+        fatal("error while writing '", path, "'");
+}
+
+std::vector<TraceEvent>
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return readTrace(is);
+}
+
+} // namespace snoc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace file I/O: save generated traces and replay externally
+ * captured ones.
+ *
+ * Format: plain text, one event per line
+ *     <cycle> <srcNode> <dstNode> <class>
+ * with class in {R (read, 2 flits), W (write, 6 flits),
+ * C (coherence, 2 flits)}. Lines starting with '#' are comments.
+ * Events must be sorted by cycle.
+ */
+
+#ifndef SNOC_TRACE_TRACE_FILE_HH
+#define SNOC_TRACE_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace snoc {
+
+/** Write a trace to a stream in the text format above. */
+void writeTrace(const std::vector<TraceEvent> &events,
+                std::ostream &os);
+
+/**
+ * Parse a trace from a stream.
+ * @throws FatalError on malformed lines, unknown classes, or
+ *         out-of-order cycles.
+ */
+std::vector<TraceEvent> readTrace(std::istream &is);
+
+/** Convenience file wrappers. @throws FatalError on I/O errors. */
+void writeTraceFile(const std::vector<TraceEvent> &events,
+                    const std::string &path);
+std::vector<TraceEvent> readTraceFile(const std::string &path);
+
+} // namespace snoc
+
+#endif // SNOC_TRACE_TRACE_FILE_HH

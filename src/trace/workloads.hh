@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PARSEC/SPLASH-like workload profiles.
+ *
+ * The paper replays traces captured at the L1 back side with the
+ * Manifold simulator (Section 5.1): read requests and coherence
+ * messages are 2 flits, writes 6 flits, and every read triggers a
+ * 6-flit reply from the destination. We do not have the proprietary
+ * trace files, so each benchmark is modeled by a deterministic
+ * synthetic profile capturing the NoC-relevant characteristics --
+ * injection intensity, read/write/coherence mix, spatial locality,
+ * and burstiness -- with intensities ordered like the benchmarks'
+ * published network loads (memory-bound radix/fft/ocean high,
+ * compute-bound barnes/water low). DESIGN.md documents this
+ * substitution.
+ */
+
+#ifndef SNOC_TRACE_WORKLOADS_HH
+#define SNOC_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+/** Per-benchmark traffic profile. */
+struct WorkloadProfile
+{
+    std::string name;
+    double packetsPerNodeCycle = 0.002; //!< mean injection intensity
+    double readFraction = 0.55;        //!< 2-flit read requests
+    double writeFraction = 0.25;       //!< 6-flit writes
+    double coherenceFraction = 0.20;   //!< 2-flit coherence msgs
+    /** Probability a message targets a nearby node (same-router or
+     *  neighbor tile) rather than a hashed home node. */
+    double locality = 0.3;
+    /** Mean burst length in packets (>= 1; geometric bursts). */
+    double burstiness = 1.5;
+};
+
+/** The 14 PARSEC/SPLASH workloads of Figures 10b and 18. */
+const std::vector<WorkloadProfile> &parsecSplashWorkloads();
+
+/** Look up one profile by name. @throws FatalError when unknown. */
+const WorkloadProfile &workloadByName(const std::string &name);
+
+} // namespace snoc
+
+#endif // SNOC_TRACE_WORKLOADS_HH

@@ -1,0 +1,230 @@
+#include "traffic/patterns.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+std::string
+to_string(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Random:
+        return "RND";
+      case PatternKind::Shuffle:
+        return "SHF";
+      case PatternKind::BitReversal:
+        return "REV";
+      case PatternKind::Adversarial1:
+        return "ADV1";
+      case PatternKind::Adversarial2:
+        return "ADV2";
+      case PatternKind::Asymmetric:
+        return "ASYM";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Number of bits needed to index `n` values. */
+int
+bitsFor(int n)
+{
+    int b = 0;
+    while ((1 << b) < n)
+        ++b;
+    return b;
+}
+
+class RandomPattern : public TrafficPattern
+{
+  public:
+    explicit RandomPattern(int numNodes) : n_(numNodes) {}
+
+    int
+    destination(int src, Rng &rng) override
+    {
+        int d = static_cast<int>(
+            rng.nextUint(static_cast<std::uint64_t>(n_ - 1)));
+        if (d >= src)
+            ++d; // uniform over all nodes except src
+        return d;
+    }
+
+    std::string name() const override { return "RND"; }
+
+  private:
+    int n_;
+};
+
+/**
+ * Bit permutations operate on the node-id bit-string of width
+ * ceil(log2 N); out-of-range images (for non-power-of-two N) and
+ * self-addresses fall back to the next valid id, preserving the
+ * pattern's hotspot structure while covering every source.
+ */
+class BitPermutationPattern : public TrafficPattern
+{
+  public:
+    BitPermutationPattern(int numNodes, bool reversal)
+        : n_(numNodes), bits_(bitsFor(numNodes)), reversal_(reversal)
+    {
+    }
+
+    int
+    destination(int src, Rng &) override
+    {
+        int d = reversal_ ? reverse(src) : rotateLeft(src);
+        d %= n_;
+        if (d == src)
+            d = (d + 1) % n_;
+        return d;
+    }
+
+    std::string name() const override { return reversal_ ? "REV" : "SHF"; }
+
+  private:
+    int n_;
+    int bits_;
+    bool reversal_;
+
+    int
+    reverse(int v) const
+    {
+        int out = 0;
+        for (int b = 0; b < bits_; ++b) {
+            if (v & (1 << b))
+                out |= 1 << (bits_ - 1 - b);
+        }
+        return out;
+    }
+
+    int
+    rotateLeft(int v) const
+    {
+        int top = (v >> (bits_ - 1)) & 1;
+        return ((v << 1) | top) & ((1 << bits_) - 1);
+    }
+};
+
+/**
+ * ADV1: all nodes of router r target nodes of router
+ * (r + Nr/2) mod Nr, concentrating the load of a whole router onto
+ * one inter-router path (the tornado pattern at router granularity).
+ */
+class Adversarial1Pattern : public TrafficPattern
+{
+  public:
+    explicit Adversarial1Pattern(const NocTopology &topo) : topo_(&topo)
+    {
+    }
+
+    int
+    destination(int src, Rng &rng) override
+    {
+        int nr = topo_->numRouters();
+        int r = topo_->routerOfNode(src);
+        int partner = skipTransit((r + nr / 2) % nr, nr);
+        int p = topo_->concentrationOf(partner);
+        int d = topo_->firstNodeOfRouter(partner) +
+                static_cast<int>(rng.nextUint(
+                    static_cast<std::uint64_t>(p)));
+        if (d == src)
+            d = (d + 1) % topo_->numNodes();
+        return d;
+    }
+
+    std::string name() const override { return "ADV1"; }
+
+  protected:
+    const NocTopology *topo_;
+
+    /** Skip transit-only routers (folded Clos spines). */
+    int
+    skipTransit(int router, int nr) const
+    {
+        while (topo_->concentrationOf(router) == 0)
+            router = (router + 1) % nr;
+        return router;
+    }
+};
+
+/**
+ * ADV2: like ADV1 but the load spreads over the partner router and
+ * its two id-neighbors, stressing a bundle of multi-link paths
+ * instead of a single one.
+ */
+class Adversarial2Pattern : public Adversarial1Pattern
+{
+  public:
+    using Adversarial1Pattern::Adversarial1Pattern;
+
+    int
+    destination(int src, Rng &rng) override
+    {
+        int nr = topo_->numRouters();
+        int r = topo_->routerOfNode(src);
+        int offset = static_cast<int>(rng.nextUint(3)) - 1;
+        int partner = skipTransit((r + nr / 2 + offset + nr) % nr, nr);
+        int p = topo_->concentrationOf(partner);
+        int d = topo_->firstNodeOfRouter(partner) +
+                static_cast<int>(rng.nextUint(
+                    static_cast<std::uint64_t>(p)));
+        if (d == src)
+            d = (d + 1) % topo_->numNodes();
+        return d;
+    }
+
+    std::string name() const override { return "ADV2"; }
+};
+
+/** Fig. 20's asymmetric pattern:
+ *  d = (s mod N/2) + N/2 or d = (s mod N/2), equal probability. */
+class AsymmetricPattern : public TrafficPattern
+{
+  public:
+    explicit AsymmetricPattern(int numNodes) : n_(numNodes) {}
+
+    int
+    destination(int src, Rng &rng) override
+    {
+        int half = n_ / 2;
+        int d = src % half;
+        if (rng.nextBool(0.5))
+            d += half;
+        if (d == src)
+            d = (d + 1) % n_;
+        return d;
+    }
+
+    std::string name() const override { return "ASYM"; }
+
+  private:
+    int n_;
+};
+
+} // namespace
+
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(PatternKind kind, const NocTopology &topo)
+{
+    int n = topo.numNodes();
+    SNOC_ASSERT(n >= 2, "pattern needs at least two nodes");
+    switch (kind) {
+      case PatternKind::Random:
+        return std::make_unique<RandomPattern>(n);
+      case PatternKind::Shuffle:
+        return std::make_unique<BitPermutationPattern>(n, false);
+      case PatternKind::BitReversal:
+        return std::make_unique<BitPermutationPattern>(n, true);
+      case PatternKind::Adversarial1:
+        return std::make_unique<Adversarial1Pattern>(topo);
+      case PatternKind::Adversarial2:
+        return std::make_unique<Adversarial2Pattern>(topo);
+      case PatternKind::Asymmetric:
+        return std::make_unique<AsymmetricPattern>(n);
+    }
+    SNOC_PANIC("unhandled pattern kind");
+}
+
+} // namespace snoc

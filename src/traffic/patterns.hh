@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic traffic patterns (Section 5.1): uniform random (RND),
+ * bit shuffle (SHF), bit reversal (REV), two adversarial patterns
+ * (ADV1 stressing single-link paths, ADV2 stressing multi-link
+ * paths), and the asymmetric pattern of the Figure 20 adaptive
+ * routing study.
+ */
+
+#ifndef SNOC_TRAFFIC_PATTERNS_HH
+#define SNOC_TRAFFIC_PATTERNS_HH
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/** Destination selector for synthetic traffic. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /** Destination node for a packet from src; never returns src. */
+    virtual int destination(int src, Rng &rng) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Pattern ids accepted by makeTrafficPattern(). */
+enum class PatternKind
+{
+    Random,       //!< RND
+    Shuffle,      //!< SHF: rotate destination id bits left by one
+    BitReversal,  //!< REV: reverse destination id bits
+    Adversarial1, //!< ADV1: router r's nodes -> router (r + Nr/2)'s
+    Adversarial2, //!< ADV2: spread over the partner router's vicinity
+    Asymmetric,   //!< Fig. 20: d = (s mod N/2) [+ N/2], coin flip
+};
+
+std::string to_string(PatternKind kind);
+
+/**
+ * Build a pattern for a topology.
+ *
+ * @param kind pattern family
+ * @param topo topology (node count, node->router map for ADV)
+ */
+std::unique_ptr<TrafficPattern> makeTrafficPattern(
+    PatternKind kind, const NocTopology &topo);
+
+} // namespace snoc
+
+#endif // SNOC_TRAFFIC_PATTERNS_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * RNG tests: determinism, range correctness, and rough uniformity
+ * (the experiments' reproducibility rests on these).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace snoc {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextUintInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.nextUint(bound), bound);
+    }
+}
+
+TEST(Rng, NextUintRoughlyUniform)
+{
+    Rng rng(11);
+    const std::uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextUint(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        double expected = draws / static_cast<double>(bound);
+        EXPECT_NEAR(counts[v], expected, 0.1 * expected) << v;
+    }
+}
+
+TEST(Rng, NextIntInclusiveRange)
+{
+    Rng rng(13);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        if (rng.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, GeometricMeanApproximatesExpectation)
+{
+    Rng rng(29);
+    double p = 0.4;
+    double sum = 0.0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    EXPECT_NEAR(sum / draws, 1.0 / p, 0.1 / p);
+    EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistics accumulator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace snoc {
+namespace {
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.stddev(), 2.138, 1e-3); // sample stddev
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsCombined)
+{
+    Accumulator a;
+    Accumulator b;
+    Accumulator all;
+    for (int i = 0; i < 50; ++i) {
+        double v = i * 0.7 - 3.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);  // clamps to first
+    h.add(0.5);
+    h.add(3.0);
+    h.add(9.999);
+    h.add(50.0);  // clamps to last
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 4.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0, 3);
+    h.add(3.0, 1);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.75);
+}
+
+TEST(Means, GeometricAndArithmetic)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Text table rendering tests.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace snoc {
+namespace {
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22222"), std::string::npos);
+    // Header separator line exists.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, Formatting)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+    EXPECT_EQ(TextTable::fmt(-7), "-7");
+}
+
+TEST(TextTable, RowCountTracked)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Buffer model tests: the RTT formula of Section 3.2.2, the Delta_eb
+ * / Delta_cb totals (Eqs. 5 and 6), SMART's effect, and the paper's
+ * cross-layout claims (Fig. 5b/5c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/buffer_model.hh"
+#include "core/slimnoc.hh"
+
+namespace snoc {
+namespace {
+
+TEST(BufferModel, RttFormula)
+{
+    // T_ij = 2 ceil(dist/H) + 3 with default router+serialization.
+    Graph g(2);
+    g.addEdge(0, 1);
+    Placement p(10, 1, {{0, 0}, {7, 0}});
+    BufferModel noSmart(g, p, {});
+    EXPECT_EQ(noSmart.roundTripTime(0, 1), 2 * 7 + 3);
+
+    BufferModelParams smart;
+    smart.hopsPerCycle = 9;
+    BufferModel withSmart(g, p, smart);
+    EXPECT_EQ(withSmart.roundTripTime(0, 1), 2 * 1 + 3);
+}
+
+TEST(BufferModel, EdgeBufferSizeFormula)
+{
+    // delta_ij = T_ij * (b/L) * |VC|.
+    Graph g(2);
+    g.addEdge(0, 1);
+    Placement p(5, 1, {{0, 0}, {3, 0}});
+    BufferModelParams bp;
+    bp.numVcs = 2;
+    bp.flitsPerCycle = 1.0;
+    BufferModel bm(g, p, bp);
+    EXPECT_DOUBLE_EQ(bm.edgeBufferSize(0, 1), (2 * 3 + 3) * 2.0);
+    // Delta_eb sums both directions.
+    EXPECT_DOUBLE_EQ(bm.totalEdgeBuffers(), 2 * (2 * 3 + 3) * 2.0);
+    EXPECT_DOUBLE_EQ(bm.routerEdgeBufferTotal(0), (2 * 3 + 3) * 2.0);
+}
+
+TEST(BufferModel, CentralBufferFormula)
+{
+    // Delta_cb = Nr (delta_cb + 2 k' |VC|), Eq. (6).
+    SnParams sp = SnParams::fromQ(5, 4); // k' = 7, Nr = 50
+    SlimNoc sn(sp, SnLayout::Subgroup);
+    const BufferModel &bm = sn.bufferModel();
+    EXPECT_DOUBLE_EQ(bm.routerCentralBufferTotal(20),
+                     20.0 + 2.0 * 7 * 2);
+    EXPECT_DOUBLE_EQ(bm.totalCentralBuffers(20),
+                     50.0 * (20.0 + 2.0 * 7 * 2));
+}
+
+TEST(BufferModel, CbIndependentOfSmartAndLayout)
+{
+    SnParams sp = SnParams::fromQ(9, 8);
+    BufferModelParams smart;
+    smart.hopsPerCycle = 9;
+    SlimNoc a(sp, SnLayout::Basic);
+    SlimNoc b(sp, SnLayout::Group, smart);
+    EXPECT_DOUBLE_EQ(a.bufferModel().totalCentralBuffers(20),
+                     b.bufferModel().totalCentralBuffers(20));
+}
+
+TEST(BufferModel, SmartShrinksEdgeBuffers)
+{
+    SnParams sp = SnParams::fromQ(9, 8);
+    BufferModelParams smart;
+    smart.hopsPerCycle = 9;
+    SlimNoc plain(sp, SnLayout::Subgroup);
+    SlimNoc withSmart(sp, SnLayout::Subgroup, smart);
+    EXPECT_LT(withSmart.bufferModel().totalEdgeBuffers(),
+              0.5 * plain.bufferModel().totalEdgeBuffers());
+}
+
+TEST(BufferModel, GoodLayoutsShrinkTotalBuffers)
+{
+    // Fig. 5b: sn_gr / sn_subgr reduce Delta_eb vs sn_basic.
+    SnParams sp = SnParams::fromQ(9, 8);
+    SlimNoc basic(sp, SnLayout::Basic);
+    SlimNoc subgr(sp, SnLayout::Subgroup);
+    EXPECT_LT(subgr.bufferModel().totalEdgeBuffers(),
+              0.9 * basic.bufferModel().totalEdgeBuffers());
+}
+
+TEST(BufferModel, CbSmallestForLargeNetworks)
+{
+    // Fig. 5b/5c: central buffers give the lowest per-router totals.
+    SnParams sp = SnParams::fromQ(9, 8);
+    SlimNoc sn(sp, SnLayout::Subgroup);
+    double perRouterEb =
+        sn.bufferModel().totalEdgeBuffers() / sn.numRouters();
+    EXPECT_LT(sn.bufferModel().routerCentralBufferTotal(20),
+              perRouterEb);
+    EXPECT_LT(sn.bufferModel().routerCentralBufferTotal(40),
+              perRouterEb);
+}
+
+TEST(BufferModel, MinMaxEdgeBufferBracketAll)
+{
+    SnParams sp = SnParams::fromQ(5, 4);
+    SlimNoc sn(sp, SnLayout::Subgroup);
+    const BufferModel &bm = sn.bufferModel();
+    double lo = bm.minEdgeBufferSize();
+    double hi = bm.maxEdgeBufferSize();
+    EXPECT_LE(lo, hi);
+    const Graph &g = sn.routerGraph();
+    for (int i = 0; i < g.numVertices(); ++i) {
+        for (int j : g.neighbors(i)) {
+            double s = bm.edgeBufferSize(i, j);
+            EXPECT_GE(s, lo);
+            EXPECT_LE(s, hi);
+        }
+    }
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 2 enumeration tests: exact row set for the paper's N <= 1300
+ * bound and the highlighting flags.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/config_table.hh"
+
+namespace snoc {
+namespace {
+
+TEST(ConfigTable, ReproducesTable2Exactly)
+{
+    // The paper's 24 rows as (q, p, N).
+    struct Row { int q, p, n; };
+    const std::vector<Row> expected = {
+        // non-prime fields
+        {4, 2, 64},   {4, 3, 96},   {4, 4, 128},
+        {8, 4, 512},  {8, 5, 640},  {8, 6, 768},  {8, 7, 896},
+        {8, 8, 1024},
+        {9, 5, 810},  {9, 6, 972},  {9, 7, 1134}, {9, 8, 1296},
+        // prime fields
+        {2, 2, 16},
+        {3, 2, 36},   {3, 3, 54},   {3, 4, 72},
+        {5, 3, 150},  {5, 4, 200},  {5, 5, 250},
+        {7, 4, 392},  {7, 5, 490},  {7, 6, 588},  {7, 7, 686},
+        {7, 8, 784},
+    };
+    auto configs = enumerateConfigs();
+    ASSERT_EQ(configs.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(configs[i].params.q, expected[i].q) << i;
+        EXPECT_EQ(configs[i].params.p, expected[i].p) << i;
+        EXPECT_EQ(configs[i].params.numNodes(), expected[i].n) << i;
+    }
+}
+
+TEST(ConfigTable, NonPrimeBlockComesFirst)
+{
+    auto configs = enumerateConfigs();
+    bool seenPrime = false;
+    for (const auto &c : configs) {
+        if (!c.nonPrimeField)
+            seenPrime = true;
+        else
+            EXPECT_FALSE(seenPrime)
+                << "non-prime row after prime block";
+    }
+}
+
+TEST(ConfigTable, FlagsMatchPaperHighlights)
+{
+    for (const auto &c : enumerateConfigs()) {
+        int n = c.params.numNodes();
+        // Bold rows: N in {64, 128, 16, 512, 1024}.
+        bool pow2 = n > 0 && (n & (n - 1)) == 0;
+        EXPECT_EQ(c.powerOfTwoNodes, pow2) << n;
+        // Grey rows: q is a perfect square (4 and 9).
+        EXPECT_EQ(c.balancedGroups,
+                  c.params.q == 4 || c.params.q == 9)
+            << c.params.q;
+    }
+    // Dark grey: q = 9, p = 8 (N = 1296 = 36^2) is square.
+    auto configs = enumerateConfigs();
+    auto it = std::find_if(configs.begin(), configs.end(),
+                           [](const SnConfig &c) {
+                               return c.params.q == 9 &&
+                                      c.params.p == 8;
+                           });
+    ASSERT_NE(it, configs.end());
+    EXPECT_TRUE(it->squareNodes);
+    EXPECT_TRUE(it->balancedGroups);
+}
+
+TEST(ConfigTable, RespectsBounds)
+{
+    ConfigTableOptions opt;
+    opt.maxNodes = 300;
+    for (const auto &c : enumerateConfigs(opt)) {
+        EXPECT_LE(c.params.numNodes(), 300);
+        EXPECT_GE(c.params.subscription(), opt.minSubscription);
+        EXPECT_LE(c.params.subscription(), opt.maxSubscription);
+    }
+}
+
+TEST(ConfigTable, LargerBoundAddsConfigs)
+{
+    ConfigTableOptions small;
+    small.maxNodes = 300;
+    ConfigTableOptions big;
+    big.maxNodes = 3000;
+    EXPECT_GT(enumerateConfigs(big).size(),
+              enumerateConfigs(small).size());
+}
+
+} // namespace
+} // namespace snoc

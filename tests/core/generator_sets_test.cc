@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Generator-set tests: the diameter-2 set conditions, symmetry, sizes,
+ * and the paper's concrete GF(9) example (X = {1,x,2,u} = the
+ * quadratic residues, X' = the non-residues {v,y,z,w}).
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/generator_sets.hh"
+#include "core/sn_params.hh"
+#include "field/finite_field.hh"
+
+namespace snoc {
+namespace {
+
+class GeneratorSetsForQ : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeneratorSetsForQ, ValidSymmetricRightSized)
+{
+    int q = GetParam();
+    SnParams sp = SnParams::fromQ(q);
+    FiniteField f(q);
+    GeneratorSets gs = makeGeneratorSets(f, sp.u);
+
+    EXPECT_EQ(static_cast<int>(gs.x.size()), sp.generatorSetSize());
+    EXPECT_EQ(static_cast<int>(gs.xPrime.size()), sp.generatorSetSize());
+    EXPECT_TRUE(isSymmetricSet(f, gs.x));
+    EXPECT_TRUE(isSymmetricSet(f, gs.xPrime));
+    EXPECT_TRUE(generatorSetsValid(f, gs.x, gs.xPrime));
+
+    // 0 never appears (no self loops).
+    EXPECT_EQ(std::count(gs.x.begin(), gs.x.end(), f.zero()), 0);
+    EXPECT_EQ(std::count(gs.xPrime.begin(), gs.xPrime.end(), f.zero()),
+              0);
+}
+
+// All paper q values plus larger ones of each residue class.
+INSTANTIATE_TEST_SUITE_P(PaperQs, GeneratorSetsForQ,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13,
+                                           16, 17, 19, 23, 25, 27));
+
+TEST(GeneratorSets, Gf9MatchesPaperExample)
+{
+    // For q = 9 the sets are the quadratic residues/non-residues; the
+    // paper lists X = {1, x, 2, u} and X' = {v, y, z, w}.
+    FiniteField f(9);
+    GeneratorSets gs = makeGeneratorSets(f, 1);
+    auto names = [&](const std::vector<FiniteField::Elem> &s) {
+        std::vector<std::string> out;
+        for (auto e : s)
+            out.push_back(f.name(e));
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    // Quadratic residues are construction-independent: squares of all
+    // nonzero elements.
+    std::vector<std::string> squares;
+    for (int a = 1; a < 9; ++a)
+        squares.push_back(f.name(f.mul(a, a)));
+    std::sort(squares.begin(), squares.end());
+    squares.erase(std::unique(squares.begin(), squares.end()),
+                  squares.end());
+    EXPECT_EQ(names(gs.x), squares);
+    // X' is the complement of X in GF(9)*.
+    EXPECT_EQ(gs.x.size() + gs.xPrime.size(), 8u);
+    for (auto e : gs.x)
+        EXPECT_EQ(std::count(gs.xPrime.begin(), gs.xPrime.end(), e), 0);
+}
+
+TEST(GeneratorSets, ValidityRejectsBadSets)
+{
+    FiniteField f(5);
+    // X = X' = {1, 4} leaves 2 and 3 uncovered by the union? No:
+    // 2,3 not in X union X' -> condition (1) fails.
+    std::vector<FiniteField::Elem> x = {1, 4};
+    EXPECT_FALSE(generatorSetsValid(f, x, x));
+    // The QR/QNR pair works.
+    std::vector<FiniteField::Elem> xp = {2, 3};
+    EXPECT_TRUE(generatorSetsValid(f, x, xp));
+    // Sets containing zero are invalid outright.
+    std::vector<FiniteField::Elem> withZero = {0, 1, 4};
+    EXPECT_FALSE(generatorSetsValid(f, withZero, xp));
+}
+
+TEST(GeneratorSets, SymmetryCheck)
+{
+    FiniteField f(7);
+    EXPECT_TRUE(isSymmetricSet(f, {1, 6}));
+    EXPECT_TRUE(isSymmetricSet(f, {2, 5, 3, 4}));
+    EXPECT_FALSE(isSymmetricSet(f, {1, 2}));
+    // Characteristic 2: everything is symmetric.
+    FiniteField g(8);
+    EXPECT_TRUE(isSymmetricSet(g, {1, 3, 6}));
+}
+
+TEST(GeneratorSets, DeterministicAcrossCalls)
+{
+    FiniteField f(7);
+    GeneratorSets a = makeGeneratorSets(f, -1);
+    GeneratorSets b = makeGeneratorSets(f, -1);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.xPrime, b.xPrime);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Layout optimizer tests: annealing improves random placements,
+ * approaches the hand-designed subgroup layout, never emits invalid
+ * placements, and is deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layout_optimizer.hh"
+#include "core/placement_model.hh"
+#include "core/slimnoc.hh"
+
+namespace snoc {
+namespace {
+
+TEST(LayoutOptimizer, ImprovesRandomPlacement)
+{
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement randP =
+        Placement::forSlimNoc(mms, SnLayout::Random, 3);
+    OptimizedLayout opt = optimizeLayout(mms.graph(), randP);
+    EXPECT_LT(opt.finalCost, 0.85 * opt.initialCost);
+    EXPECT_GT(opt.acceptedMoves, 0);
+    // Total wire length reported by the model matches finalCost.
+    PlacementModel pm(mms.graph(), opt.placement);
+    EXPECT_DOUBLE_EQ(static_cast<double>(pm.totalWireLength()),
+                     opt.finalCost);
+}
+
+TEST(LayoutOptimizer, ApproachesSubgroupQuality)
+{
+    // Annealed-from-random should land within ~15% of the
+    // hand-designed subgroup layout's average wire length.
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement subgr =
+        Placement::forSlimNoc(mms, SnLayout::Subgroup);
+    PlacementModel subgrModel(mms.graph(), subgr);
+
+    Placement randP =
+        Placement::forSlimNoc(mms, SnLayout::Random, 3);
+    LayoutOptimizerConfig cfg;
+    cfg.iterations = 60000;
+    OptimizedLayout opt = optimizeLayout(mms.graph(), randP, cfg);
+    PlacementModel optModel(mms.graph(), opt.placement);
+    EXPECT_LT(optModel.averageWireLength(),
+              1.15 * subgrModel.averageWireLength());
+}
+
+TEST(LayoutOptimizer, KeepsPlacementValid)
+{
+    // Placement's constructor enforces uniqueness/range; surviving
+    // construction after optimization is the validity proof.
+    MmsGraph mms(SnParams::fromQ(3, 3));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Basic);
+    OptimizedLayout opt = optimizeLayout(mms.graph(), p);
+    EXPECT_EQ(opt.placement.numRouters(), mms.numRouters());
+    EXPECT_EQ(opt.placement.dimX(), p.dimX());
+    EXPECT_EQ(opt.placement.dimY(), p.dimY());
+}
+
+TEST(LayoutOptimizer, DeterministicPerSeed)
+{
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Random, 9);
+    LayoutOptimizerConfig cfg;
+    cfg.iterations = 5000;
+    OptimizedLayout a = optimizeLayout(mms.graph(), p, cfg);
+    OptimizedLayout b = optimizeLayout(mms.graph(), p, cfg);
+    EXPECT_DOUBLE_EQ(a.finalCost, b.finalCost);
+    for (int r = 0; r < mms.numRouters(); ++r)
+        EXPECT_EQ(a.placement.coordOf(r), b.placement.coordOf(r));
+}
+
+TEST(LayoutOptimizer, CrossingSafeguard)
+{
+    // With a huge crossing weight, a result that worsens the
+    // crossing budget is rolled back to the seed.
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement subgr =
+        Placement::forSlimNoc(mms, SnLayout::Subgroup);
+    LayoutOptimizerConfig cfg;
+    cfg.iterations = 200; // too short to genuinely improve
+    cfg.crossingWeight = 1e9;
+    OptimizedLayout opt = optimizeLayout(mms.graph(), subgr, cfg);
+    PlacementModel before(mms.graph(), subgr);
+    PlacementModel after(mms.graph(), opt.placement);
+    EXPECT_LE(after.maxDirectionalWireCount(),
+              before.maxDirectionalWireCount());
+}
+
+} // namespace
+} // namespace snoc

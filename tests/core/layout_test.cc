@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Layout tests: the paper's coordinate formulas for sn_basic and
+ * sn_subgr, die shapes, uniqueness, and the group layout's structure
+ * (Figure 7b: q = 9 gives an 18x9 die of 3x3 groups).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layout.hh"
+
+namespace snoc {
+namespace {
+
+class LayoutsForQ : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LayoutsForQ, BasicMatchesPaperFormula)
+{
+    MmsGraph mms(SnParams::fromQ(GetParam()));
+    int q = GetParam();
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Basic);
+    EXPECT_EQ(p.dimX(), q);
+    EXPECT_EQ(p.dimY(), 2 * q);
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        // Paper (1-based): (b, a + Gq).
+        EXPECT_EQ(p.coordOf(i).x, l.position - 1);
+        EXPECT_EQ(p.coordOf(i).y, (l.subgroup - 1) + l.type * q);
+    }
+}
+
+TEST_P(LayoutsForQ, SubgroupMatchesPaperFormula)
+{
+    MmsGraph mms(SnParams::fromQ(GetParam()));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Subgroup);
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        // Paper (1-based): (b, 2a - (1 - G)).
+        EXPECT_EQ(p.coordOf(i).x, l.position - 1);
+        EXPECT_EQ(p.coordOf(i).y,
+                  (2 * l.subgroup - (1 - l.type)) - 1);
+    }
+}
+
+TEST_P(LayoutsForQ, SubgroupInterleavesTypes)
+{
+    // Rows alternate subgroup types: even rows type 0, odd type 1.
+    MmsGraph mms(SnParams::fromQ(GetParam()));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Subgroup);
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        RouterLabel l = mms.labelOf(i);
+        EXPECT_EQ(p.coordOf(i).y % 2, l.type);
+    }
+}
+
+TEST_P(LayoutsForQ, GroupKeepsGroupsContiguous)
+{
+    // Every group (subgroup pair) occupies one rectangular block.
+    MmsGraph mms(SnParams::fromQ(GetParam()));
+    int q = GetParam();
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Group);
+    for (int g = 1; g <= q; ++g) {
+        int minX = 1 << 20, maxX = -1, minY = 1 << 20, maxY = -1;
+        int count = 0;
+        for (int i = 0; i < mms.numRouters(); ++i) {
+            RouterLabel l = mms.labelOf(i);
+            if (l.subgroup != g)
+                continue;
+            ++count;
+            minX = std::min(minX, p.coordOf(i).x);
+            maxX = std::max(maxX, p.coordOf(i).x);
+            minY = std::min(minY, p.coordOf(i).y);
+            maxY = std::max(maxY, p.coordOf(i).y);
+        }
+        EXPECT_EQ(count, 2 * q);
+        EXPECT_EQ((maxX - minX + 1) * (maxY - minY + 1), 2 * q)
+            << "group " << g << " is not a tight block";
+    }
+}
+
+TEST_P(LayoutsForQ, RandomIsSeededAndValid)
+{
+    MmsGraph mms(SnParams::fromQ(GetParam()));
+    Placement a = Placement::forSlimNoc(mms, SnLayout::Random, 5);
+    Placement b = Placement::forSlimNoc(mms, SnLayout::Random, 5);
+    Placement c = Placement::forSlimNoc(mms, SnLayout::Random, 6);
+    bool allSame = true;
+    bool anyDiff = false;
+    for (int i = 0; i < mms.numRouters(); ++i) {
+        allSame &= a.coordOf(i) == b.coordOf(i);
+        anyDiff |= !(a.coordOf(i) == c.coordOf(i));
+    }
+    EXPECT_TRUE(allSame);
+    EXPECT_TRUE(anyDiff);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQs, LayoutsForQ,
+                         ::testing::Values(3, 4, 5, 7, 8, 9));
+
+TEST(Layout, SnL1296GroupDieIs18x9)
+{
+    // Figure 7b: SN-L uses the group layout with 3x3 groups of 6x3
+    // routers -> an 18x9 die.
+    MmsGraph mms(SnParams::fromQ(9, 8));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Group);
+    EXPECT_EQ(p.dimX(), 18);
+    EXPECT_EQ(p.dimY(), 9);
+}
+
+TEST(Layout, SnS200SubgroupDieIs5x10)
+{
+    // SN-S (Figure 7a): 10x5 routers (we store X=q columns).
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Subgroup);
+    EXPECT_EQ(p.dimX(), 5);
+    EXPECT_EQ(p.dimY(), 10);
+}
+
+TEST(Layout, DistanceIsManhattan)
+{
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    Placement p = Placement::forSlimNoc(mms, SnLayout::Basic);
+    for (int i = 0; i < 10; ++i) {
+        for (int j = 0; j < 10; ++j) {
+            Coord a = p.coordOf(i);
+            Coord b = p.coordOf(j);
+            EXPECT_EQ(p.distance(i, j),
+                      std::abs(a.x - b.x) + std::abs(a.y - b.y));
+        }
+    }
+}
+
+TEST(Layout, RejectsOverlapsAndOutOfRange)
+{
+    EXPECT_DEATH(Placement(2, 2, {{0, 0}, {0, 0}}), "two routers");
+    EXPECT_DEATH(Placement(2, 2, {{0, 0}, {5, 0}}), "outside");
+}
+
+TEST(Layout, Names)
+{
+    EXPECT_EQ(to_string(SnLayout::Basic), "sn_basic");
+    EXPECT_EQ(to_string(SnLayout::Subgroup), "sn_subgr");
+    EXPECT_EQ(to_string(SnLayout::Group), "sn_gr");
+    EXPECT_EQ(to_string(SnLayout::Random), "sn_rand");
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Structural tests of the MMS router graph: diameter 2, regularity
+ * with radix k' = (3q-u)/2, the subgroup cabling structure of
+ * Section 2.1, and label/index round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mms_graph.hh"
+
+namespace snoc {
+namespace {
+
+class MmsForQ : public ::testing::TestWithParam<int>
+{
+  protected:
+    MmsGraph make() { return MmsGraph(SnParams::fromQ(GetParam())); }
+};
+
+TEST_P(MmsForQ, DiameterTwo)
+{
+    MmsGraph m = make();
+    EXPECT_EQ(m.graph().diameter(), 2) << m.params().describe();
+}
+
+TEST_P(MmsForQ, RegularWithNetworkRadix)
+{
+    MmsGraph m = make();
+    EXPECT_TRUE(m.graph().isRegular());
+    EXPECT_EQ(m.graph().minDegree(), m.params().networkRadix());
+}
+
+TEST_P(MmsForQ, RouterCountIs2QSquared)
+{
+    MmsGraph m = make();
+    int q = GetParam();
+    EXPECT_EQ(m.graph().numVertices(), 2 * q * q);
+}
+
+TEST_P(MmsForQ, LabelIndexRoundTrip)
+{
+    MmsGraph m = make();
+    for (int i = 0; i < m.numRouters(); ++i) {
+        RouterLabel l = m.labelOf(i);
+        EXPECT_EQ(m.indexOf(l), i);
+    }
+}
+
+TEST_P(MmsForQ, PaperIndexFormula)
+{
+    // i = G q^2 + (a-1) q + b, 1-based (we store i-1).
+    MmsGraph m = make();
+    int q = GetParam();
+    for (int g = 0; g <= 1; ++g) {
+        for (int a = 1; a <= q; ++a) {
+            for (int b = 1; b <= q; ++b) {
+                int paper = g * q * q + (a - 1) * q + b;
+                EXPECT_EQ(m.indexOf({g, a, b}), paper - 1);
+            }
+        }
+    }
+}
+
+TEST_P(MmsForQ, OppositeTypeSubgroupsConnectedByQCables)
+{
+    // Section 2.1: every two subgroups of different types are
+    // connected with exactly q cables; same-type subgroups have none.
+    MmsGraph m = make();
+    int q = GetParam();
+    for (int a = 1; a <= q; ++a) {
+        for (int m2 = 1; m2 <= q; ++m2) {
+            int cross = 0;
+            for (int b = 1; b <= q; ++b)
+                for (int c = 1; c <= q; ++c)
+                    if (m.connected(m.indexOf({0, a, b}),
+                                    m.indexOf({1, m2, c})))
+                        ++cross;
+            EXPECT_EQ(cross, q) << "subgroups (0," << a << ") x (1,"
+                                << m2 << ")";
+        }
+    }
+    // No links between distinct same-type subgroups.
+    for (int a = 1; a <= q; ++a) {
+        for (int a2 = a + 1; a2 <= q; ++a2) {
+            for (int b = 1; b <= q; ++b)
+                for (int b2 = 1; b2 <= q; ++b2)
+                    EXPECT_FALSE(m.connected(m.indexOf({0, a, b}),
+                                             m.indexOf({0, a2, b2})));
+        }
+    }
+}
+
+TEST_P(MmsForQ, IntraSubgroupPatternIdenticalAcrossSubgroups)
+{
+    // All type-0 subgroups share one intra-connection pattern; all
+    // type-1 subgroups share another.
+    MmsGraph m = make();
+    int q = GetParam();
+    for (int g = 0; g <= 1; ++g) {
+        for (int b = 1; b <= q; ++b) {
+            for (int b2 = b + 1; b2 <= q; ++b2) {
+                bool first = m.connected(m.indexOf({g, 1, b}),
+                                         m.indexOf({g, 1, b2}));
+                for (int a = 2; a <= q; ++a) {
+                    EXPECT_EQ(m.connected(m.indexOf({g, a, b}),
+                                          m.indexOf({g, a, b2})),
+                              first);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQs, MmsForQ,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11));
+
+TEST(MmsGraph, LargeQ13StillDiameterTwo)
+{
+    MmsGraph m(SnParams::fromQ(13));
+    EXPECT_EQ(m.graph().numVertices(), 338);
+    EXPECT_EQ(m.graph().diameter(), 2);
+    EXPECT_EQ(m.graph().minDegree(), 19); // (3*13 - 1)/2
+}
+
+TEST(MmsGraph, Sn200Configuration)
+{
+    // SN-S of Section 3.4: q = 5, p = 4, N = 200, Nr = 50, k' = 7.
+    SnParams sp = SnParams::fromQ(5, 4);
+    MmsGraph m(sp);
+    EXPECT_EQ(sp.numNodes(), 200);
+    EXPECT_EQ(sp.numRouters(), 50);
+    EXPECT_EQ(sp.networkRadix(), 7);
+    EXPECT_EQ(sp.routerRadix(), 11);
+    EXPECT_EQ(m.graph().diameter(), 2);
+}
+
+TEST(MmsGraph, Sn1296Configuration)
+{
+    // SN-L of Section 3.4: q = 9, p = 8, N = 1296, Nr = 162, k' = 13.
+    SnParams sp = SnParams::fromQ(9, 8);
+    MmsGraph m(sp);
+    EXPECT_EQ(sp.numNodes(), 1296);
+    EXPECT_EQ(sp.numRouters(), 162);
+    EXPECT_EQ(sp.networkRadix(), 13);
+    EXPECT_EQ(sp.routerRadix(), 21);
+    EXPECT_EQ(m.graph().diameter(), 2);
+}
+
+TEST(MmsGraph, Sn1024Configuration)
+{
+    // Section 3.4's power-of-two SN: q = 8, p = 8, N = 1024, radix 12.
+    SnParams sp = SnParams::fromQ(8, 8);
+    MmsGraph m(sp);
+    EXPECT_EQ(sp.numNodes(), 1024);
+    EXPECT_EQ(sp.numRouters(), 128);
+    EXPECT_EQ(sp.networkRadix(), 12);
+    EXPECT_EQ(m.graph().diameter(), 2);
+}
+
+} // namespace
+} // namespace snoc

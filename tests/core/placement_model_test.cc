@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Placement model tests: the wire-routing rule of Section 3.2.1, the
+ * average wire length M (Eq. 4), wire-crossing counts (Eq. 3),
+ * distance distributions (Fig. 6), and the layout-quality claims of
+ * Section 3.3 (subgr/gr cut M ~25% vs rand/basic) plus Theorem 1's
+ * M = Theta(N^(1/3)) scaling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/placement_model.hh"
+#include "core/slimnoc.hh"
+
+namespace snoc {
+namespace {
+
+TEST(PlacementModel, WirePathVerticalFirstWhenXDominates)
+{
+    // |dx| > |dy| -> corner at (x_i, y_j): vertical first out of i.
+    Graph g(2);
+    g.addEdge(0, 1);
+    Placement p(5, 3, {{0, 0}, {4, 2}});
+    PlacementModel pm(g, p);
+    auto path = pm.wirePath(0, 1);
+    ASSERT_GE(path.size(), 3u);
+    EXPECT_EQ(path.front(), (Coord{0, 0}));
+    // Second tile moves along Y (vertical first).
+    EXPECT_EQ(path[1], (Coord{0, 1}));
+    EXPECT_EQ(path.back(), (Coord{4, 2}));
+    // Full length = manhattan + 1 tiles.
+    EXPECT_EQ(static_cast<int>(path.size()), 6 + 1);
+}
+
+TEST(PlacementModel, WirePathHorizontalFirstWhenYDominatesOrTies)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    Placement p(3, 5, {{0, 0}, {2, 4}});
+    PlacementModel pm(g, p);
+    auto path = pm.wirePath(0, 1);
+    // |dx| <= |dy| -> corner at (x_j, y_i): horizontal first.
+    EXPECT_EQ(path[1], (Coord{1, 0}));
+}
+
+TEST(PlacementModel, AverageAndMaxWireLength)
+{
+    Graph g(3);
+    g.addEdge(0, 1); // dist 1
+    g.addEdge(0, 2); // dist 3 + 1 = 4
+    Placement p(4, 2, {{0, 0}, {1, 0}, {3, 1}});
+    PlacementModel pm(g, p);
+    EXPECT_EQ(pm.numLinks(), 2);
+    EXPECT_DOUBLE_EQ(pm.averageWireLength(), 2.5);
+    EXPECT_EQ(pm.maxWireLength(), 4);
+    EXPECT_EQ(pm.totalWireLength(), 5);
+}
+
+TEST(PlacementModel, CrossingCountsIncludeCornerOnce)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    Placement p(3, 3, {{0, 0}, {2, 1}});
+    PlacementModel pm(g, p);
+    // Path: (0,0) -> (0,1) -> (1,1) -> (2,1) (vertical first).
+    EXPECT_EQ(pm.wireCount(0, 0), 1);
+    EXPECT_EQ(pm.wireCount(0, 1), 1);
+    EXPECT_EQ(pm.wireCount(1, 1), 1);
+    EXPECT_EQ(pm.wireCount(2, 1), 1);
+    EXPECT_EQ(pm.wireCount(1, 0), 0);
+    EXPECT_EQ(pm.maxWireCount(), 1);
+    // Directional: corner (0,1) carries both directions.
+    EXPECT_EQ(pm.wireCountDirectional(0, 1, 0), 1);
+    EXPECT_EQ(pm.wireCountDirectional(0, 1, 1), 1);
+    // Endpoint (0,0) only leaves vertically.
+    EXPECT_EQ(pm.wireCountDirectional(0, 0, 0), 0);
+    EXPECT_EQ(pm.wireCountDirectional(0, 0, 1), 1);
+}
+
+TEST(PlacementModel, GoodLayoutsReduceM)
+{
+    // Section 3.3.1: sn_subgr and sn_gr reduce M by ~25% vs
+    // sn_rand / sn_basic.
+    for (int q : {5, 9}) {
+        SnParams sp = SnParams::fromQ(q);
+        SlimNoc basic(sp, SnLayout::Basic);
+        SlimNoc subgr(sp, SnLayout::Subgroup);
+        SlimNoc gr(sp, SnLayout::Group);
+        SlimNoc rand(sp, SnLayout::Random);
+        double mBasic = basic.placementModel().averageWireLength();
+        double mSub = subgr.placementModel().averageWireLength();
+        double mGr = gr.placementModel().averageWireLength();
+        double mRand = rand.placementModel().averageWireLength();
+        EXPECT_LT(mSub, 0.9 * mBasic) << q;
+        EXPECT_LT(mSub, 0.9 * mRand) << q;
+        // The group layout's advantage over random placement only
+        // materializes at larger sizes (the paper picks it for SN-L).
+        if (q >= 9) {
+            EXPECT_LT(mGr, 0.95 * mRand) << q;
+        }
+        EXPECT_LT(mGr, mBasic) << q;
+    }
+}
+
+TEST(PlacementModel, Theorem1CubeRootScaling)
+{
+    // M = Theta(N^(1/3)) for the subgroup layout: M / N^(1/3) stays
+    // within a narrow constant band across a decade of sizes.
+    std::vector<double> ratios;
+    for (int q : {5, 9, 13, 17, 25}) {
+        SnParams sp = SnParams::fromQ(q);
+        SlimNoc sn(sp, SnLayout::Subgroup);
+        double m = sn.placementModel().averageWireLength();
+        ratios.push_back(
+            m / std::cbrt(static_cast<double>(sp.numNodes())));
+    }
+    double lo = *std::min_element(ratios.begin(), ratios.end());
+    double hi = *std::max_element(ratios.begin(), ratios.end());
+    EXPECT_LT(hi / lo, 1.6) << "M does not scale as N^(1/3)";
+}
+
+TEST(PlacementModel, DistanceDistributionMatchesFig6Shape)
+{
+    // The 1-2 hop bucket carries roughly a quarter of the links for
+    // both good layouts (Figure 6's annotation).
+    SnParams sp = SnParams::fromQ(5, 4);
+    for (SnLayout l : {SnLayout::Subgroup, SnLayout::Group}) {
+        SlimNoc sn(sp, l);
+        Histogram h = sn.placementModel().distanceDistribution();
+        EXPECT_GT(h.density(0), 0.12) << to_string(l);
+        EXPECT_LT(h.density(0), 0.45) << to_string(l);
+        // Densities sum to 1.
+        double sum = 0.0;
+        for (std::size_t b = 0; b < h.buckets(); ++b)
+            sum += h.density(b);
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(PlacementModel, CrossingConservation)
+{
+    // Sum of per-tile crossings equals sum over links of path tiles
+    // (manhattan + 1 each).
+    SnParams sp = SnParams::fromQ(5, 4);
+    SlimNoc sn(sp, SnLayout::Subgroup);
+    const PlacementModel &pm = sn.placementModel();
+    long long fromTiles = 0;
+    for (int x = 0; x < sn.placement().dimX(); ++x)
+        for (int y = 0; y < sn.placement().dimY(); ++y)
+            fromTiles += pm.wireCount(x, y);
+    long long fromLinks =
+        pm.totalWireLength() + static_cast<long long>(pm.numLinks());
+    EXPECT_EQ(fromTiles, fromLinks);
+}
+
+} // namespace
+} // namespace snoc

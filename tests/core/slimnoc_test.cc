@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SlimNoc facade tests: composition, node mapping, and the SN-S /
+ * SN-L design points of Section 3.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/slimnoc.hh"
+
+namespace snoc {
+namespace {
+
+TEST(SlimNoc, ComposesAllModels)
+{
+    SlimNoc sn(SnParams::fromQ(5, 4), SnLayout::Subgroup);
+    EXPECT_EQ(sn.numRouters(), 50);
+    EXPECT_EQ(sn.numNodes(), 200);
+    EXPECT_EQ(sn.routerGraph().diameter(), 2);
+    EXPECT_GT(sn.placementModel().averageWireLength(), 0.0);
+    EXPECT_GT(sn.bufferModel().totalEdgeBuffers(), 0.0);
+    EXPECT_EQ(sn.layoutKind(), SnLayout::Subgroup);
+}
+
+TEST(SlimNoc, NodeRouterMapping)
+{
+    SlimNoc sn(SnParams::fromQ(5, 4));
+    for (int node = 0; node < sn.numNodes(); ++node) {
+        int r = sn.routerOfNode(node);
+        EXPECT_GE(node, sn.firstNodeOfRouter(r));
+        EXPECT_LT(node, sn.firstNodeOfRouter(r) + 4);
+    }
+    EXPECT_EQ(sn.routerOfNode(0), 0);
+    EXPECT_EQ(sn.routerOfNode(199), 49);
+}
+
+TEST(SlimNoc, ForNetworkSizeMatchesPaperDesigns)
+{
+    SlimNoc snS = SlimNoc::forNetworkSize(200);
+    EXPECT_EQ(snS.params().q, 5);
+    SlimNoc snL = SlimNoc::forNetworkSize(1296, SnLayout::Group);
+    EXPECT_EQ(snL.params().q, 9);
+    EXPECT_EQ(snL.placement().dimX(), 18);
+    EXPECT_EQ(snL.placement().dimY(), 9);
+}
+
+TEST(SlimNoc, BufferParamsPropagate)
+{
+    BufferModelParams bp;
+    bp.hopsPerCycle = 9;
+    SlimNoc smart(SnParams::fromQ(5, 4), SnLayout::Subgroup, bp);
+    SlimNoc plain(SnParams::fromQ(5, 4), SnLayout::Subgroup);
+    EXPECT_LT(smart.bufferModel().totalEdgeBuffers(),
+              plain.bufferModel().totalEdgeBuffers());
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SnParams tests: the structural formulas of Section 2.1 for every
+ * Table 2 configuration, feasibility checks, and network-size-driven
+ * construction (Section 3.5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/sn_params.hh"
+
+namespace snoc {
+namespace {
+
+TEST(SnParams, Table2Formulas)
+{
+    struct Row { int q, kPrime, nr; };
+    for (auto [q, kPrime, nr] :
+         {Row{2, 3, 8}, Row{3, 5, 18}, Row{4, 6, 32}, Row{5, 7, 50},
+          Row{7, 11, 98}, Row{8, 12, 128}, Row{9, 13, 162}}) {
+        SnParams sp = SnParams::fromQ(q);
+        EXPECT_EQ(sp.networkRadix(), kPrime) << q;
+        EXPECT_EQ(sp.numRouters(), nr) << q;
+        EXPECT_EQ(sp.diameter(), 2) << q;
+    }
+}
+
+TEST(SnParams, UClassification)
+{
+    EXPECT_EQ(SnParams::fromQ(5).u, 1);   // 4w+1
+    EXPECT_EQ(SnParams::fromQ(9).u, 1);
+    EXPECT_EQ(SnParams::fromQ(3).u, -1);  // 4w-1
+    EXPECT_EQ(SnParams::fromQ(7).u, -1);
+    EXPECT_EQ(SnParams::fromQ(4).u, 0);   // 4w
+    EXPECT_EQ(SnParams::fromQ(8).u, 0);
+    EXPECT_EQ(SnParams::fromQ(2).u, 0);   // degenerate
+}
+
+TEST(SnParams, InfeasibleQRejected)
+{
+    EXPECT_THROW(SnParams::fromQ(6), FatalError);   // not prime power
+    EXPECT_THROW(SnParams::fromQ(10), FatalError);  // 2 mod 4
+    EXPECT_THROW(SnParams::fromQ(18), FatalError);
+    EXPECT_THROW(SnParams::fromQ(1), FatalError);
+    EXPECT_THROW(SnParams::fromQ(0), FatalError);
+}
+
+TEST(SnParams, BalancedConcentrationDefault)
+{
+    // Default p = ceil(k'/2).
+    EXPECT_EQ(SnParams::fromQ(5).p, 4);  // k' = 7
+    EXPECT_EQ(SnParams::fromQ(9).p, 7);  // k' = 13
+    EXPECT_EQ(SnParams::fromQ(8).p, 6);  // k' = 12
+}
+
+TEST(SnParams, KappaAndSubscription)
+{
+    SnParams sp = SnParams::fromQ(9, 8);
+    EXPECT_EQ(sp.balancedConcentration(), 6); // floor(13/2)
+    EXPECT_EQ(sp.kappa(), 2);
+    EXPECT_NEAR(sp.subscription(), 8.0 / 7.0, 1e-12);
+}
+
+TEST(SnParams, PaperDesignPoints)
+{
+    // SN-S, SN-L, and the power-of-two SN of Section 3.4.
+    SnParams snS = SnParams::fromQ(5, 4);
+    EXPECT_EQ(snS.numNodes(), 200);
+    EXPECT_EQ(snS.routerRadix(), 11);
+    SnParams snL = SnParams::fromQ(9, 8);
+    EXPECT_EQ(snL.numNodes(), 1296);
+    EXPECT_EQ(snL.routerRadix(), 21);
+    SnParams snP2 = SnParams::fromQ(8, 8);
+    EXPECT_EQ(snP2.numNodes(), 1024);
+    EXPECT_EQ(snP2.networkRadix(), 12);
+}
+
+TEST(SnParams, FromNetworkSize)
+{
+    EXPECT_EQ(SnParams::fromNetworkSize(200).q, 5);
+    EXPECT_EQ(SnParams::fromNetworkSize(200).p, 4);
+    EXPECT_EQ(SnParams::fromNetworkSize(1296).q, 9);
+    EXPECT_EQ(SnParams::fromNetworkSize(1024).q, 8);
+    EXPECT_EQ(SnParams::fromNetworkSize(54).q, 3);
+    // Impossible sizes throw.
+    EXPECT_THROW(SnParams::fromNetworkSize(7), FatalError);
+    EXPECT_THROW(SnParams::fromNetworkSize(0), FatalError);
+}
+
+TEST(SnParams, DescribeMentionsKeyNumbers)
+{
+    std::string d = SnParams::fromQ(9, 8).describe();
+    EXPECT_NE(d.find("1296"), std::string::npos);
+    EXPECT_NE(d.find("q=9"), std::string::npos);
+}
+
+} // namespace
+} // namespace snoc

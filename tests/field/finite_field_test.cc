@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Finite field tests: field axioms for every order used by the paper
+ * and beyond, plus the specific GF(8)/GF(9) structure of Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "field/finite_field.hh"
+
+namespace snoc {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FieldAxioms, AdditiveGroup)
+{
+    FiniteField f(GetParam());
+    const int q = f.size();
+    for (int a = 0; a < q; ++a) {
+        EXPECT_EQ(f.add(a, f.zero()), a);
+        EXPECT_EQ(f.add(a, f.neg(a)), f.zero());
+        for (int b = 0; b < q; ++b) {
+            EXPECT_EQ(f.add(a, b), f.add(b, a));
+            for (int c = 0; c < q; ++c)
+                EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        }
+    }
+}
+
+TEST_P(FieldAxioms, MultiplicativeGroup)
+{
+    FiniteField f(GetParam());
+    const int q = f.size();
+    for (int a = 0; a < q; ++a) {
+        EXPECT_EQ(f.mul(a, f.one()), a);
+        EXPECT_EQ(f.mul(a, f.zero()), f.zero());
+        if (a != 0) {
+            EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+        }
+        for (int b = 0; b < q; ++b)
+            EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+}
+
+TEST_P(FieldAxioms, Distributivity)
+{
+    FiniteField f(GetParam());
+    const int q = f.size();
+    for (int a = 0; a < q; ++a)
+        for (int b = 0; b < q; ++b)
+            for (int c = 0; c < q; ++c)
+                EXPECT_EQ(f.mul(a, f.add(b, c)),
+                          f.add(f.mul(a, b), f.mul(a, c)));
+}
+
+TEST_P(FieldAxioms, NoZeroDivisors)
+{
+    FiniteField f(GetParam());
+    for (int a = 1; a < f.size(); ++a)
+        for (int b = 1; b < f.size(); ++b)
+            EXPECT_NE(f.mul(a, b), f.zero());
+}
+
+TEST_P(FieldAxioms, PrimitiveElementGeneratesEverything)
+{
+    FiniteField f(GetParam());
+    auto xi = f.primitiveElement();
+    std::vector<bool> seen(static_cast<std::size_t>(f.size()), false);
+    FiniteField::Elem acc = f.one();
+    for (int i = 0; i < f.size() - 1; ++i) {
+        EXPECT_FALSE(seen[static_cast<std::size_t>(acc)])
+            << "xi is not primitive";
+        seen[static_cast<std::size_t>(acc)] = true;
+        acc = f.mul(acc, xi);
+    }
+    EXPECT_EQ(acc, f.one());
+}
+
+// Every field order used by Table 2 plus larger prime powers.
+INSTANTIATE_TEST_SUITE_P(PaperOrders, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13,
+                                           16, 17, 19, 25, 27, 32));
+
+TEST(FiniteField, RejectsNonPrimePowers)
+{
+    EXPECT_THROW(FiniteField(6), FatalError);
+    EXPECT_THROW(FiniteField(12), FatalError);
+    EXPECT_THROW(FiniteField(1), FatalError);
+    EXPECT_THROW(FiniteField(0), FatalError);
+    EXPECT_THROW(FiniteField(100), FatalError);
+}
+
+TEST(FiniteField, PrimeFieldIsModularArithmetic)
+{
+    FiniteField f(11);
+    for (int a = 0; a < 11; ++a) {
+        for (int b = 0; b < 11; ++b) {
+            EXPECT_EQ(f.add(a, b), (a + b) % 11);
+            EXPECT_EQ(f.mul(a, b), (a * b) % 11);
+        }
+    }
+}
+
+TEST(FiniteField, Gf9StructureMatchesTable3)
+{
+    // GF(9): characteristic 3, degree 2, elements named 0,1,2,u..z.
+    FiniteField f(9);
+    EXPECT_EQ(f.characteristic(), 3);
+    EXPECT_EQ(f.degree(), 2);
+    EXPECT_EQ(f.name(0), "0");
+    EXPECT_EQ(f.name(1), "1");
+    EXPECT_EQ(f.name(2), "2");
+    EXPECT_EQ(f.name(3), "u");
+    EXPECT_EQ(f.name(8), "z");
+    // Char 3: 1 + 1 = 2, 1 + 2 = 0 (as in the paper's F9 table).
+    EXPECT_EQ(f.add(1, 1), 2);
+    EXPECT_EQ(f.add(1, 2), 0);
+    // x + x + x == 0 for every x.
+    for (int a = 0; a < 9; ++a)
+        EXPECT_EQ(f.add(f.add(a, a), a), 0);
+    // Exactly four primitive elements, as the paper notes
+    // ("There are 4 such (equivalent) elements").
+    EXPECT_EQ(f.primitiveElements().size(), 4u);
+}
+
+TEST(FiniteField, Gf8StructureMatchesTable3)
+{
+    // GF(8): characteristic 2, every element is its own negative, as
+    // the paper's F8 inverse-element table shows.
+    FiniteField f(8);
+    EXPECT_EQ(f.characteristic(), 2);
+    EXPECT_EQ(f.degree(), 3);
+    EXPECT_EQ(f.name(2), "u");
+    EXPECT_EQ(f.name(7), "z");
+    for (int a = 0; a < 8; ++a) {
+        EXPECT_EQ(f.neg(a), a);
+        EXPECT_EQ(f.add(a, a), 0);
+    }
+    // GF(8)* is cyclic of prime order 7: every non-identity element
+    // is primitive.
+    EXPECT_EQ(f.primitiveElements().size(), 6u);
+}
+
+TEST(FiniteField, PowAndOrder)
+{
+    FiniteField f(9);
+    auto xi = f.primitiveElement();
+    EXPECT_EQ(f.order(xi), 8);
+    EXPECT_EQ(f.pow(xi, 8), f.one());
+    EXPECT_EQ(f.pow(xi, 0), f.one());
+    // Squares of a primitive element have order 4 in GF(9).
+    EXPECT_EQ(f.order(f.mul(xi, xi)), 4);
+}
+
+TEST(FiniteField, ModulusPolyIsMonicIrreducibleDegreeK)
+{
+    FiniteField f(8);
+    const auto &m = f.modulusPoly();
+    ASSERT_EQ(m.size(), 4u); // degree 3 + 1 coefficients
+    EXPECT_EQ(m.back(), 1);  // monic
+    // No roots in GF(2) (necessary condition for irreducibility).
+    for (int r = 0; r < 2; ++r) {
+        int v = 0;
+        int pw = 1;
+        for (int c : m) {
+            v = (v + c * pw) % 2;
+            pw = (pw * r) % 2;
+        }
+        if (r == 0)
+            v = m[0] % 2;
+        EXPECT_NE(v, 0) << "root " << r;
+    }
+}
+
+} // namespace
+} // namespace snoc

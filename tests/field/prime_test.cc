@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for primality / prime-power classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/prime.hh"
+
+namespace snoc {
+namespace {
+
+TEST(Prime, SmallValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(5));
+    EXPECT_FALSE(isPrime(9));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(91)); // 7 * 13
+}
+
+TEST(Prime, AgreesWithSieveUpTo10000)
+{
+    std::vector<bool> composite(10001, false);
+    for (std::uint64_t i = 2; i <= 10000; ++i) {
+        if (composite[i])
+            continue;
+        for (std::uint64_t j = i * i; j <= 10000; j += i)
+            composite[j] = true;
+    }
+    for (std::uint64_t n = 2; n <= 10000; ++n)
+        EXPECT_EQ(isPrime(n), !composite[n]) << n;
+}
+
+TEST(PrimePower, ClassifiesPaperQs)
+{
+    // Every q in Table 2 with its factorization.
+    struct Case { std::uint64_t q, p; unsigned k; };
+    for (auto [q, p, k] : {Case{2, 2, 1}, Case{3, 3, 1}, Case{4, 2, 2},
+                           Case{5, 5, 1}, Case{7, 7, 1}, Case{8, 2, 3},
+                           Case{9, 3, 2}, Case{11, 11, 1}}) {
+        auto pp = asPrimePower(q);
+        ASSERT_TRUE(pp.has_value()) << q;
+        EXPECT_EQ(pp->base, p) << q;
+        EXPECT_EQ(pp->exponent, k) << q;
+    }
+}
+
+TEST(PrimePower, RejectsComposites)
+{
+    for (std::uint64_t n : {0ULL, 1ULL, 6ULL, 10ULL, 12ULL, 15ULL,
+                            36ULL, 100ULL, 1000ULL}) {
+        EXPECT_FALSE(asPrimePower(n).has_value()) << n;
+    }
+}
+
+TEST(PrimePower, AcceptsLargePowers)
+{
+    auto pp = asPrimePower(1024);
+    ASSERT_TRUE(pp.has_value());
+    EXPECT_EQ(pp->base, 2u);
+    EXPECT_EQ(pp->exponent, 10u);
+
+    pp = asPrimePower(2187); // 3^7
+    ASSERT_TRUE(pp.has_value());
+    EXPECT_EQ(pp->base, 3u);
+    EXPECT_EQ(pp->exponent, 7u);
+}
+
+} // namespace
+} // namespace snoc

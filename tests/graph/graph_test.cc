@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Graph substrate tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+
+namespace snoc {
+namespace {
+
+Graph
+ring(int n)
+{
+    Graph g(n);
+    for (int i = 0; i < n; ++i)
+        g.addEdge(i, (i + 1) % n);
+    return g;
+}
+
+TEST(Graph, EdgesAndDegrees)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(1, 2); // parallel edge
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.multiplicity(1, 2), 2);
+    EXPECT_EQ(g.degree(1), 3);
+    EXPECT_EQ(g.degree(3), 0);
+    EXPECT_EQ(g.minDegree(), 0);
+    EXPECT_EQ(g.maxDegree(), 3);
+    EXPECT_FALSE(g.isRegular());
+}
+
+TEST(Graph, RingProperties)
+{
+    Graph g = ring(8);
+    EXPECT_TRUE(g.isRegular());
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.diameter(), 4);
+    // Ring APL for even n: n^2/4/(n-1) ... check via direct BFS.
+    auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[4], 4);
+    EXPECT_EQ(d[7], 1);
+}
+
+TEST(Graph, DisconnectedDiameterIsMinusOne)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.isConnected());
+    EXPECT_EQ(g.diameter(), -1);
+    auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[2], -1);
+}
+
+TEST(Graph, CompleteGraphDiameterOne)
+{
+    Graph g(5);
+    for (int i = 0; i < 5; ++i)
+        for (int j = i + 1; j < 5; ++j)
+            g.addEdge(i, j);
+    EXPECT_EQ(g.diameter(), 1);
+    EXPECT_DOUBLE_EQ(g.averagePathLength(), 1.0);
+}
+
+TEST(Graph, AveragePathLengthRing)
+{
+    // 4-ring: distances from any vertex: 1,2,1 -> APL = 4/3.
+    Graph g = ring(4);
+    EXPECT_NEAR(g.averagePathLength(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Graph, EmptyGraph)
+{
+    Graph g(0);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.diameter(), 0);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Resilience analysis tests: the expander property the paper cites
+ * (Section 2.1) -- MMS graphs degrade gracefully under link
+ * failures, much better than rings/meshes of similar size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mms_graph.hh"
+#include "graph/resilience.hh"
+
+namespace snoc {
+namespace {
+
+Graph
+ring(int n)
+{
+    Graph g(n);
+    for (int i = 0; i < n; ++i)
+        g.addEdge(i, (i + 1) % n);
+    return g;
+}
+
+TEST(Resilience, ZeroFailuresIsIdentity)
+{
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    ResilienceReport r = analyzeResilience(mms.graph(), 0.0, 3);
+    EXPECT_DOUBLE_EQ(r.connectedFraction, 1.0);
+    EXPECT_DOUBLE_EQ(r.avgDiameter, 2.0);
+    EXPECT_NEAR(r.avgPathInflation, 1.0, 1e-9);
+}
+
+TEST(Resilience, SnSurvivesTenPercentFailures)
+{
+    // A diameter-2 MMS graph with 10% of links down stays connected
+    // and keeps a small diameter (expander behaviour).
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    ResilienceReport r = analyzeResilience(mms.graph(), 0.10, 10);
+    EXPECT_DOUBLE_EQ(r.connectedFraction, 1.0);
+    EXPECT_LE(r.avgDiameter, 4.0);
+    EXPECT_LT(r.avgPathInflation, 1.4);
+}
+
+TEST(Resilience, RingCollapsesWhereSnDoesNot)
+{
+    // Same failure fraction: a ring disconnects almost surely with
+    // >= 2 failed links; SN essentially never does.
+    Graph rg = ring(50);
+    ResilienceReport ringRep = analyzeResilience(rg, 0.10, 20, 7);
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    ResilienceReport snRep =
+        analyzeResilience(mms.graph(), 0.10, 20, 7);
+    EXPECT_LT(ringRep.connectedFraction, 0.5);
+    EXPECT_DOUBLE_EQ(snRep.connectedFraction, 1.0);
+}
+
+TEST(Resilience, DeterministicForSeed)
+{
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    ResilienceReport a = analyzeResilience(mms.graph(), 0.15, 5, 11);
+    ResilienceReport b = analyzeResilience(mms.graph(), 0.15, 5, 11);
+    EXPECT_DOUBLE_EQ(a.avgPathInflation, b.avgPathInflation);
+    EXPECT_DOUBLE_EQ(a.avgDiameter, b.avgDiameter);
+}
+
+TEST(Resilience, ExpansionProbeOrdersTopologies)
+{
+    // MMS graphs are good expanders; rings are terrible ones.
+    MmsGraph mms(SnParams::fromQ(5, 4));
+    double snExp = edgeExpansionProbe(mms.graph(), 50);
+    double ringExp = edgeExpansionProbe(ring(50), 50);
+    EXPECT_GT(snExp, 3.0 * ringExp);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cross-module integration tests: build -> lay out -> simulate ->
+ * power, asserting the paper's headline orderings end to end.
+ * These are the "does the whole system tell the paper's story"
+ * checks; individual modules are covered by their own suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "topo/table4.hh"
+#include "trace/trace.hh"
+#include "traffic/synthetic.hh"
+
+namespace snoc {
+namespace {
+
+SimResult
+simulate(const std::string &id, PatternKind pat, double load, int h)
+{
+    NocTopology topo = makeNamedTopology(id);
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    LinkConfig lc;
+    lc.hopsPerCycle = h;
+    Network net(topo, rc, lc);
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(pat, topo));
+    SyntheticConfig sc;
+    sc.load = load;
+    SimConfig cfg;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    return runSimulation(net, makeSyntheticSource(pattern, sc), cfg);
+}
+
+double
+latencyNs(const std::string &id, const SimResult &r)
+{
+    return r.avgPacketLatency * makeNamedTopology(id).cycleTimeNs();
+}
+
+TEST(EndToEnd, SnBeatsLowRadixLatencyWithSmart)
+{
+    // Section 6: SN lowers latency >30% vs T2D and CM.
+    SimResult sn =
+        simulate("sn_subgr_200", PatternKind::Random, 0.06, 9);
+    SimResult t2d = simulate("t2d4", PatternKind::Random, 0.06, 9);
+    SimResult cm = simulate("cm4", PatternKind::Random, 0.06, 9);
+    EXPECT_LT(latencyNs("sn_subgr_200", sn),
+              latencyNs("t2d4", t2d));
+    EXPECT_LT(latencyNs("sn_subgr_200", sn),
+              0.8 * latencyNs("cm4", cm));
+}
+
+TEST(EndToEnd, SnLatencyCompetitiveWithFbfAtFractionOfArea)
+{
+    SimResult sn =
+        simulate("sn_subgr_200", PatternKind::Random, 0.06, 9);
+    SimResult fbf = simulate("fbf3", PatternKind::Random, 0.06, 9);
+    // Latency within ~15% of FBF's (paper: similar or better)...
+    EXPECT_LT(latencyNs("sn_subgr_200", sn),
+              1.15 * latencyNs("fbf3", fbf));
+    // ...at much smaller area and static power (Section 6: >36%).
+    NocTopology snTopo = makeNamedTopology("sn_subgr_200");
+    NocTopology fbfTopo = makeNamedTopology("fbf3");
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    TechParams t = TechParams::nm45();
+    double snArea = PowerModel(snTopo, rc, t, 9).area().total() /
+                    snTopo.numNodes();
+    double fbfArea = PowerModel(fbfTopo, rc, t, 9).area().total() /
+                     fbfTopo.numNodes();
+    EXPECT_LT(snArea, 0.64 * fbfArea);
+}
+
+TEST(EndToEnd, SnWinsAdversarialAgainstFbfNoSmart)
+{
+    // Figure 14 (ADV1): SN outperforms FBF even without SMART links.
+    SimResult sn =
+        simulate("sn_subgr_200", PatternKind::Adversarial1, 0.06, 1);
+    SimResult fbf =
+        simulate("fbf3", PatternKind::Adversarial1, 0.06, 1);
+    EXPECT_LT(latencyNs("sn_subgr_200", sn),
+              latencyNs("fbf3", fbf));
+}
+
+TEST(EndToEnd, SnThroughputTriplesTorus)
+{
+    // Section 6: SN triples low-radix throughput. Compare delivered
+    // throughput at a load well past the torus saturation point.
+    SimResult sn =
+        simulate("sn_subgr_200", PatternKind::Random, 0.45, 9);
+    SimResult t2d = simulate("t2d4", PatternKind::Random, 0.45, 9);
+    EXPECT_GT(sn.throughput, 2.0 * t2d.throughput);
+}
+
+TEST(EndToEnd, EdpOrderingOnATraceWorkload)
+{
+    // Figure 18's per-benchmark pipeline on one mid-intensity
+    // workload: SN's EDP beats FBF's.
+    TechParams tech = TechParams::nm45();
+    RouterConfig rc = RouterConfig::named("EB-Var");
+    LinkConfig lc;
+    lc.hopsPerCycle = 9;
+    const WorkloadProfile &w = workloadByName("ferret");
+    double edpSn = 0.0;
+    double edpFbf = 0.0;
+    {
+        NocTopology topo = makeNamedTopology("sn_subgr_200");
+        Network net(topo, rc, lc);
+        SimResult r = runWorkload(net, w, 3000);
+        edpSn = PowerModel(topo, rc, tech, 9)
+                    .energyDelay(r.counters, r.cyclesRun,
+                                 r.avgPacketLatency);
+    }
+    {
+        NocTopology topo = makeNamedTopology("fbf3");
+        Network net(topo, rc, lc);
+        SimResult r = runWorkload(net, w, 3000);
+        edpFbf = PowerModel(topo, rc, tech, 9)
+                     .energyDelay(r.counters, r.cyclesRun,
+                                  r.avgPacketLatency);
+    }
+    EXPECT_LT(edpSn, edpFbf);
+}
+
+TEST(EndToEnd, SubgroupLayoutBeatsBasicOnLatency)
+{
+    // Figure 10's claim, end to end without SMART.
+    SimResult basic =
+        simulate("sn_basic_200", PatternKind::Random, 0.16, 1);
+    SimResult subgr =
+        simulate("sn_subgr_200", PatternKind::Random, 0.16, 1);
+    EXPECT_LT(subgr.avgPacketLatency, basic.avgPacketLatency);
+}
+
+TEST(EndToEnd, N1024PowerOfTwoConfigWorks)
+{
+    // The Section 3.4 power-of-two SN (q = 8, GF(2^3)) end to end.
+    SimResult r =
+        simulate("sn_subgr_1024", PatternKind::Random, 0.05, 9);
+    EXPECT_GT(r.packetsDelivered, 500u);
+    EXPECT_TRUE(r.stable);
+    EXPECT_LE(r.avgHops, 3.0);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Power/area model tests: the orderings the paper's evaluation relies
+ * on (FBF biggest, low-radix smallest, SN between; CBR cuts buffer
+ * area; SMART cuts EB-Var buffer sizes; 22 nm shifts share to wires).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "topo/table4.hh"
+
+namespace snoc {
+namespace {
+
+PowerModel
+model(const std::string &id, const std::string &cfg,
+      const TechParams &tech, int h = 1)
+{
+    // Note: makeNamedTopology returns by value; PowerModel keeps a
+    // pointer, so tests hold the topology alive explicitly.
+    static std::vector<std::unique_ptr<NocTopology>> keepAlive;
+    keepAlive.push_back(
+        std::make_unique<NocTopology>(makeNamedTopology(id)));
+    return PowerModel(*keepAlive.back(), RouterConfig::named(cfg),
+                      tech, h);
+}
+
+TEST(PowerModel, AreaOrderingAcrossTopologies45nm)
+{
+    TechParams t = TechParams::nm45();
+    double fbf = model("fbf4", "EB-Var", t).area().total();
+    double sn = model("sn_subgr_200", "EB-Var", t).area().total();
+    double t2d = model("t2d4", "EB-Var", t).area().total();
+    double cm = model("cm4", "EB-Var", t).area().total();
+    // Section 6: SN reduces area vs FBF (>36%) but uses more than
+    // the low-radix networks (>27%).
+    EXPECT_LT(sn, fbf * 0.8);
+    EXPECT_GT(sn, t2d);
+    EXPECT_GT(sn, cm);
+}
+
+TEST(PowerModel, StaticPowerOrdering)
+{
+    TechParams t = TechParams::nm45();
+    double fbf = model("fbf4", "EB-Var", t).staticPower().total();
+    double sn =
+        model("sn_subgr_200", "EB-Var", t).staticPower().total();
+    double t2d = model("t2d4", "EB-Var", t).staticPower().total();
+    EXPECT_LT(sn, fbf);
+    EXPECT_GT(sn, t2d);
+}
+
+TEST(PowerModel, CbrReducesBufferArea)
+{
+    TechParams t = TechParams::nm45();
+    PowerModel eb = model("sn_subgr_200", "EB-Var", t);
+    PowerModel cbr = model("sn_subgr_200", "CBR-20", t);
+    EXPECT_LT(cbr.totalBufferFlits(), eb.totalBufferFlits());
+    EXPECT_LT(cbr.area().iRouters, eb.area().iRouters);
+}
+
+TEST(PowerModel, SmartReducesVarBufferSizes)
+{
+    TechParams t = TechParams::nm45();
+    PowerModel plain = model("sn_subgr_200", "EB-Var", t, 1);
+    PowerModel smart = model("sn_subgr_200", "EB-Var", t, 9);
+    EXPECT_LT(smart.totalBufferFlits(), plain.totalBufferFlits());
+}
+
+TEST(PowerModel, WiresTakeLargerShareAt22nm)
+{
+    // Section 5.5: "wires use relatively more area and power in 22nm
+    // than in 45nm".
+    PowerModel m45 =
+        model("sn_subgr_200", "EB-Var", TechParams::nm45());
+    PowerModel m22 =
+        model("sn_subgr_200", "EB-Var", TechParams::nm22());
+    AreaReport a45 = m45.area();
+    AreaReport a22 = m22.area();
+    double wireShare45 = (a45.rrWires + a45.rnWires) / a45.total();
+    double wireShare22 = (a22.rrWires + a22.rnWires) / a22.total();
+    EXPECT_GT(wireShare22, wireShare45);
+}
+
+TEST(PowerModel, DynamicPowerScalesWithActivity)
+{
+    TechParams t = TechParams::nm45();
+    PowerModel m = model("sn_subgr_200", "EB-Var", t);
+    SimCounters low;
+    low.bufferWrites = 1000;
+    low.bufferReads = 1000;
+    low.crossbarTraversals = 1500;
+    low.linkFlitHops = 4000;
+    low.flitsDelivered = 900;
+    SimCounters high = low;
+    high.bufferWrites *= 10;
+    high.bufferReads *= 10;
+    high.crossbarTraversals *= 10;
+    high.linkFlitHops *= 10;
+    high.flitsDelivered *= 10;
+    double pl = m.dynamicPower(low, 10000).total();
+    double ph = m.dynamicPower(high, 10000).total();
+    EXPECT_GT(pl, 0.0);
+    EXPECT_NEAR(ph, 10.0 * pl, 1e-9);
+}
+
+TEST(PowerModel, MagnitudesArePhysicallyPlausible)
+{
+    // Figure 16 scale checks: per-node network area O(1e-3) cm^2 and
+    // per-node static power O(0.01) W at 45 nm for N = 200.
+    TechParams t = TechParams::nm45();
+    PowerModel sn = model("sn_subgr_200", "EB-Var", t);
+    double perNodeArea = sn.area().total() / 200.0;
+    double perNodePower = sn.staticPower().total() / 200.0;
+    EXPECT_GT(perNodeArea, 1e-5);
+    EXPECT_LT(perNodeArea, 1e-1);
+    EXPECT_GT(perNodePower, 1e-4);
+    EXPECT_LT(perNodePower, 1.0);
+}
+
+TEST(PowerModel, ThroughputPerPowerAndEdpPositive)
+{
+    TechParams t = TechParams::nm45();
+    PowerModel m = model("sn_subgr_200", "EB-Var", t);
+    SimCounters c;
+    c.bufferWrites = c.bufferReads = 50000;
+    c.crossbarTraversals = 80000;
+    c.linkFlitHops = 200000;
+    c.flitsDelivered = 40000;
+    EXPECT_GT(m.throughputPerPower(c, 10000), 0.0);
+    EXPECT_GT(m.energyDelay(c, 10000, 20.0), 0.0);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Channel tests: latency semantics, FIFO ordering, and credit return.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.hh"
+
+namespace snoc {
+namespace {
+
+Flit
+mkFlit(std::uint64_t id)
+{
+    Flit f;
+    f.pkt = std::make_shared<Packet>();
+    f.pkt->id = id;
+    return f;
+}
+
+TEST(FlitChannel, DeliversAfterLatency)
+{
+    FlitChannel ch(3);
+    ch.pushFlit(mkFlit(1), 10);
+    EXPECT_TRUE(ch.popArrivedFlits(12).empty());
+    auto got = ch.popArrivedFlits(13);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].pkt->id, 1u);
+    EXPECT_EQ(ch.flitsInFlight(), 0u);
+}
+
+TEST(FlitChannel, ExtraDelayAdds)
+{
+    FlitChannel ch(2);
+    ch.pushFlit(mkFlit(1), 0, 4);
+    EXPECT_TRUE(ch.popArrivedFlits(5).empty());
+    EXPECT_EQ(ch.popArrivedFlits(6).size(), 1u);
+}
+
+TEST(FlitChannel, FifoOrderPreserved)
+{
+    FlitChannel ch(2);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ch.pushFlit(mkFlit(i), i);
+    auto got = ch.popArrivedFlits(100);
+    ASSERT_EQ(got.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(got[i].pkt->id, i);
+}
+
+TEST(FlitChannel, PartialPop)
+{
+    FlitChannel ch(1);
+    ch.pushFlit(mkFlit(1), 0);
+    ch.pushFlit(mkFlit(2), 5);
+    EXPECT_EQ(ch.popArrivedFlits(1).size(), 1u);
+    EXPECT_EQ(ch.flitsInFlight(), 1u);
+    EXPECT_EQ(ch.popArrivedFlits(6).size(), 1u);
+}
+
+TEST(FlitChannel, CreditsTravelWithSameLatency)
+{
+    FlitChannel ch(4);
+    ch.pushCredit(1, 0);
+    ch.pushCredit(0, 2);
+    EXPECT_TRUE(ch.popArrivedCredits(3).empty());
+    auto c1 = ch.popArrivedCredits(4);
+    ASSERT_EQ(c1.size(), 1u);
+    EXPECT_EQ(c1[0], 1);
+    auto c2 = ch.popArrivedCredits(6);
+    ASSERT_EQ(c2.size(), 1u);
+    EXPECT_EQ(c2[0], 0);
+}
+
+TEST(FlitChannel, RejectsZeroLatency)
+{
+    EXPECT_DEATH(FlitChannel(0), "latency");
+}
+
+} // namespace
+} // namespace snoc

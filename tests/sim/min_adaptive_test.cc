@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Minimal-adaptive routing tests: minimality preserved, hop-indexed
+ * VCs (deadlock freedom), load spreading vs static routing under
+ * adversarial traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hh"
+#include "sim/simulation.hh"
+#include "topo/table4.hh"
+#include "traffic/synthetic.hh"
+
+namespace snoc {
+namespace {
+
+TEST(MinAdaptive, PathsStayMinimal)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto alg = makeRouting(topo, RoutingMode::MinAdaptive);
+    ShortestPaths sp(topo.routers());
+    for (int d = 1; d < topo.numRouters(); d += 5) {
+        Packet pkt;
+        pkt.srcRouter = 0;
+        pkt.dstRouter = d;
+        int at = 0;
+        int hops = 0;
+        int lastVc = -1;
+        while (true) {
+            RouteDecision rd = alg->route(at, pkt);
+            if (rd.nextRouter < 0)
+                break;
+            EXPECT_TRUE(topo.routers().hasEdge(at, rd.nextRouter));
+            EXPECT_GE(rd.vc, lastVc) << "VC must not decrease";
+            lastVc = rd.vc;
+            ++pkt.hops;
+            at = rd.nextRouter;
+            ASSERT_LE(++hops, 3) << "non-minimal path";
+        }
+        EXPECT_EQ(at, d);
+        EXPECT_EQ(hops, sp.distance(0, d));
+    }
+}
+
+TEST(MinAdaptive, DeliversUnderAdversarialSaturation)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    Network net(topo, RouterConfig::named("EB-Small"), {},
+                RoutingMode::MinAdaptive);
+    auto pat = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Adversarial1, topo));
+    SyntheticConfig sc;
+    sc.load = 0.8;
+    SimConfig cfg;
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 4000;
+    SimResult r =
+        runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+    EXPECT_GT(r.packetsDelivered, 300u);
+}
+
+TEST(MinAdaptive, MatchesMinimalAtLowLoad)
+{
+    // With no congestion the adaptive choice cannot hurt latency.
+    auto run = [](RoutingMode mode) {
+        NocTopology topo = makeNamedTopology("sn_subgr_200");
+        Network net(topo, RouterConfig::named("EB-Var"), {}, mode);
+        auto pat = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(PatternKind::Random, topo));
+        SyntheticConfig sc;
+        sc.load = 0.02;
+        SimConfig cfg;
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 3000;
+        return runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+    };
+    SimResult stat = run(RoutingMode::Minimal);
+    SimResult adap = run(RoutingMode::MinAdaptive);
+    EXPECT_NEAR(adap.avgPacketLatency, stat.avgPacketLatency,
+                0.15 * stat.avgPacketLatency);
+}
+
+TEST(MinAdaptive, SpreadsLoadWherePathDiversityExists)
+{
+    // FBF has two minimal orders (XY and YX) between off-axis pairs,
+    // so the adaptive scheme can spread load there. Measured as the
+    // sum of squared link utilizations (lower = more balanced).
+    auto imbalance = [](RoutingMode mode) {
+        NocTopology topo = makeNamedTopology("fbf4");
+        // Generic BFS-based adaptive needs the generic hint (the Fbf
+        // hint selects dimension-ordered routing for Minimal mode,
+        // which is a different scheme; compare like with like).
+        Network net(topo, RouterConfig::named("EB-Var"), {}, mode);
+        auto pat = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(PatternKind::Adversarial1, topo));
+        SyntheticConfig sc;
+        sc.load = 0.3;
+        SimConfig cfg;
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 4000;
+        runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+        double sumSq = 0.0;
+        for (const auto &lu : net.linkUtilization())
+            sumSq += lu.flitsPerCycle * lu.flitsPerCycle;
+        return sumSq;
+    };
+    double staticImb = imbalance(RoutingMode::Minimal);
+    double adaptiveImb = imbalance(RoutingMode::MinAdaptive);
+    EXPECT_LT(adaptiveImb, staticImb);
+}
+
+TEST(MinAdaptive, SlimNocHasNearUniqueMinimalPaths)
+{
+    // The Moore-bound structure of MMS graphs: almost every
+    // distance-2 pair has exactly one minimal path, so on SN minimal
+    // adaptivity degenerates to static routing (the reason Section 6
+    // explores non-minimal UGAL instead). For q = 1 (mod 4) the
+    // cross-type pairs have exactly one common neighbor.
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    ShortestPaths sp(topo.routers());
+    int multi = 0;
+    int dist2 = 0;
+    for (int s = 0; s < topo.numRouters(); ++s) {
+        for (int d = 0; d < topo.numRouters(); ++d) {
+            if (s == d || sp.distance(s, d) != 2)
+                continue;
+            ++dist2;
+            if (sp.minimalNextHops(s, d).size() > 1)
+                ++multi;
+        }
+    }
+    ASSERT_GT(dist2, 0);
+    // A small fraction of same-subgroup pairs may have multiple
+    // two-hop paths; the overwhelming majority are unique.
+    EXPECT_LT(static_cast<double>(multi),
+              0.25 * static_cast<double>(dist2));
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Router configuration tests: the named buffering strategies of
+ * Section 5.1 and their buffer-depth rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/router_config.hh"
+
+namespace snoc {
+namespace {
+
+TEST(RouterConfig, NamedStrategies)
+{
+    EXPECT_EQ(RouterConfig::named("EB-Small").strategy,
+              BufferStrategy::EbSmall);
+    EXPECT_EQ(RouterConfig::named("EB-Large").strategy,
+              BufferStrategy::EbLarge);
+    EXPECT_EQ(RouterConfig::named("EB-Var").strategy,
+              BufferStrategy::EbVar);
+    EXPECT_EQ(RouterConfig::named("EL-Links").strategy,
+              BufferStrategy::ElLinks);
+    RouterConfig cbr6 = RouterConfig::named("CBR-6");
+    EXPECT_EQ(cbr6.arch, RouterArch::CentralBuffer);
+    EXPECT_EQ(cbr6.centralBufferFlits, 6);
+    EXPECT_EQ(RouterConfig::named("CBR-40").centralBufferFlits, 40);
+    EXPECT_THROW(RouterConfig::named("EB-Huge"), FatalError);
+}
+
+TEST(RouterConfig, PaperBufferSizes)
+{
+    // Section 5.1: edge routers use 5-flit input buffers (EB-Small);
+    // CB routers use 1-flit staging and a 20-flit CB (CBR-20).
+    EXPECT_EQ(RouterConfig::named("EB-Small").inputBufferDepth(5), 5);
+    EXPECT_EQ(RouterConfig::named("EB-Large").inputBufferDepth(5), 15);
+    RouterConfig cbr = RouterConfig::named("CBR-20");
+    EXPECT_EQ(cbr.inputBufferDepth(5), 1);
+    EXPECT_EQ(cbr.centralBufferFlits, 20);
+    EXPECT_EQ(cbr.injectionQueueFlits, 20);
+    EXPECT_EQ(cbr.ejectionQueueFlits, 20);
+}
+
+TEST(RouterConfig, VarDepthTracksRtt)
+{
+    RouterConfig var = RouterConfig::named("EB-Var");
+    // Depth = 2 * latency + 3 (credit round trip).
+    EXPECT_EQ(var.inputBufferDepth(1), 5);
+    EXPECT_EQ(var.inputBufferDepth(4), 11);
+    EXPECT_EQ(var.inputBufferDepth(10), 23);
+    EXPECT_EQ(var.elasticBonus(10), 0); // plain buffers, no latches
+}
+
+TEST(RouterConfig, ElasticStorageScalesWithWireLength)
+{
+    RouterConfig el = RouterConfig::named("EL-Links");
+    EXPECT_EQ(el.inputBufferDepth(7), 1);
+    EXPECT_GT(el.elasticBonus(7), el.elasticBonus(1));
+    // CBR relies on the same elastic links (Section 4.4).
+    RouterConfig cbr = RouterConfig::named("CBR-20");
+    EXPECT_EQ(cbr.elasticBonus(7), el.elasticBonus(7));
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Routing algorithm tests: minimality, deadlock-free VC discipline
+ * (monotone hop VCs; XY phase VCs; torus datelines), and adaptive
+ * scheme behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/routing.hh"
+#include "topo/table4.hh"
+
+namespace snoc {
+namespace {
+
+/** Walk a packet through route() and return the router path. */
+std::vector<int>
+walk(RoutingAlgorithm &alg, const NocTopology &topo, int srcRouter,
+     int dstRouter, std::vector<int> *vcs = nullptr)
+{
+    Packet pkt;
+    pkt.srcRouter = srcRouter;
+    pkt.dstRouter = dstRouter;
+    pkt.srcNode = topo.firstNodeOfRouter(srcRouter);
+    pkt.dstNode = topo.firstNodeOfRouter(dstRouter);
+    std::vector<int> path{srcRouter};
+    int at = srcRouter;
+    while (true) {
+        RouteDecision rd = alg.route(at, pkt);
+        if (rd.nextRouter < 0)
+            break;
+        EXPECT_TRUE(topo.routers().hasEdge(at, rd.nextRouter))
+            << "hop " << at << "->" << rd.nextRouter
+            << " is not a link";
+        if (vcs)
+            vcs->push_back(rd.vc);
+        ++pkt.hops;
+        at = rd.nextRouter;
+        path.push_back(at);
+        if (static_cast<int>(path.size()) > alg.maxHops() + 1) {
+            ADD_FAILURE() << "routing loop";
+            break;
+        }
+    }
+    EXPECT_EQ(at, dstRouter);
+    return path;
+}
+
+class MinimalOnEveryTopology
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MinimalOnEveryTopology, PathsAreMinimalOrNearMinimal)
+{
+    NocTopology topo = makeNamedTopology(GetParam());
+    auto alg = makeRouting(topo);
+    ShortestPaths sp(topo.routers());
+    int n = topo.numRouters();
+    // Sample a spread of pairs.
+    for (int s = 0; s < n; s += std::max(1, n / 12)) {
+        for (int d = 0; d < n; d += std::max(1, n / 12)) {
+            if (s == d)
+                continue;
+            auto path = walk(*alg, topo, s, d);
+            int hops = static_cast<int>(path.size()) - 1;
+            // Grid/dimension-ordered schemes are exactly minimal on
+            // their topologies; allow a +1 slack for PFBF's
+            // offset-alignment step.
+            EXPECT_LE(hops, sp.distance(s, d) + 1)
+                << GetParam() << " " << s << "->" << d;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MinimalOnEveryTopology,
+                         ::testing::Values("sn_subgr_200", "t2d4",
+                                           "cm4", "fbf4", "pfbf4",
+                                           "t2d3", "cm3", "fbf3",
+                                           "pfbf3", "clos_200",
+                                           "df_200"));
+
+TEST(Routing, SlimNocUsesTwoVcsHopIndexed)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto alg = makeRouting(topo);
+    EXPECT_EQ(alg->numVcs(), 2);
+    for (int d = 1; d < topo.numRouters(); d += 7) {
+        std::vector<int> vcs;
+        walk(*alg, topo, 0, d, &vcs);
+        for (std::size_t i = 0; i < vcs.size(); ++i)
+            EXPECT_EQ(vcs[i], static_cast<int>(i)) << d;
+    }
+}
+
+TEST(Routing, MeshXyGoesXThenY)
+{
+    NocTopology topo = makeNamedTopology("cm4"); // 10x5
+    auto alg = makeRouting(topo);
+    std::vector<int> vcs;
+    auto path = walk(*alg, topo, 0, 10 * 4 + 7, &vcs);
+    // X moves (vc 0) must precede Y moves (vc 1).
+    bool seenY = false;
+    for (int vc : vcs) {
+        if (vc == 1)
+            seenY = true;
+        else
+            EXPECT_FALSE(seenY) << "X hop after Y began";
+    }
+}
+
+TEST(Routing, TorusTakesShorterWay)
+{
+    NocTopology topo = makeNamedTopology("t2d4"); // 10x5
+    auto alg = makeRouting(topo);
+    // 0 -> 9 on a 10-ring: one wrap hop, not nine forward hops.
+    auto path = walk(*alg, topo, 0, 9);
+    EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(Routing, FbfTwoHopsMax)
+{
+    NocTopology topo = makeNamedTopology("fbf4");
+    auto alg = makeRouting(topo);
+    for (int d = 1; d < topo.numRouters(); d += 3) {
+        auto path = walk(*alg, topo, 0, d);
+        EXPECT_LE(path.size(), 3u);
+    }
+}
+
+TEST(Routing, UgalPhasesAndVcsMonotonic)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto alg = makeRouting(topo, RoutingMode::UgalL, 3);
+    EXPECT_EQ(alg->numVcs(), 4);
+    // Force a Valiant detour and check VC monotonicity.
+    Packet pkt;
+    pkt.srcRouter = 0;
+    pkt.dstRouter = 30;
+    pkt.valiantRouter = 17;
+    pkt.phase = 0;
+    int at = 0;
+    int lastVc = -1;
+    int hops = 0;
+    while (true) {
+        RouteDecision rd = alg->route(at, pkt);
+        if (rd.nextRouter < 0)
+            break;
+        EXPECT_GE(rd.vc, lastVc) << "VC decreased";
+        lastVc = rd.vc;
+        ++pkt.hops;
+        at = rd.nextRouter;
+        ASSERT_LE(++hops, 8);
+    }
+    EXPECT_EQ(at, 30);
+    EXPECT_EQ(pkt.phase, 1) << "intermediate never reached";
+}
+
+TEST(Routing, XyAdaptiveOnlyForFbf)
+{
+    NocTopology sn = makeNamedTopology("sn_subgr_200");
+    EXPECT_DEATH(makeRouting(sn, RoutingMode::XyAdaptive),
+                 "XY-adaptive");
+}
+
+} // namespace
+} // namespace snoc

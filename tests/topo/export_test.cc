@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Exporter tests: DOT and JSON outputs are well-formed and complete.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "topo/export.hh"
+#include "topo/slimnoc_topology.hh"
+#include "topo/table4.hh"
+
+namespace snoc {
+namespace {
+
+TEST(Export, DotContainsAllRoutersAndLinks)
+{
+    NocTopology topo = makeNamedTopology("sn_54");
+    std::ostringstream oss;
+    writeDot(topo, oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("graph \"sn_54\""), std::string::npos);
+    for (int r = 0; r < topo.numRouters(); ++r) {
+        EXPECT_NE(s.find("r" + std::to_string(r) + " [label"),
+                  std::string::npos)
+            << r;
+    }
+    // Count edge lines.
+    std::size_t edges = 0;
+    std::size_t pos = 0;
+    while ((pos = s.find(" -- ", pos)) != std::string::npos) {
+        ++edges;
+        ++pos;
+    }
+    EXPECT_EQ(edges,
+              static_cast<std::size_t>(topo.routers().numEdges()));
+}
+
+TEST(Export, JsonIsStructurallySound)
+{
+    NocTopology topo = makeNamedTopology("t2d4");
+    std::ostringstream oss;
+    writeJson(topo, oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("\"name\": \"t2d4\""), std::string::npos);
+    EXPECT_NE(s.find("\"num_nodes\": 200"), std::string::npos);
+    EXPECT_NE(s.find("\"routers\": ["), std::string::npos);
+    EXPECT_NE(s.find("\"links\": ["), std::string::npos);
+    // Balanced braces and brackets (crude well-formedness check).
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+    EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+              std::count(s.begin(), s.end(), ']'));
+    // One router record per router.
+    std::size_t records = 0;
+    std::size_t pos = 0;
+    while ((pos = s.find("{\"id\":", pos)) != std::string::npos) {
+        ++records;
+        ++pos;
+    }
+    EXPECT_EQ(records, static_cast<std::size_t>(topo.numRouters()));
+}
+
+TEST(Export, ExactNodeTrimming)
+{
+    // Section 3.5.3: exact node counts that are not Nr * p.
+    NocTopology t = makeSlimNocTopologyExactNodes(
+        190, SnLayout::Subgroup);
+    EXPECT_EQ(t.numNodes(), 190);
+    EXPECT_EQ(t.numRouters(), 50); // q = 5
+    // Concentrations differ by at most one.
+    int lo = 1 << 20;
+    int hi = 0;
+    for (int r = 0; r < t.numRouters(); ++r) {
+        lo = std::min(lo, t.concentrationOf(r));
+        hi = std::max(hi, t.concentrationOf(r));
+    }
+    EXPECT_LE(hi - lo, 1);
+    EXPECT_EQ(t.diameter(), 2);
+}
+
+TEST(Export, ExactNodesInfeasibleThrows)
+{
+    EXPECT_THROW(makeSlimNocTopologyExactNodes(1, SnLayout::Basic),
+                 FatalError);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Baseline topology tests: the exact router counts, network radix k',
+ * router radix k, node counts and diameters of Table 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "topo/table4.hh"
+
+namespace snoc {
+namespace {
+
+struct Table4Row
+{
+    const char *id;
+    int p;
+    int networkRadix; // k' of the widest router
+    int routerRadix;  // k = k' + p
+    int numRouters;
+    int numNodes;
+    int diameter;
+};
+
+class Table4 : public ::testing::TestWithParam<Table4Row>
+{
+};
+
+TEST_P(Table4, MatchesPaperRow)
+{
+    const Table4Row &row = GetParam();
+    NocTopology t = makeNamedTopology(row.id);
+    EXPECT_EQ(t.concentration(), row.p) << row.id;
+    EXPECT_EQ(t.routers().maxDegree(), row.networkRadix) << row.id;
+    EXPECT_EQ(t.routerRadix(), row.routerRadix) << row.id;
+    EXPECT_EQ(t.numRouters(), row.numRouters) << row.id;
+    EXPECT_EQ(t.numNodes(), row.numNodes) << row.id;
+    EXPECT_EQ(t.diameter(), row.diameter) << row.id;
+}
+
+// Paper Table 4 (PFBF diameter: the paper quotes D = 4 counting the
+// worst case over both partitioned dimensions; one-dimensional
+// partitions give D = 3 by construction).
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table4,
+    ::testing::Values(
+        // N in {192, 200}
+        Table4Row{"t2d3", 3, 4, 7, 64, 192, 8},
+        Table4Row{"t2d4", 4, 4, 8, 50, 200, 7},
+        Table4Row{"cm3", 3, 4, 7, 64, 192, 14},
+        Table4Row{"cm4", 4, 4, 8, 50, 200, 13},
+        Table4Row{"fbf3", 3, 14, 17, 64, 192, 2},
+        Table4Row{"fbf4", 4, 13, 17, 50, 200, 2},
+        Table4Row{"pfbf3", 3, 8, 11, 64, 192, 4},
+        Table4Row{"pfbf4", 4, 9, 13, 50, 200, 3},
+        Table4Row{"sn_subgr_200", 4, 7, 11, 50, 200, 2},
+        Table4Row{"sn_gr_200", 4, 7, 11, 50, 200, 2},
+        // N = 1296
+        Table4Row{"t2d9", 9, 4, 13, 144, 1296, 12},
+        Table4Row{"t2d8", 8, 4, 12, 162, 1296, 13},
+        Table4Row{"cm9", 9, 4, 13, 144, 1296, 22},
+        Table4Row{"cm8", 8, 4, 12, 162, 1296, 25},
+        Table4Row{"fbf9", 9, 22, 31, 144, 1296, 2},
+        Table4Row{"fbf8", 8, 25, 33, 162, 1296, 2},
+        Table4Row{"pfbf9", 9, 12, 21, 144, 1296, 4},
+        Table4Row{"pfbf8", 8, 17, 25, 162, 1296, 3},
+        Table4Row{"sn_subgr_1296", 8, 13, 21, 162, 1296, 2},
+        Table4Row{"sn_gr_1296", 8, 13, 21, 162, 1296, 2}));
+
+TEST(Topologies, SmallScaleClass54)
+{
+    for (const auto &id : table4Ids(54)) {
+        NocTopology t = makeNamedTopology(id);
+        EXPECT_EQ(t.numNodes(), 54) << id;
+    }
+}
+
+TEST(Topologies, UnknownIdThrows)
+{
+    EXPECT_THROW(makeNamedTopology("nonsense"), FatalError);
+    EXPECT_THROW(table4Ids(123), FatalError);
+}
+
+TEST(Topologies, CycleTimesFollowRadixClasses)
+{
+    EXPECT_DOUBLE_EQ(makeNamedTopology("t2d4").cycleTimeNs(), 0.4);
+    EXPECT_DOUBLE_EQ(makeNamedTopology("cm4").cycleTimeNs(), 0.4);
+    EXPECT_DOUBLE_EQ(makeNamedTopology("pfbf4").cycleTimeNs(), 0.5);
+    EXPECT_DOUBLE_EQ(makeNamedTopology("sn_subgr_200").cycleTimeNs(),
+                     0.5);
+    EXPECT_DOUBLE_EQ(makeNamedTopology("fbf4").cycleTimeNs(), 0.6);
+}
+
+TEST(Topologies, DragonflyStructure)
+{
+    // h = 3: a = 6 routers/group, g = 19 groups, all pairs joined by
+    // exactly one global channel, diameter 3.
+    NocTopology t = makeNamedTopology("df_200");
+    EXPECT_EQ(t.numRouters(), 114);
+    EXPECT_TRUE(t.routers().isRegular());
+    EXPECT_EQ(t.routers().maxDegree(), 5 + 3); // (a-1) local + h global
+    EXPECT_LE(t.diameter(), 3);
+}
+
+TEST(Topologies, FoldedClosIsIndirect)
+{
+    NocTopology t = makeNamedTopology("clos_200");
+    EXPECT_EQ(t.numNodes(), 200);
+    EXPECT_EQ(t.diameter(), 2);
+    // Spines have zero concentration.
+    int transit = 0;
+    for (int r = 0; r < t.numRouters(); ++r)
+        if (t.concentrationOf(r) == 0)
+            ++transit;
+    EXPECT_EQ(transit, 7);
+}
+
+TEST(Topologies, NodeRouterMappingRoundTrip)
+{
+    NocTopology t = makeNamedTopology("sn_subgr_200");
+    for (int n = 0; n < t.numNodes(); ++n) {
+        int r = t.routerOfNode(n);
+        int first = t.firstNodeOfRouter(r);
+        EXPECT_GE(n, first);
+        EXPECT_LT(n, first + t.concentrationOf(r));
+    }
+}
+
+TEST(Topologies, BisectionOrdering)
+{
+    // For a fixed die, FBF's bisection must exceed PFBF's, which is
+    // designed to be comparable to SN's (Section 5.1).
+    int fbf = makeNamedTopology("fbf4").bisectionLinks();
+    int pfbf = makeNamedTopology("pfbf4").bisectionLinks();
+    int sn = makeNamedTopology("sn_subgr_200").bisectionLinks();
+    int t2d = makeNamedTopology("t2d4").bisectionLinks();
+    EXPECT_GT(fbf, pfbf);
+    EXPECT_GT(sn, t2d);
+    // PFBF matched to SN within a 2x factor band.
+    EXPECT_LT(std::abs(pfbf - sn), std::max(pfbf, sn));
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace file I/O tests: round trip, format validation, error cases.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "topo/table4.hh"
+#include "trace/trace_file.hh"
+
+namespace snoc {
+namespace {
+
+TEST(TraceFile, RoundTrip)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto events =
+        generateTrace(workloadByName("ferret"), topo, 500, 3);
+    ASSERT_FALSE(events.empty());
+    std::stringstream ss;
+    writeTrace(events, ss);
+    auto back = readTrace(ss);
+    ASSERT_EQ(back.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(back[i].cycle, events[i].cycle);
+        EXPECT_EQ(back[i].srcNode, events[i].srcNode);
+        EXPECT_EQ(back[i].dstNode, events[i].dstNode);
+        EXPECT_EQ(back[i].msgClass, events[i].msgClass);
+    }
+}
+
+TEST(TraceFile, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream ss;
+    ss << "# header\n\n10 1 2 R\n\n# mid comment\n20 3 4 W\n";
+    auto events = readTrace(ss);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].cycle, 10u);
+    EXPECT_EQ(events[0].msgClass, MsgClass::ReadReq);
+    EXPECT_EQ(events[1].msgClass, MsgClass::WriteReq);
+}
+
+TEST(TraceFile, RejectsMalformedInput)
+{
+    {
+        std::stringstream ss("10 1 2\n"); // missing class
+        EXPECT_THROW(readTrace(ss), FatalError);
+    }
+    {
+        std::stringstream ss("10 1 2 Z\n"); // unknown class
+        EXPECT_THROW(readTrace(ss), FatalError);
+    }
+    {
+        std::stringstream ss("10 1 2 R\n5 1 2 R\n"); // unsorted
+        EXPECT_THROW(readTrace(ss), FatalError);
+    }
+    {
+        std::stringstream ss("10 -1 2 R\n"); // negative node
+        EXPECT_THROW(readTrace(ss), FatalError);
+    }
+}
+
+TEST(TraceFile, FileRoundTrip)
+{
+    std::vector<TraceEvent> events = {
+        {1, 0, 5, MsgClass::ReadReq},
+        {2, 3, 7, MsgClass::Coherence},
+    };
+    std::string path = ::testing::TempDir() + "/snoc_trace_test.txt";
+    writeTraceFile(events, path);
+    auto back = readTraceFile(path);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[1].msgClass, MsgClass::Coherence);
+    EXPECT_THROW(readTraceFile("/nonexistent/dir/file"), FatalError);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Traffic pattern tests: never self-addressed, correct structure per
+ * pattern family, and the adversarial patterns' hotspot property.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "topo/table4.hh"
+#include "traffic/patterns.hh"
+
+namespace snoc {
+namespace {
+
+class EveryPattern : public ::testing::TestWithParam<PatternKind>
+{
+};
+
+TEST_P(EveryPattern, NeverSelfAndInRange)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto pat = makeTrafficPattern(GetParam(), topo);
+    Rng rng(1);
+    for (int src = 0; src < topo.numNodes(); ++src) {
+        for (int rep = 0; rep < 5; ++rep) {
+            int d = pat->destination(src, rng);
+            EXPECT_NE(d, src);
+            EXPECT_GE(d, 0);
+            EXPECT_LT(d, topo.numNodes());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EveryPattern,
+    ::testing::Values(PatternKind::Random, PatternKind::Shuffle,
+                      PatternKind::BitReversal,
+                      PatternKind::Adversarial1,
+                      PatternKind::Adversarial2,
+                      PatternKind::Asymmetric));
+
+TEST(Patterns, RandomIsRoughlyUniform)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto pat = makeTrafficPattern(PatternKind::Random, topo);
+    Rng rng(2);
+    std::vector<int> counts(200, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[static_cast<std::size_t>(pat->destination(7, rng))];
+    EXPECT_EQ(counts[7], 0);
+    for (int d = 0; d < 200; ++d) {
+        if (d == 7)
+            continue;
+        EXPECT_NEAR(counts[static_cast<std::size_t>(d)],
+                    100000.0 / 199.0, 200.0);
+    }
+}
+
+TEST(Patterns, ShuffleAndReversalAreDeterministic)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    Rng rng(3);
+    auto shf = makeTrafficPattern(PatternKind::Shuffle, topo);
+    auto rev = makeTrafficPattern(PatternKind::BitReversal, topo);
+    for (int src = 0; src < 200; ++src) {
+        EXPECT_EQ(shf->destination(src, rng),
+                  shf->destination(src, rng));
+        EXPECT_EQ(rev->destination(src, rng),
+                  rev->destination(src, rng));
+    }
+    // 200 nodes -> 8 bits. 3 = 00000011 -> reversal 11000000 = 192.
+    EXPECT_EQ(rev->destination(3, rng), 192);
+    // Shuffle rotates left: 3 -> 6.
+    EXPECT_EQ(shf->destination(3, rng), 6);
+}
+
+TEST(Patterns, Adversarial1TargetsPartnerRouter)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto pat = makeTrafficPattern(PatternKind::Adversarial1, topo);
+    Rng rng(4);
+    // All nodes of router 0 target nodes of router 25 (= 0 + 50/2).
+    for (int src = 0; src < 4; ++src) {
+        for (int rep = 0; rep < 10; ++rep) {
+            int d = pat->destination(src, rng);
+            EXPECT_EQ(topo.routerOfNode(d), 25);
+        }
+    }
+}
+
+TEST(Patterns, Adversarial2SpreadsOverNeighborhood)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto pat = makeTrafficPattern(PatternKind::Adversarial2, topo);
+    Rng rng(5);
+    std::map<int, int> routers;
+    for (int rep = 0; rep < 300; ++rep)
+        ++routers[topo.routerOfNode(pat->destination(0, rng))];
+    EXPECT_GE(routers.size(), 2u);
+    EXPECT_LE(routers.size(), 3u);
+    for (const auto &[r, cnt] : routers)
+        EXPECT_NEAR(r, 25, 1);
+}
+
+TEST(Patterns, AsymmetricUsesTwoImages)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    auto pat = makeTrafficPattern(PatternKind::Asymmetric, topo);
+    Rng rng(6);
+    std::map<int, int> dsts;
+    for (int rep = 0; rep < 1000; ++rep)
+        ++dsts[pat->destination(37, rng)];
+    // d in {37 mod 100, 37 mod 100 + 100} = {37, 137}; 37 == src so
+    // it is bumped to 38.
+    ASSERT_EQ(dsts.size(), 2u);
+    EXPECT_TRUE(dsts.count(38));
+    EXPECT_TRUE(dsts.count(137));
+    EXPECT_NEAR(dsts[137], 500, 80);
+}
+
+TEST(Patterns, Names)
+{
+    EXPECT_EQ(to_string(PatternKind::Random), "RND");
+    EXPECT_EQ(to_string(PatternKind::Adversarial2), "ADV2");
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    EXPECT_EQ(makeTrafficPattern(PatternKind::Shuffle, topo)->name(),
+              "SHF");
+}
+
+} // namespace
+} // namespace snoc

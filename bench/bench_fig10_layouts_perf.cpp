@@ -7,6 +7,10 @@
  *  (b) latency per PARSEC/SPLASH workload for sn_basic / sn_gr /
  *      sn_subgr, with the geometric-mean advantage of sn_subgr over
  *      sn_basic (paper: ~5%).
+ *
+ * Both halves are submitted as one ExperimentPlan each: 10a is a
+ * pattern x load x layout grid of synthetic scenarios, 10b a
+ * workload x layout grid of trace scenarios.
  */
 
 #include "bench/bench_util.hh"
@@ -22,41 +26,59 @@ main()
     const char *layouts[] = {"sn_basic_200", "sn_subgr_200",
                              "sn_gr_200", "sn_rand_200"};
 
-    banner("Figure 10a: synthetic latency [cycles] per layout "
-           "(no SMART, N = 200)");
-    for (PatternKind pat :
-         {PatternKind::BitReversal, PatternKind::Random,
-          PatternKind::Shuffle}) {
-        std::cout << "-- pattern " << to_string(pat) << "\n";
-        TextTable t({"load", "sn_basic", "sn_subgr", "sn_gr",
-                     "sn_rand"});
+    const PatternKind patterns[] = {PatternKind::BitReversal,
+                                    PatternKind::Random,
+                                    PatternKind::Shuffle};
+    std::vector<Scenario> scenarios;
+    for (PatternKind pat : patterns)
+        for (double load : loadGrid())
+            for (const char *id : layouts)
+                scenarios.push_back(
+                    syntheticScenario(id, "EB-Var", pat, load));
+    std::vector<SimResult> results = runScenarios(scenarios);
+
+    std::size_t k = 0;
+    for (PatternKind pat : patterns) {
+        sink().beginTable("Figure 10a (" + to_string(pat) +
+                              "): synthetic latency [cycles] per "
+                              "layout (no SMART, N = 200)",
+                          {"load", "sn_basic", "sn_subgr", "sn_gr",
+                           "sn_rand"});
         for (double load : loadGrid()) {
             std::vector<std::string> row{TextTable::fmt(load, 3)};
-            for (const char *id : layouts) {
-                SimResult r = runSynthetic(id, "EB-Var", pat, load);
+            for (std::size_t i = 0; i < std::size(layouts); ++i) {
+                const SimResult &r = results[k++];
                 row.push_back(r.packetsDelivered
                                   ? TextTable::fmt(r.avgPacketLatency,
                                                    1)
                                   : "sat");
             }
-            t.addRow(row);
+            sink().addRow(row);
         }
-        t.print(std::cout);
+        sink().endTable();
     }
 
-    banner("Figure 10b: PARSEC/SPLASH latency [cycles] per layout");
     Cycle traceCycles = fastMode() ? 1500 : 5000;
-    TextTable t({"benchmark", "sn_basic", "sn_gr", "sn_subgr"});
+    const char *traceLayouts[] = {"sn_basic_200", "sn_gr_200",
+                                  "sn_subgr_200"};
+    std::vector<Scenario> traceScenarios;
+    for (const WorkloadProfile &w : parsecSplashWorkloads())
+        for (const char *id : traceLayouts)
+            traceScenarios.push_back(
+                makeTraceScenario(id, w.name, traceCycles));
+    std::vector<SimResult> traceResults = runScenarios(traceScenarios);
+
+    sink().beginTable(
+        "Figure 10b: PARSEC/SPLASH latency [cycles] per layout",
+        {"benchmark", "sn_basic", "sn_gr", "sn_subgr"});
     std::vector<double> ratios;
+    k = 0;
     for (const WorkloadProfile &w : parsecSplashWorkloads()) {
         std::vector<std::string> row{w.name};
         double basic = 0.0;
         double subgr = 0.0;
-        for (const char *id :
-             {"sn_basic_200", "sn_gr_200", "sn_subgr_200"}) {
-            NocTopology topo = makeNamedTopology(id);
-            Network net(topo, RouterConfig::named("EB-Var"));
-            SimResult r = runWorkload(net, w, traceCycles);
+        for (const char *id : traceLayouts) {
+            const SimResult &r = traceResults[k++];
             row.push_back(TextTable::fmt(r.avgPacketLatency, 1));
             if (std::string(id) == "sn_basic_200")
                 basic = r.avgPacketLatency;
@@ -65,13 +87,13 @@ main()
         }
         if (subgr > 0.0)
             ratios.push_back(basic / subgr);
-        t.addRow(row);
+        sink().addRow(row);
     }
-    t.print(std::cout);
-    std::cout << "\nsn_subgr latency advantage over sn_basic "
-                 "(geometric mean): "
-              << TextTable::fmt(
-                     100.0 * (geometricMean(ratios) - 1.0), 1)
-              << "% (paper: ~5%)\n";
+    sink().endTable();
+    sink().note("\nsn_subgr latency advantage over sn_basic "
+                "(geometric mean): " +
+                TextTable::fmt(
+                    100.0 * (geometricMean(ratios) - 1.0), 1) +
+                "% (paper: ~5%)");
     return 0;
 }

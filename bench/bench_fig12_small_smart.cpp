@@ -4,6 +4,9 @@
  * with SMART links for the small networks (N in {192, 200}), four
  * traffic patterns, with the paper's ratio row (SN latency relative
  * to each baseline at load 0.008, time-normalized).
+ *
+ * The pattern x load x network grid is one ExperimentPlan executed
+ * through the runner; per-pattern tables are formatted afterwards.
  */
 
 #include "bench/bench_util.hh"
@@ -17,13 +20,25 @@ main()
 {
     const char *nets[] = {"cm3", "t2d3", "pfbf3", "pfbf4",
                           "sn_subgr_200", "fbf3"};
-    for (PatternKind pat :
-         {PatternKind::Adversarial1, PatternKind::BitReversal,
-          PatternKind::Random, PatternKind::Shuffle}) {
-        banner("Figure 12 (" + to_string(pat) +
-               "): latency [ns] vs load, SMART H=9, N in {192,200}");
-        TextTable t({"load", "cm3", "t2d3", "pfbf3", "pfbf4",
-                     "sn_subgr", "fbf3"});
+    const PatternKind patterns[] = {
+        PatternKind::Adversarial1, PatternKind::BitReversal,
+        PatternKind::Random, PatternKind::Shuffle};
+
+    std::vector<Scenario> scenarios;
+    for (PatternKind pat : patterns)
+        for (double load : loadGrid())
+            for (const char *id : nets)
+                scenarios.push_back(
+                    syntheticScenario(id, "EB-Var", pat, load, 9));
+    std::vector<SimResult> results = runScenarios(scenarios);
+
+    std::size_t k = 0;
+    for (PatternKind pat : patterns) {
+        sink().beginTable(
+            "Figure 12 (" + to_string(pat) +
+                "): latency [ns] vs load, SMART H=9, N in {192,200}",
+            {"load", "cm3", "t2d3", "pfbf3", "pfbf4", "sn_subgr",
+             "fbf3"});
         double snBase = 0.0;
         std::vector<double> base(6, 0.0);
         bool first = true;
@@ -31,8 +46,7 @@ main()
             std::vector<std::string> row{TextTable::fmt(load, 3)};
             int i = 0;
             for (const char *id : nets) {
-                SimResult r =
-                    runSynthetic(id, "EB-Var", pat, load, 9);
+                const SimResult &r = results[k++];
                 bool ok = r.packetsDelivered && r.stable;
                 double ns = latencyNs(id, r);
                 row.push_back(ok ? TextTable::fmt(ns, 1) : "sat");
@@ -44,18 +58,19 @@ main()
                 ++i;
             }
             first = false;
-            t.addRow(row);
+            sink().addRow(row);
         }
-        t.print(std::cout);
-        std::cout << "SN latency at load 0.008 relative to"
-                  << " cm3/t2d3/pfbf4/fbf3: ";
-        for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
-            std::cout << (base[i] > 0.0
-                              ? TextTable::fmt(100.0 * snBase /
-                                                   base[i], 0) + "% "
-                              : "n/a ");
+        sink().endTable();
+        std::string summary = "SN latency at load 0.008 relative to"
+                              " cm3/t2d3/pfbf4/fbf3: ";
+        for (std::size_t i : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}, std::size_t{5}}) {
+            summary += base[i] > 0.0
+                           ? TextTable::fmt(
+                                 100.0 * snBase / base[i], 0) + "% "
+                           : "n/a ";
         }
-        std::cout << "(paper: e.g. RND 71/86/92/86%)\n";
+        sink().note(summary + "(paper: e.g. RND 71/86/92/86%)");
     }
     return 0;
 }

@@ -5,6 +5,12 @@
  *  (a) latency vs load under the adversarial pattern for SN, the
  *      Flattened Butterflies (bisection-matched PFBF), torus, mesh;
  *  (b/c) network throughput per unit power at 45 nm and 22 nm.
+ *
+ * The whole campaign is described as scenarios up front and executed
+ * once through the ExperimentRunner; formatting reads back from the
+ * result set. Note the 1b/1c sims are load-identical across the two
+ * technology corners (tech only enters the analytical power model),
+ * so each load point simulates once.
  */
 
 #include "bench/bench_util.hh"
@@ -18,55 +24,75 @@ main()
 {
     SimConfig cfg = simConfig(1000, 2500);
 
-    banner("Figure 1a: adversarial (ADV1) latency [ns] vs load, "
-           "N = 1296, SMART");
     {
         const char *nets[] = {"t2d9", "cm9", "pfbf9", "sn_subgr_1296",
                               "fbf9"};
-        TextTable t({"load", "torus", "mesh", "pfbf", "sn", "fbf"});
         std::vector<double> loads =
             fastMode() ? std::vector<double>{0.008}
                        : std::vector<double>{0.008, 0.024, 0.08};
+
+        std::vector<Scenario> scenarios;
+        for (double load : loads)
+            for (const char *id : nets)
+                scenarios.push_back(syntheticScenario(
+                    id, "EB-Var", PatternKind::Adversarial1, load, 9,
+                    RoutingMode::Minimal, cfg));
+        std::vector<SimResult> results = runScenarios(scenarios);
+
+        sink().beginTable(
+            "Figure 1a: adversarial (ADV1) latency [ns] vs load, "
+            "N = 1296, SMART",
+            {"load", "torus", "mesh", "pfbf", "sn", "fbf"});
+        std::size_t k = 0;
         for (double load : loads) {
             std::vector<std::string> row{TextTable::fmt(load, 3)};
             for (const char *id : nets) {
-                SimResult r =
-                    runSynthetic(id, "EB-Var",
-                                 PatternKind::Adversarial1, load, 9,
-                                 RoutingMode::Minimal, cfg);
+                const SimResult &r = results[k++];
                 row.push_back(r.packetsDelivered && r.stable
                                   ? TextTable::fmt(latencyNs(id, r), 1)
                                   : "sat");
             }
-            t.addRow(row);
+            sink().addRow(row);
         }
-        t.print(std::cout);
-        std::cout << "Paper: SN latency lower by ~10% (FBF), ~50% "
-                     "(mesh), ~64% (torus).\n";
+        sink().endTable();
+        sink().note("Paper: SN latency lower by ~10% (FBF), ~50% "
+                    "(mesh), ~64% (torus).");
     }
 
-    banner("Figure 1b/1c: throughput per power at saturation, "
-           "N = 1296");
     {
         const char *nets[] = {"sn_subgr_1296", "fbf9", "t2d9", "cm9"};
-        TextTable t({"network", "45nm [flits/J]", "22nm [flits/J]"});
+        std::vector<double> loads =
+            fastMode() ? std::vector<double>{0.2}
+                       : std::vector<double>{0.2, 0.5, 0.8};
+
+        std::vector<Scenario> scenarios;
+        for (const char *id : nets)
+            for (double load : loads)
+                scenarios.push_back(syntheticScenario(
+                    id, "EB-Var", PatternKind::Random, load, 9,
+                    RoutingMode::Minimal, cfg));
+        std::vector<SimResult> results = runScenarios(scenarios);
+
+        sink().beginTable(
+            "Figure 1b/1c: throughput per power at saturation, "
+            "N = 1296",
+            {"network", "45nm [flits/J]", "22nm [flits/J]"});
         std::vector<double> sn(2, 0.0);
         std::vector<std::vector<double>> all;
+        std::size_t k = 0;
         for (const char *id : nets) {
+            std::vector<SimResult> ramp(
+                results.begin() + static_cast<std::ptrdiff_t>(k),
+                results.begin() +
+                    static_cast<std::ptrdiff_t>(k + loads.size()));
+            k += loads.size();
             std::vector<double> vals;
             for (const TechParams &tech :
                  {TechParams::nm45(), TechParams::nm22()}) {
                 RouterConfig rc = RouterConfig::named("EB-Var");
-                NocTopology topo = makeNamedTopology(id);
-                PowerModel pm(topo, rc, tech, 9);
+                PowerModel pm(topo(id), rc, tech, 9);
                 double best = 0.0;
-                for (double load :
-                     fastMode() ? std::vector<double>{0.2}
-                                : std::vector<double>{0.2, 0.5,
-                                                      0.8}) {
-                    SimResult r = runSynthetic(
-                        id, "EB-Var", PatternKind::Random, load, 9,
-                        RoutingMode::Minimal, cfg);
+                for (const SimResult &r : ramp) {
                     best = std::max(best,
                                     pm.throughputPerPower(
                                         r.counters, r.cyclesRun));
@@ -76,18 +102,18 @@ main()
                 vals.push_back(best);
             }
             all.push_back(vals);
-            t.addRow({id, TextTable::fmt(all.back()[0], 0),
-                      TextTable::fmt(all.back()[1], 0)});
+            sink().addRow({id, TextTable::fmt(all.back()[0], 0),
+                           TextTable::fmt(all.back()[1], 0)});
             if (std::string(id) == "sn_subgr_1296")
                 sn = vals;
         }
-        t.print(std::cout);
-        std::cout << "SN vs FBF/torus/mesh at 45nm: ";
+        sink().endTable();
+        std::string summary = "SN vs FBF/torus/mesh at 45nm: ";
         for (std::size_t i = 1; i < all.size(); ++i)
-            std::cout << TextTable::fmt(
-                             100.0 * (sn[0] / all[i][0] - 1.0), 0)
-                      << "% ";
-        std::cout << "(paper: ~18%, >100%, >150%)\n";
+            summary +=
+                TextTable::fmt(100.0 * (sn[0] / all[i][0] - 1.0), 0) +
+                "% ";
+        sink().note(summary + "(paper: ~18%, >100%, >150%)");
     }
     return 0;
 }

@@ -3,37 +3,41 @@
  * Regenerates Table 4: the considered topology configurations for
  * both size classes, with parameters measured from the instantiated
  * networks (not hard-coded), plus the layout-cut bisection proxy
- * showing PFBF's bandwidth matching to SN.
+ * showing PFBF's bandwidth matching to SN. Topologies are resolved
+ * through the TopologyCache and emitted via the ResultSink, so
+ * SNOC_BENCH_FORMAT=csv/json yields machine-readable tables.
  */
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
 
 using namespace snoc;
+using namespace snoc::bench;
 
 int
 main()
 {
     for (int sizeClass : {200, 1296}) {
-        bench::banner("Table 4: configurations, size class " +
-                      std::to_string(sizeClass));
-        TextTable t({"sym", "D", "p", "k'", "k", "routers", "N",
-                     "cycle [ns]", "bisection links"});
+        sink().beginTable(
+            "Table 4: configurations, size class " +
+                std::to_string(sizeClass),
+            {"sym", "D", "p", "k'", "k", "routers", "N", "cycle [ns]",
+             "bisection links"});
         for (const std::string &id : table4Ids(sizeClass)) {
-            NocTopology topo = makeNamedTopology(id);
-            t.addRow({topo.name(),
-                      TextTable::fmt(topo.diameter()),
-                      TextTable::fmt(topo.concentration()),
-                      TextTable::fmt(topo.routers().maxDegree()),
-                      TextTable::fmt(topo.routerRadix()),
-                      TextTable::fmt(topo.numRouters()),
-                      TextTable::fmt(topo.numNodes()),
-                      TextTable::fmt(topo.cycleTimeNs(), 1),
-                      TextTable::fmt(topo.bisectionLinks())});
+            const NocTopology &t = topo(id);
+            sink().addRow({t.name(),
+                           TextTable::fmt(t.diameter()),
+                           TextTable::fmt(t.concentration()),
+                           TextTable::fmt(t.routers().maxDegree()),
+                           TextTable::fmt(t.routerRadix()),
+                           TextTable::fmt(t.numRouters()),
+                           TextTable::fmt(t.numNodes()),
+                           TextTable::fmt(t.cycleTimeNs(), 1),
+                           TextTable::fmt(t.bisectionLinks())});
         }
-        t.print(std::cout);
+        sink().endTable();
     }
-    std::cout << "\nPaper check: fbf3 k'=14, fbf9 k'=22, pfbf3 k'=8, "
-                 "pfbf9 k'=12, sn(200) k'=7, sn(1296) k'=13.\n";
+    sink().note("\nPaper check: fbf3 k'=14, fbf9 k'=22, pfbf3 k'=8, "
+                "pfbf9 k'=12, sn(200) k'=7, sn(1296) k'=13.");
     return 0;
 }

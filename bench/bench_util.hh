@@ -4,8 +4,18 @@
  * regenerates one table or figure of the paper: it prints the same
  * rows/series the paper reports so shapes can be compared directly.
  *
- * Environment knob: SNOC_BENCH_FAST=1 shrinks simulation windows for
- * smoke runs (used by CI); default windows give stable numbers.
+ * The harness sits on the experiment engine (src/exp/): binaries
+ * describe their campaign as Scenarios / an ExperimentPlan, the
+ * ExperimentRunner executes it across worker threads, named
+ * topologies come from the process-wide TopologyCache, and output
+ * goes through a ResultSink.
+ *
+ * Environment knobs:
+ *   SNOC_BENCH_FAST=1     shrink simulation windows for smoke runs
+ *                         (used by CI); default windows give stable
+ *                         numbers.
+ *   SNOC_BENCH_FORMAT=x   result format: table (default), csv, json.
+ *   SNOC_EXP_THREADS=n    worker threads for campaign execution.
  */
 
 #ifndef SNOC_BENCH_BENCH_UTIL_HH
@@ -13,12 +23,15 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exp/result_sink.hh"
+#include "exp/runner.hh"
 #include "power/power_model.hh"
-#include "sim/simulation.hh"
 #include "topo/table4.hh"
+#include "topo/topology_cache.hh"
 #include "trace/trace.hh"
 #include "traffic/synthetic.hh"
 
@@ -42,31 +55,61 @@ simConfig(Cycle warmup = 2000, Cycle measure = 8000)
     return cfg;
 }
 
-/** Run one synthetic point on a named topology. */
+/** Scenario for one synthetic point on a named topology. */
+inline Scenario
+syntheticScenario(const std::string &topoId,
+                  const std::string &routerCfg, PatternKind pattern,
+                  double load, int hopsPerCycle = 1,
+                  RoutingMode mode = RoutingMode::Minimal,
+                  SimConfig cfg = simConfig())
+{
+    return makeSyntheticScenario(topoId, routerCfg, pattern, load,
+                                 hopsPerCycle, mode, cfg);
+}
+
+/** Run one synthetic point on a named topology (cached). */
 inline SimResult
 runSynthetic(const std::string &topoId, const std::string &routerCfg,
              PatternKind pattern, double load, int hopsPerCycle = 1,
              RoutingMode mode = RoutingMode::Minimal,
              SimConfig cfg = simConfig())
 {
-    NocTopology topo = makeNamedTopology(topoId);
-    RouterConfig rc = RouterConfig::named(routerCfg);
-    LinkConfig lc;
-    lc.hopsPerCycle = hopsPerCycle;
-    Network net(topo, rc, lc, mode);
-    auto pat = std::shared_ptr<TrafficPattern>(
-        makeTrafficPattern(pattern, topo));
-    SyntheticConfig sc;
-    sc.load = load;
-    return runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+    return ExperimentRunner::runScenario(
+        syntheticScenario(topoId, routerCfg, pattern, load,
+                          hopsPerCycle, mode, cfg));
+}
+
+/**
+ * Execute a batch of independent scenarios through the runner
+ * (parallel across SNOC_EXP_THREADS workers) and return the
+ * SimResults in scenario order.
+ */
+inline std::vector<SimResult>
+runScenarios(const std::vector<Scenario> &scenarios)
+{
+    ExperimentPlan plan;
+    for (const Scenario &s : scenarios)
+        plan.add(s);
+    std::vector<JobResult> jobs = ExperimentRunner().run(plan);
+    std::vector<SimResult> out;
+    out.reserve(jobs.size());
+    for (const JobResult &j : jobs)
+        out.push_back(j.points.front().sim);
+    return out;
+}
+
+/** Cached topology lookup for derived metrics (cycle time, radix). */
+inline const NocTopology &
+topo(const std::string &topoId)
+{
+    return TopologyCache::instance().get(topoId);
 }
 
 /** Latency in nanoseconds (each topology has its own cycle time). */
 inline double
 latencyNs(const std::string &topoId, const SimResult &res)
 {
-    return res.avgPacketLatency *
-           makeNamedTopology(topoId).cycleTimeNs();
+    return res.avgPacketLatency * topo(topoId).cycleTimeNs();
 }
 
 /** The standard low/mid/high load grid of the paper's sweeps. */
@@ -78,7 +121,23 @@ loadGrid()
     return {0.008, 0.024, 0.06, 0.16, 0.4};
 }
 
-/** Section header in the output. */
+/** The stdout sink selected by SNOC_BENCH_FORMAT (default table). */
+inline ResultSink &
+sink()
+{
+    static std::unique_ptr<ResultSink> s = [] {
+        const char *v = std::getenv("SNOC_BENCH_FORMAT");
+        return makeResultSink(v ? v : "table", std::cout);
+    }();
+    return *s;
+}
+
+/**
+ * Section header on stdout. Legacy helper for the not-yet-ported
+ * bench binaries, which format TextTables straight to std::cout;
+ * ported binaries pass titles to sink().beginTable() instead so
+ * machine-readable formats keep them.
+ */
 inline void
 banner(const std::string &title)
 {

@@ -3,7 +3,10 @@
  * Design-space explorer: the workflow of Section 3.1 -- enumerate
  * the feasible Slim NoC configurations for a die (Table 2), then
  * compare the four layouts of Section 3.3 on wire length, buffer
- * cost, and wiring-constraint headroom, and recommend one.
+ * cost, and wiring-constraint headroom, and recommend one. A final
+ * stage cross-checks the static recommendation dynamically: a small
+ * ExperimentPlan simulates all four layouts at N = 200 under random
+ * traffic through the ExperimentRunner.
  *
  * Run: ./design_explorer [maxNodes]   (default 1300)
  */
@@ -14,6 +17,7 @@
 #include "common/table.hh"
 #include "core/config_table.hh"
 #include "core/slimnoc.hh"
+#include "exp/runner.hh"
 #include "power/tech_params.hh"
 
 using namespace snoc;
@@ -92,5 +96,33 @@ main(int argc, char **argv)
     }
     std::cout << "\nRecommended layout: " << to_string(best)
               << " (M = " << bestM << " hops)\n";
+
+    // 4. Dynamic cross-check: simulate the four layouts at N = 200
+    //    (the class every layout id instantiates) under RND traffic.
+    std::cout << "\nSimulated cross-check (N = 200, RND, load 0.06, "
+                 "no SMART):\n\n";
+    ExperimentPlan plan;
+    plan.name = "layout_shootout";
+    for (const char *id : {"sn_basic_200", "sn_subgr_200",
+                           "sn_gr_200", "sn_rand_200"}) {
+        SimConfig cfg;
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 4000;
+        plan.add(makeSyntheticScenario(id, "EB-Var",
+                                       PatternKind::Random, 0.06, 1,
+                                       RoutingMode::Minimal, cfg));
+    }
+    std::vector<JobResult> shootout = ExperimentRunner().run(plan);
+    TextTable sim({"layout", "latency [cycles]", "avg hops",
+                   "delivered"});
+    for (const JobResult &job : shootout) {
+        const Scenario &s = job.points.front().scenario;
+        const SimResult &r = job.points.front().sim;
+        sim.addRow({s.topology,
+                    TextTable::fmt(r.avgPacketLatency, 1),
+                    TextTable::fmt(r.avgHops, 2),
+                    TextTable::fmt(r.throughput, 4)});
+    }
+    sim.print(std::cout);
     return 0;
 }

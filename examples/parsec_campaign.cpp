@@ -3,18 +3,20 @@
  * PARSEC/SPLASH campaign: replay the 14 trace workloads of
  * Section 5.1 on a chosen topology and report per-benchmark latency
  * and the energy-delay product, the Figure 18 methodology as a
- * user-facing tool.
+ * user-facing tool. The 14 workloads are an ExperimentPlan: each is
+ * an independent trace scenario, executed across worker threads.
  *
- * Run: ./parsec_campaign [topologyId] [cycles]
- *      e.g. ./parsec_campaign sn_subgr_200 6000
+ * Run: ./parsec_campaign [topologyId] [cycles] [threads]
+ *      e.g. ./parsec_campaign sn_subgr_200 6000 4
  */
 
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.hh"
+#include "exp/runner.hh"
 #include "power/power_model.hh"
-#include "topo/table4.hh"
+#include "topo/topology_cache.hh"
 #include "trace/trace.hh"
 
 using namespace snoc;
@@ -26,8 +28,10 @@ main(int argc, char **argv)
     Cycle cycles = argc > 2
                        ? static_cast<Cycle>(std::atoll(argv[2]))
                        : 6000;
+    RunnerOptions opts;
+    opts.threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
-    NocTopology topo = makeNamedTopology(id);
+    const NocTopology &topo = TopologyCache::instance().get(id);
     RouterConfig rc = RouterConfig::named("EB-Var");
     PowerModel power(topo, rc, TechParams::nm45());
 
@@ -35,14 +39,21 @@ main(int argc, char **argv)
               << topo.numNodes() << " nodes, " << cycles
               << " trace cycles/benchmark)\n\n";
 
+    ExperimentPlan plan;
+    plan.name = "parsec_campaign";
+    for (const WorkloadProfile &w : parsecSplashWorkloads())
+        plan.add(makeTraceScenario(id, w.name, cycles));
+    std::vector<JobResult> results =
+        ExperimentRunner(opts).run(plan);
+
     TextTable table({"benchmark", "packets", "latency [cycles]",
                      "hops", "EDP [pJ*s]"});
-    for (const WorkloadProfile &w : parsecSplashWorkloads()) {
-        Network net(topo, rc);
-        SimResult res = runWorkload(net, w, cycles);
+    for (const JobResult &job : results) {
+        const Scenario &s = job.points.front().scenario;
+        const SimResult &res = job.points.front().sim;
         double edp = power.energyDelay(res.counters, res.cyclesRun,
                                        res.avgPacketLatency);
-        table.addRow({w.name,
+        table.addRow({s.traffic.workload,
                       TextTable::fmt(res.packetsDelivered),
                       TextTable::fmt(res.avgPacketLatency, 1),
                       TextTable::fmt(res.avgHops, 2),

@@ -6,16 +6,23 @@
  * latency (time-normalized across the different router cycle times),
  * saturation throughput, and the combined throughput/power metric.
  *
- * Run: ./topology_bakeoff [RND|SHF|REV|ADV1] [load]
+ * The five per-topology runs are described as an ExperimentPlan and
+ * executed concurrently by the ExperimentRunner; results are
+ * identical for any worker count (deterministic per-scenario seeds),
+ * so `--threads 1` is the bitwise reference for a parallel run.
+ *
+ * Run: ./topology_bakeoff [RND|SHF|REV|ADV1] [load] [threads]
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "common/table.hh"
+#include "exp/runner.hh"
 #include "power/power_model.hh"
-#include "topo/table4.hh"
+#include "topo/topology_cache.hh"
 #include "traffic/synthetic.hh"
 
 using namespace snoc;
@@ -42,32 +49,41 @@ main(int argc, char **argv)
     PatternKind kind =
         argc > 1 ? parsePattern(argv[1]) : PatternKind::Random;
     double load = argc > 2 ? std::atof(argv[2]) : 0.06;
+    RunnerOptions opts;
+    opts.threads = argc > 3 ? std::atoi(argv[3]) : 4;
 
     std::cout << "Topology bake-off, N in {192, 200}, pattern "
               << to_string(kind) << ", load " << load
               << " flits/node/cycle, SMART links (H = 9)\n\n";
 
-    TextTable table({"network", "latency [ns]", "latency [SN cycles]",
-                     "delivered", "thr/power [flits/J]"});
-    TechParams tech = TechParams::nm45();
+    ExperimentPlan plan;
+    plan.name = "topology_bakeoff";
     for (const char *id :
          {"t2d4", "cm4", "pfbf4", "fbf4", "sn_subgr_200"}) {
-        NocTopology topo = makeNamedTopology(id);
-        RouterConfig rc = RouterConfig::named("EB-Var");
-        LinkConfig lc;
-        lc.hopsPerCycle = 9;
-        Network net(topo, rc, lc);
-        auto pattern = std::shared_ptr<TrafficPattern>(
-            makeTrafficPattern(kind, topo));
-        SyntheticConfig sc;
-        sc.load = load;
         SimConfig cfg;
         cfg.warmupCycles = 2000;
         cfg.measureCycles = 8000;
-        SimResult res = runSimulation(
-            net, makeSyntheticSource(pattern, sc), cfg);
+        plan.add(makeSyntheticScenario(id, "EB-Var", kind, load, 9,
+                                       RoutingMode::Minimal, cfg));
+    }
 
-        PowerModel power(topo, rc, tech, lc.hopsPerCycle);
+    ExperimentRunner runner(opts);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<JobResult> results = runner.run(plan);
+    auto t1 = std::chrono::steady_clock::now();
+    double seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    TextTable table({"network", "latency [ns]", "latency [SN cycles]",
+                     "delivered", "thr/power [flits/J]"});
+    TechParams tech = TechParams::nm45();
+    for (const JobResult &job : results) {
+        const Scenario &s = job.points.front().scenario;
+        const SimResult &res = job.points.front().sim;
+        const NocTopology &topo =
+            TopologyCache::instance().get(s.topology);
+        PowerModel power(topo, RouterConfig::named(s.routerConfig),
+                         tech, s.link.hopsPerCycle);
         double latencyNs = res.avgPacketLatency * topo.cycleTimeNs();
         table.addRow(
             {topo.name(), TextTable::fmt(latencyNs, 1),
@@ -81,5 +97,8 @@ main(int argc, char **argv)
     std::cout << "\n(latency normalized to the 0.5 ns SN cycle; each "
                  "topology simulates\nwith its own cycle time per "
                  "Section 5.1)\n";
+    std::cout << "\ncampaign: " << plan.size() << " scenarios, "
+              << runner.threadCount() << " worker thread(s), "
+              << TextTable::fmt(seconds, 2) << " s wall clock\n";
     return 0;
 }

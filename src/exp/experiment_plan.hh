@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ExperimentPlan: a pure-data batch of experiment jobs.
+ *
+ * A job is a single Scenario, a load sweep over a base Scenario, or
+ * a bisection saturation search. Jobs carry no execution state, so a
+ * plan can be built anywhere (bench binaries, examples, tests) and
+ * handed to an ExperimentRunner, which schedules jobs across worker
+ * threads. Sweeps and saturation searches stay sequential *within*
+ * the job (each point depends on the previous one's outcome) but
+ * independent jobs run concurrently.
+ */
+
+#ifndef SNOC_EXP_EXPERIMENT_PLAN_HH
+#define SNOC_EXP_EXPERIMENT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hh"
+#include "exp/strategies.hh"
+
+namespace snoc {
+
+/** One schedulable unit of a plan. */
+struct Job
+{
+    enum class Kind
+    {
+        Single,     //!< run `scenario` as-is
+        Sweep,      //!< run `scenario` at each of `loads`
+        Saturation, //!< bisection search from `scenario`
+    };
+
+    Kind kind = Kind::Single;
+    Scenario scenario; //!< the point, or the sweep/search base
+
+    // Sweep only.
+    std::vector<double> loads;
+    bool stopAtSaturation = true;
+    double saturationFactor = 6.0;
+
+    // Saturation only.
+    SaturationSpec saturation;
+};
+
+/** A Scenario together with its measured result. */
+struct ScenarioResult
+{
+    Scenario scenario;
+    SimResult sim;
+};
+
+/** Result of one job, point-ordered as executed. */
+struct JobResult
+{
+    Job::Kind kind = Job::Kind::Single;
+    std::vector<ScenarioResult> points; //!< 1 for Single; else many
+
+    // Saturation only.
+    double saturationLoad = 0.0;
+    double bestThroughput = 0.0;
+};
+
+/** An ordered batch of jobs; results keep plan order. */
+struct ExperimentPlan
+{
+    std::string name;
+    std::vector<Job> jobs;
+
+    /** Append a single-scenario job. */
+    ExperimentPlan &
+    add(Scenario s)
+    {
+        Job j;
+        j.scenario = std::move(s);
+        jobs.push_back(std::move(j));
+        return *this;
+    }
+
+    /** Append a load sweep over `base` (its `load` is overridden). */
+    ExperimentPlan &
+    addSweep(Scenario base, std::vector<double> loads,
+             bool stopAtSaturation = true, double saturationFactor = 6.0)
+    {
+        Job j;
+        j.kind = Job::Kind::Sweep;
+        j.scenario = std::move(base);
+        j.loads = std::move(loads);
+        j.stopAtSaturation = stopAtSaturation;
+        j.saturationFactor = saturationFactor;
+        jobs.push_back(std::move(j));
+        return *this;
+    }
+
+    /** Append a saturation search from `base`. */
+    ExperimentPlan &
+    addSaturation(Scenario base, SaturationSpec spec = {})
+    {
+        Job j;
+        j.kind = Job::Kind::Saturation;
+        j.scenario = std::move(base);
+        j.saturation = spec;
+        jobs.push_back(std::move(j));
+        return *this;
+    }
+
+    std::size_t size() const { return jobs.size(); }
+    bool empty() const { return jobs.empty(); }
+};
+
+} // namespace snoc
+
+#endif // SNOC_EXP_EXPERIMENT_PLAN_HH

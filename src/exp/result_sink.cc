@@ -1,0 +1,269 @@
+#include "exp/result_sink.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace snoc {
+
+// --- TableSink --------------------------------------------------------------
+
+struct TableSink::Impl
+{
+    std::unique_ptr<TextTable> table;
+};
+
+TableSink::TableSink(std::ostream &os)
+    : os_(os), impl_(std::make_unique<Impl>())
+{
+}
+
+TableSink::~TableSink() = default;
+
+void
+TableSink::beginTable(const std::string &title,
+                      const std::vector<std::string> &columns)
+{
+    SNOC_ASSERT(!impl_->table, "beginTable with a table still open");
+    if (!title.empty())
+        os_ << "\n=== " << title << " ===\n\n";
+    impl_->table = std::make_unique<TextTable>(columns);
+}
+
+void
+TableSink::addRow(const std::vector<std::string> &cells)
+{
+    SNOC_ASSERT(impl_->table, "addRow outside beginTable/endTable");
+    impl_->table->addRow(cells);
+}
+
+void
+TableSink::endTable()
+{
+    SNOC_ASSERT(impl_->table, "endTable without beginTable");
+    impl_->table->print(os_);
+    impl_->table.reset();
+}
+
+void
+TableSink::note(const std::string &text)
+{
+    os_ << text << "\n";
+}
+
+// --- CsvSink ----------------------------------------------------------------
+
+namespace {
+
+/** Quote a CSV cell when it contains a delimiter, quote or newline. */
+void
+csvCell(std::ostream &os, const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+        os << cell;
+        return;
+    }
+    os << '"';
+    for (char c : cell) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+csvRow(std::ostream &os, const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        csvCell(os, cells[i]);
+    }
+    os << '\n';
+}
+
+/**
+ * True when the cell is safe to emit as a raw JSON number: it must
+ * parse fully as a finite value AND use only characters JSON's
+ * number grammar allows (strtod also accepts hex, "inf" and "nan",
+ * none of which are valid JSON).
+ */
+bool
+isNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    if (cell.find_first_not_of("0123456789+-.eE") !=
+        std::string::npos)
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(cell.c_str(), &end);
+    return end == cell.c_str() + cell.size() && std::isfinite(v);
+}
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+CsvSink::CsvSink(std::ostream &os) : os_(os) {}
+
+void
+CsvSink::beginTable(const std::string &title,
+                    const std::vector<std::string> &columns)
+{
+    if (!first_)
+        os_ << '\n';
+    first_ = false;
+    if (!title.empty())
+        os_ << "# " << title << '\n';
+    csvRow(os_, columns);
+}
+
+void
+CsvSink::addRow(const std::vector<std::string> &cells)
+{
+    csvRow(os_, cells);
+}
+
+void
+CsvSink::endTable()
+{
+}
+
+// --- JsonSink ---------------------------------------------------------------
+
+JsonSink::JsonSink(std::ostream &os) : os_(os) {}
+
+JsonSink::~JsonSink()
+{
+    finish();
+}
+
+void
+JsonSink::beginTable(const std::string &title,
+                     const std::vector<std::string> &columns)
+{
+    SNOC_ASSERT(!finished_, "beginTable after finish()");
+    os_ << (anyTable_ ? ",\n" : "[\n");
+    anyTable_ = true;
+    anyRow_ = false;
+    columns_ = columns;
+    os_ << "  {\"title\": ";
+    jsonString(os_, title);
+    os_ << ", \"columns\": [";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0)
+            os_ << ", ";
+        jsonString(os_, columns[i]);
+    }
+    os_ << "], \"rows\": [";
+}
+
+void
+JsonSink::addRow(const std::vector<std::string> &cells)
+{
+    os_ << (anyRow_ ? ",\n    {" : "\n    {");
+    anyRow_ = true;
+    for (std::size_t i = 0; i < cells.size() && i < columns_.size();
+         ++i) {
+        if (i > 0)
+            os_ << ", ";
+        jsonString(os_, columns_[i]);
+        os_ << ": ";
+        if (isNumeric(cells[i]))
+            os_ << cells[i];
+        else
+            jsonString(os_, cells[i]);
+    }
+    os_ << '}';
+}
+
+void
+JsonSink::endTable()
+{
+    os_ << (anyRow_ ? "\n  ]}" : "]}");
+}
+
+void
+JsonSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << (anyTable_ ? "\n]\n" : "[]\n");
+}
+
+// --- TeeSink ----------------------------------------------------------------
+
+TeeSink::TeeSink(std::vector<ResultSink *> sinks)
+    : sinks_(std::move(sinks))
+{
+}
+
+void
+TeeSink::beginTable(const std::string &title,
+                    const std::vector<std::string> &columns)
+{
+    for (ResultSink *s : sinks_)
+        s->beginTable(title, columns);
+}
+
+void
+TeeSink::addRow(const std::vector<std::string> &cells)
+{
+    for (ResultSink *s : sinks_)
+        s->addRow(cells);
+}
+
+void
+TeeSink::endTable()
+{
+    for (ResultSink *s : sinks_)
+        s->endTable();
+}
+
+void
+TeeSink::note(const std::string &text)
+{
+    for (ResultSink *s : sinks_)
+        s->note(text);
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<ResultSink>
+makeResultSink(const std::string &format, std::ostream &os)
+{
+    if (format.empty() || format == "table")
+        return std::make_unique<TableSink>(os);
+    if (format == "csv")
+        return std::make_unique<CsvSink>(os);
+    if (format == "json")
+        return std::make_unique<JsonSink>(os);
+    fatal("unknown result sink format '", format,
+          "' (expected table, csv or json)");
+}
+
+} // namespace snoc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ResultSink: structured emission of campaign results.
+ *
+ * Bench binaries used to format tables straight to std::cout; the
+ * sink interface keeps the same table-building call shape
+ * (beginTable / addRow / endTable) but decouples formatting so the
+ * identical campaign can stream an aligned text table (the existing
+ * TextTable renderer), CSV for plotting, or JSON for downstream
+ * tooling. Select with makeResultSink() / the SNOC_BENCH_FORMAT
+ * environment knob in bench_util.hh.
+ */
+
+#ifndef SNOC_EXP_RESULT_SINK_HH
+#define SNOC_EXP_RESULT_SINK_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snoc {
+
+/** Streaming consumer of titled result tables. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Open a table; a non-empty title labels the section. */
+    virtual void beginTable(const std::string &title,
+                            const std::vector<std::string> &columns) = 0;
+
+    /** Append one row; arity must match the open table's columns. */
+    virtual void addRow(const std::vector<std::string> &cells) = 0;
+
+    /** Close the current table (flushes formats that buffer). */
+    virtual void endTable() = 0;
+
+    /**
+     * Free-form commentary (paper cross-checks, notes). Text sinks
+     * print it; machine-readable sinks drop it.
+     */
+    virtual void note(const std::string &) {}
+};
+
+/** Aligned text tables via TextTable, with banner-style titles. */
+class TableSink : public ResultSink
+{
+  public:
+    explicit TableSink(std::ostream &os);
+    ~TableSink() override;
+    void beginTable(const std::string &title,
+                    const std::vector<std::string> &columns) override;
+    void addRow(const std::vector<std::string> &cells) override;
+    void endTable() override;
+    void note(const std::string &text) override;
+
+  private:
+    struct Impl;
+    std::ostream &os_;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** RFC-4180-ish CSV; tables separated by "# title" comment lines. */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::ostream &os);
+    void beginTable(const std::string &title,
+                    const std::vector<std::string> &columns) override;
+    void addRow(const std::vector<std::string> &cells) override;
+    void endTable() override;
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+/**
+ * JSON array of {"title", "columns", "rows": [{col: value}]}.
+ * Cells that parse as finite numbers are emitted as JSON numbers.
+ * finish() closes the array; the destructor calls it if needed.
+ */
+class JsonSink : public ResultSink
+{
+  public:
+    explicit JsonSink(std::ostream &os);
+    ~JsonSink() override;
+    void beginTable(const std::string &title,
+                    const std::vector<std::string> &columns) override;
+    void addRow(const std::vector<std::string> &cells) override;
+    void endTable() override;
+    void finish();
+
+  private:
+    std::ostream &os_;
+    std::vector<std::string> columns_;
+    bool anyTable_ = false;
+    bool anyRow_ = false;
+    bool finished_ = false;
+};
+
+/** Fan a table stream out to several sinks (e.g. table + CSV file). */
+class TeeSink : public ResultSink
+{
+  public:
+    explicit TeeSink(std::vector<ResultSink *> sinks);
+    void beginTable(const std::string &title,
+                    const std::vector<std::string> &columns) override;
+    void addRow(const std::vector<std::string> &cells) override;
+    void endTable() override;
+    void note(const std::string &text) override;
+
+  private:
+    std::vector<ResultSink *> sinks_;
+};
+
+/**
+ * Build a sink by format name: "table", "csv" or "json".
+ * @throws FatalError for unknown formats.
+ */
+std::unique_ptr<ResultSink> makeResultSink(const std::string &format,
+                                           std::ostream &os);
+
+} // namespace snoc
+
+#endif // SNOC_EXP_RESULT_SINK_HH

@@ -1,0 +1,164 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "topo/topology_cache.hh"
+#include "trace/trace.hh"
+#include "traffic/synthetic.hh"
+
+namespace snoc {
+
+namespace {
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("SNOC_EXP_THREADS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : threads_(resolveThreads(opts.threads)), opts_(std::move(opts))
+{
+}
+
+SimResult
+ExperimentRunner::runScenario(const Scenario &s)
+{
+    const NocTopology &topo = TopologyCache::instance().get(s.topology);
+    RouterConfig rc = RouterConfig::named(s.routerConfig);
+    Network net(topo, rc, s.link, s.routing, s.routingSeed);
+
+    if (s.traffic.kind == TrafficSpec::Kind::Workload) {
+        const WorkloadProfile &w = workloadByName(s.traffic.workload);
+        return runWorkload(net, w, s.traffic.workloadCycles, s.seed);
+    }
+
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(s.traffic.pattern, topo));
+    SyntheticConfig sc;
+    sc.load = s.load;
+    sc.packetSizeFlits = s.traffic.packetSizeFlits;
+    sc.seed = s.seed;
+    return runSimulation(net, makeSyntheticSource(pattern, sc), s.sim);
+}
+
+JobResult
+ExperimentRunner::runJob(const Job &job) const
+{
+    JobResult out;
+    out.kind = job.kind;
+
+    // Every point of a sweep/search reuses the base Scenario with
+    // only the load replaced, so point results match what a Single
+    // job at that load would produce.
+    auto evalAt = [&job](double load) {
+        Scenario point = job.scenario;
+        point.load = load;
+        return runScenario(point);
+    };
+    auto record = [&job, &out](const LoadPoint &p) {
+        Scenario s = job.scenario;
+        s.load = p.load;
+        out.points.push_back({std::move(s), p.result});
+    };
+
+    switch (job.kind) {
+    case Job::Kind::Single:
+        out.points.push_back({job.scenario, runScenario(job.scenario)});
+        break;
+    case Job::Kind::Sweep:
+        for (const LoadPoint &p :
+             runLoadSweep(evalAt, job.loads, job.stopAtSaturation,
+                          job.saturationFactor))
+            record(p);
+        break;
+    case Job::Kind::Saturation: {
+        SaturationResult sat = findSaturation(evalAt, job.saturation);
+        for (const LoadPoint &p : sat.probes)
+            record(p);
+        out.saturationLoad = sat.saturationLoad;
+        out.bestThroughput = sat.bestThroughput;
+        break;
+    }
+    }
+    return out;
+}
+
+std::vector<JobResult>
+ExperimentRunner::run(const ExperimentPlan &plan) const
+{
+    std::vector<JobResult> results(plan.jobs.size());
+    if (plan.jobs.empty())
+        return results;
+
+    std::size_t total = plan.jobs.size();
+    int workers =
+        std::min<int>(threads_, static_cast<int>(total));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            results[i] = runJob(plan.jobs[i]);
+            if (opts_.progress)
+                opts_.progress(i + 1, total);
+        }
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex reportMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&]() {
+        // Stop dispatching new jobs once any job has failed (jobs
+        // already in flight finish), mirroring the serial path's
+        // abort-at-first-error semantics.
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                return;
+            try {
+                results[i] = runJob(plan.jobs[i]);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(reportMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            std::size_t finished = done.fetch_add(1) + 1;
+            if (opts_.progress) {
+                std::lock_guard<std::mutex> lock(reportMutex);
+                opts_.progress(finished, total);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace snoc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ExperimentRunner: executes an ExperimentPlan on a worker pool.
+ *
+ * Each job builds its own Network (the topology comes read-only from
+ * the process-wide TopologyCache) and draws from RNGs seeded only by
+ * its Scenario, so a plan's results are a pure function of the plan:
+ * running with 1 thread or N threads yields bitwise-identical
+ * SimResults, in plan order. This is the execution half of the
+ * scenario/execution split — campaign code describes points and the
+ * runner saturates the machine.
+ */
+
+#ifndef SNOC_EXP_RUNNER_HH
+#define SNOC_EXP_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "exp/experiment_plan.hh"
+
+namespace snoc {
+
+/** Execution knobs; the plan itself stays pure data. */
+struct RunnerOptions
+{
+    /**
+     * Worker threads. 0 resolves SNOC_EXP_THREADS, falling back to
+     * std::thread::hardware_concurrency(). 1 runs inline (the serial
+     * reference the determinism tests compare against).
+     */
+    int threads = 0;
+
+    /** Optional progress callback: (jobs done, jobs total). */
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/** Plan executor; stateless between run() calls. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions opts = {});
+
+    /**
+     * Execute every job; results are indexed exactly like plan.jobs.
+     * Exceptions thrown by a job (e.g. unknown topology id) are
+     * rethrown on the calling thread after the pool drains.
+     */
+    std::vector<JobResult> run(const ExperimentPlan &plan) const;
+
+    /** Execute one scenario on the calling thread. */
+    static SimResult runScenario(const Scenario &s);
+
+    /** The resolved worker count run() will use. */
+    int threadCount() const { return threads_; }
+
+  private:
+    int threads_;
+    RunnerOptions opts_;
+
+    JobResult runJob(const Job &job) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_EXP_RUNNER_HH

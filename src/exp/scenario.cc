@@ -1,0 +1,51 @@
+#include "exp/scenario.hh"
+
+#include <sstream>
+
+namespace snoc {
+
+std::string
+Scenario::describe() const
+{
+    if (!label.empty())
+        return label;
+    std::ostringstream oss;
+    oss << topology << "/" << routerConfig << "/";
+    if (traffic.kind == TrafficSpec::Kind::Workload)
+        oss << traffic.workload;
+    else
+        oss << to_string(traffic.pattern) << "@" << load;
+    return oss.str();
+}
+
+Scenario
+makeSyntheticScenario(const std::string &topology,
+                      const std::string &routerConfig,
+                      PatternKind pattern, double load,
+                      int hopsPerCycle, RoutingMode routing,
+                      const SimConfig &sim)
+{
+    Scenario s;
+    s.topology = topology;
+    s.routerConfig = routerConfig;
+    s.traffic = TrafficSpec::synthetic(pattern);
+    s.load = load;
+    s.link.hopsPerCycle = hopsPerCycle;
+    s.routing = routing;
+    s.sim = sim;
+    return s;
+}
+
+Scenario
+makeTraceScenario(const std::string &topology,
+                  const std::string &workload, Cycle cycles,
+                  std::uint64_t seed)
+{
+    Scenario s;
+    s.topology = topology;
+    s.traffic = TrafficSpec::trace(workload, cycles);
+    s.seed = seed;
+    return s;
+}
+
+} // namespace snoc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scenario: a pure-data description of one simulation point.
+ *
+ * The experiment engine (src/exp/) separates *what* to simulate from
+ * *how* it executes. A Scenario names a topology, a router and link
+ * configuration, a routing mode, a traffic specification, an offered
+ * load and the RNG seeds — everything needed to reconstruct the run
+ * bit-for-bit — without holding any live simulation objects. Plans
+ * built from Scenarios can therefore be executed serially or on a
+ * thread pool with identical results (see ExperimentRunner).
+ */
+
+#ifndef SNOC_EXP_SCENARIO_HH
+#define SNOC_EXP_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/network.hh"
+#include "sim/routing.hh"
+#include "sim/simulation.hh"
+#include "traffic/patterns.hh"
+
+namespace snoc {
+
+/** What traffic to offer: a synthetic pattern or a trace workload. */
+struct TrafficSpec
+{
+    enum class Kind
+    {
+        Synthetic, //!< Bernoulli source driving a PatternKind
+        Workload,  //!< PARSEC/SPLASH-like trace replay by name
+    };
+
+    Kind kind = Kind::Synthetic;
+
+    // Synthetic traffic.
+    PatternKind pattern = PatternKind::Random;
+    int packetSizeFlits = 6; //!< Section 5.1's synthetic packet size
+
+    // Trace workloads (see parsecSplashWorkloads()).
+    std::string workload;       //!< profile name, e.g. "radix"
+    Cycle workloadCycles = 5000; //!< trace duration
+
+    static TrafficSpec
+    synthetic(PatternKind p)
+    {
+        TrafficSpec t;
+        t.pattern = p;
+        return t;
+    }
+
+    static TrafficSpec
+    trace(std::string name, Cycle cycles)
+    {
+        TrafficSpec t;
+        t.kind = Kind::Workload;
+        t.workload = std::move(name);
+        t.workloadCycles = cycles;
+        return t;
+    }
+};
+
+/** One fully-specified simulation point, as data. */
+struct Scenario
+{
+    std::string label;      //!< optional; describe() derives one
+    std::string topology;   //!< Table-4 id, resolved via TopologyCache
+    std::string routerConfig = "EB-Var";
+    LinkConfig link;        //!< hopsPerCycle = 1 disables SMART
+    RoutingMode routing = RoutingMode::Minimal;
+    TrafficSpec traffic;
+    double load = 0.1;      //!< offered flits/node/cycle (synthetic)
+    std::uint64_t seed = 42;       //!< traffic source seed
+    std::uint64_t routingSeed = 7; //!< adaptive-routing tie-break seed
+    SimConfig sim;          //!< warmup / measurement windows
+
+    /** label, or "topo/router/traffic@load" when label is empty. */
+    std::string describe() const;
+};
+
+/** Convenience builder for the common synthetic case. */
+Scenario makeSyntheticScenario(const std::string &topology,
+                               const std::string &routerConfig,
+                               PatternKind pattern, double load,
+                               int hopsPerCycle = 1,
+                               RoutingMode routing =
+                                   RoutingMode::Minimal,
+                               const SimConfig &sim = {});
+
+/**
+ * Convenience builder for trace-workload scenarios. The default
+ * seed matches runWorkload()'s legacy default (99) so engine runs
+ * reproduce direct runWorkload() calls bit for bit.
+ */
+Scenario makeTraceScenario(const std::string &topology,
+                           const std::string &workload, Cycle cycles,
+                           std::uint64_t seed = 99);
+
+} // namespace snoc
+
+#endif // SNOC_EXP_SCENARIO_HH

@@ -1,0 +1,69 @@
+#include "exp/strategies.hh"
+
+#include <algorithm>
+
+namespace snoc {
+
+std::vector<LoadPoint>
+runLoadSweep(const PointEvaluator &eval,
+             const std::vector<double> &loads, bool stopAtSaturation,
+             double saturationFactor)
+{
+    std::vector<LoadPoint> points;
+    double baseLatency = -1.0;
+    for (double load : loads) {
+        SimResult res = eval(load);
+        points.push_back({load, res});
+        if (baseLatency < 0.0 && res.packetsDelivered > 0)
+            baseLatency = res.avgPacketLatency;
+        bool saturated =
+            !res.stable ||
+            (baseLatency > 0.0 &&
+             res.avgPacketLatency > saturationFactor * baseLatency);
+        if (stopAtSaturation && saturated)
+            break;
+    }
+    return points;
+}
+
+SaturationResult
+findSaturation(const PointEvaluator &eval, const SaturationSpec &spec)
+{
+    SaturationResult out;
+    int probesLeft = std::max(2, spec.maxProbes);
+
+    auto probe = [&](double load) -> const SimResult & {
+        SimResult res = eval(load);
+        out.probes.push_back({load, res});
+        out.bestThroughput =
+            std::max(out.bestThroughput, res.throughput);
+        --probesLeft;
+        return out.probes.back().result;
+    };
+
+    // The network may already sustain full injection bandwidth.
+    if (probe(spec.hiLoad).stable) {
+        out.saturationLoad = spec.hiLoad;
+        return out;
+    }
+
+    // Saturated below the starting load: report the floor probe.
+    if (!probe(spec.loLoad).stable) {
+        out.saturationLoad = 0.0;
+        return out;
+    }
+
+    double lo = spec.loLoad; // known stable
+    double hi = spec.hiLoad; // known unstable
+    while (hi - lo > spec.tolerance && probesLeft > 0) {
+        double mid = 0.5 * (lo + hi);
+        if (probe(mid).stable)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    out.saturationLoad = lo;
+    return out;
+}
+
+} // namespace snoc

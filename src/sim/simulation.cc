@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "exp/strategies.hh"
 
 namespace snoc {
 
@@ -70,29 +71,31 @@ runSimulation(Network &net, const TrafficSource &source,
     return r;
 }
 
+namespace {
+
+/** Fresh network + source per load point, as the legacy API promises. */
+PointEvaluator
+factoryEvaluator(const std::function<Network()> &makeNet,
+                 const std::function<TrafficSource(double)> &makeSource,
+                 const SimConfig &cfg)
+{
+    return [&makeNet, &makeSource, &cfg](double load) {
+        Network net = makeNet();
+        TrafficSource src = makeSource(load);
+        return runSimulation(net, src, cfg);
+    };
+}
+
+} // namespace
+
 std::vector<LoadPoint>
 sweepLoads(const std::function<Network()> &makeNet,
            const std::function<TrafficSource(double)> &makeSource,
            const std::vector<double> &loads, const SimConfig &cfg,
            bool stopAtSaturation, double saturationFactor)
 {
-    std::vector<LoadPoint> points;
-    double baseLatency = -1.0;
-    for (double load : loads) {
-        Network net = makeNet();
-        TrafficSource src = makeSource(load);
-        SimResult res = runSimulation(net, src, cfg);
-        points.push_back({load, res});
-        if (baseLatency < 0.0 && res.packetsDelivered > 0)
-            baseLatency = res.avgPacketLatency;
-        bool saturated =
-            !res.stable ||
-            (baseLatency > 0.0 &&
-             res.avgPacketLatency > saturationFactor * baseLatency);
-        if (stopAtSaturation && saturated)
-            break;
-    }
-    return points;
+    return runLoadSweep(factoryEvaluator(makeNet, makeSource, cfg),
+                        loads, stopAtSaturation, saturationFactor);
 }
 
 double
@@ -101,25 +104,8 @@ saturationThroughput(
     const std::function<TrafficSource(double)> &makeSource,
     const SimConfig &cfg)
 {
-    double best = 0.0;
-    double load = 0.05;
-    for (int i = 0; i < 8; ++i) {
-        Network net = makeNet();
-        SimResult res = runSimulation(net, makeSource(load), cfg);
-        best = std::max(best, res.throughput);
-        if (!res.stable)
-            break;
-        load *= 1.7;
-        if (load > 1.0) {
-            load = 1.0;
-            Network net2 = makeNet();
-            SimResult res2 =
-                runSimulation(net2, makeSource(load), cfg);
-            best = std::max(best, res2.throughput);
-            break;
-        }
-    }
-    return best;
+    return findSaturation(factoryEvaluator(makeNet, makeSource, cfg))
+        .bestThroughput;
 }
 
 } // namespace snoc

@@ -77,7 +77,8 @@ std::vector<LoadPoint> sweepLoads(
 
 /**
  * Estimate saturation throughput: the highest delivered
- * flits/node/cycle over a geometric load ramp.
+ * flits/node/cycle over a bisection search of the stable/unstable
+ * load boundary (see exp/strategies.hh findSaturation).
  */
 double saturationThroughput(
     const std::function<Network()> &makeNet,

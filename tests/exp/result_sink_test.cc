@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ResultSink golden-output tests: the CSV and JSON formats are
+ * consumed by external tooling, so their exact shape is pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "exp/result_sink.hh"
+
+namespace snoc {
+namespace {
+
+TEST(CsvSink, GoldenOutput)
+{
+    std::ostringstream os;
+    CsvSink sink(os);
+    sink.beginTable("Latency sweep", {"load", "latency"});
+    sink.addRow({"0.1", "12.5"});
+    sink.addRow({"0.2", "14.0"});
+    sink.endTable();
+    EXPECT_EQ(os.str(), "# Latency sweep\n"
+                        "load,latency\n"
+                        "0.1,12.5\n"
+                        "0.2,14.0\n");
+}
+
+TEST(CsvSink, QuotesDelimitersAndSeparatesTables)
+{
+    std::ostringstream os;
+    CsvSink sink(os);
+    sink.beginTable("", {"name", "note"});
+    sink.addRow({"a,b", "say \"hi\""});
+    sink.endTable();
+    sink.beginTable("second", {"x"});
+    sink.addRow({"1"});
+    sink.endTable();
+    EXPECT_EQ(os.str(), "name,note\n"
+                        "\"a,b\",\"say \"\"hi\"\"\"\n"
+                        "\n"
+                        "# second\n"
+                        "x\n"
+                        "1\n");
+}
+
+TEST(JsonSink, GoldenOutput)
+{
+    std::ostringstream os;
+    {
+        JsonSink sink(os);
+        sink.beginTable("t", {"a", "b"});
+        sink.addRow({"1", "x"});
+        sink.addRow({"2.5", "y"});
+        sink.endTable();
+        sink.finish();
+    }
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "  {\"title\": \"t\", \"columns\": [\"a\", \"b\"], "
+              "\"rows\": [\n"
+              "    {\"a\": 1, \"b\": \"x\"},\n"
+              "    {\"a\": 2.5, \"b\": \"y\"}\n"
+              "  ]}\n"
+              "]\n");
+}
+
+TEST(JsonSink, NumericDetectionAndEscaping)
+{
+    std::ostringstream os;
+    {
+        JsonSink sink(os);
+        sink.beginTable("", {"v"});
+        sink.addRow({"-3.5e2"});  // number
+        sink.addRow({"12abc"});   // not a number
+        sink.addRow({"nan"});     // strtod-parseable, not JSON
+        sink.addRow({"inf"});     // strtod-parseable, not JSON
+        sink.addRow({"0x1f"});    // strtod-parseable, not JSON
+        sink.addRow({"a\"b\\c"}); // needs escaping
+        sink.endTable();
+    } // destructor finishes the array
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "  {\"title\": \"\", \"columns\": [\"v\"], "
+              "\"rows\": [\n"
+              "    {\"v\": -3.5e2},\n"
+              "    {\"v\": \"12abc\"},\n"
+              "    {\"v\": \"nan\"},\n"
+              "    {\"v\": \"inf\"},\n"
+              "    {\"v\": \"0x1f\"},\n"
+              "    {\"v\": \"a\\\"b\\\\c\"}\n"
+              "  ]}\n"
+              "]\n");
+}
+
+TEST(JsonSink, EmptySinkIsEmptyArray)
+{
+    std::ostringstream os;
+    {
+        JsonSink sink(os);
+    }
+    EXPECT_EQ(os.str(), "[]\n");
+}
+
+TEST(TableSink, RendersTitleBannerAndAlignedTable)
+{
+    std::ostringstream os;
+    TableSink sink(os);
+    sink.beginTable("Results", {"id", "value"});
+    sink.addRow({"a", "1"});
+    sink.addRow({"bb", "22"});
+    sink.endTable();
+    sink.note("done");
+    std::string out = os.str();
+    EXPECT_NE(out.find("=== Results ==="), std::string::npos);
+    EXPECT_NE(out.find("id  value"), std::string::npos);
+    EXPECT_NE(out.find("bb  22"), std::string::npos);
+    EXPECT_NE(out.find("done\n"), std::string::npos);
+}
+
+TEST(TeeSink, FansOutToAllSinks)
+{
+    std::ostringstream csvOs, jsonOs;
+    CsvSink csv(csvOs);
+    JsonSink json(jsonOs);
+    TeeSink tee({&csv, &json});
+    tee.beginTable("t", {"a"});
+    tee.addRow({"1"});
+    tee.endTable();
+    json.finish();
+    EXPECT_EQ(csvOs.str(), "# t\na\n1\n");
+    EXPECT_NE(jsonOs.str().find("\"a\": 1"), std::string::npos);
+}
+
+TEST(MakeResultSink, ResolvesFormatsAndRejectsUnknown)
+{
+    std::ostringstream os;
+    EXPECT_NE(makeResultSink("table", os), nullptr);
+    EXPECT_NE(makeResultSink("csv", os), nullptr);
+    EXPECT_NE(makeResultSink("json", os), nullptr);
+    EXPECT_NE(makeResultSink("", os), nullptr); // default: table
+    EXPECT_THROW(makeResultSink("xml", os), FatalError);
+}
+
+} // namespace
+} // namespace snoc

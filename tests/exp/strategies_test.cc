@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Strategy tests against synthetic evaluators: sweep early-stop
+ * semantics and bisection saturation-search convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/strategies.hh"
+
+namespace snoc {
+namespace {
+
+/** Evaluator modelling a network that saturates at `satLoad`. */
+PointEvaluator
+syntheticNetwork(double satLoad, double baseLatency = 10.0)
+{
+    return [satLoad, baseLatency](double load) {
+        SimResult r;
+        r.stable = load <= satLoad;
+        r.offeredLoad = load;
+        r.throughput = std::min(load, satLoad);
+        r.avgPacketLatency =
+            r.stable ? baseLatency : 20.0 * baseLatency;
+        r.packetsDelivered = 1000;
+        return r;
+    };
+}
+
+TEST(RunLoadSweep, RunsEveryStablePoint)
+{
+    auto pts = runLoadSweep(syntheticNetwork(0.9),
+                            {0.1, 0.2, 0.3, 0.4});
+    ASSERT_EQ(pts.size(), 4u);
+    EXPECT_DOUBLE_EQ(pts[0].load, 0.1);
+    EXPECT_DOUBLE_EQ(pts[3].load, 0.4);
+}
+
+TEST(RunLoadSweep, StopsAtFirstUnstablePoint)
+{
+    auto pts = runLoadSweep(syntheticNetwork(0.25),
+                            {0.1, 0.2, 0.3, 0.4, 0.5});
+    // 0.3 is the first unstable point; the sweep records it and stops.
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_FALSE(pts.back().result.stable);
+}
+
+TEST(RunLoadSweep, StopsOnLatencyBlowupEvenWhenStable)
+{
+    // Latency jumps 20x at loads above 0.3 but stays "stable".
+    PointEvaluator eval = [](double load) {
+        SimResult r;
+        r.stable = true;
+        r.avgPacketLatency = load > 0.3 ? 200.0 : 10.0;
+        r.packetsDelivered = 1000;
+        r.throughput = load;
+        return r;
+    };
+    auto pts = runLoadSweep(eval, {0.1, 0.2, 0.4, 0.5}, true, 6.0);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts.back().load, 0.4);
+}
+
+TEST(RunLoadSweep, NoStopRunsFullGrid)
+{
+    auto pts = runLoadSweep(syntheticNetwork(0.25),
+                            {0.1, 0.2, 0.3, 0.4, 0.5}, false);
+    EXPECT_EQ(pts.size(), 5u);
+}
+
+TEST(FindSaturation, ConvergesToBoundaryWithinTolerance)
+{
+    SaturationSpec spec;
+    spec.tolerance = 0.02;
+    SaturationResult r =
+        findSaturation(syntheticNetwork(0.37), spec);
+    EXPECT_LE(r.saturationLoad, 0.37);
+    EXPECT_GE(r.saturationLoad, 0.37 - spec.tolerance);
+    // The bracket endpoints were probed and contributed throughput.
+    EXPECT_NEAR(r.bestThroughput, 0.37, 1e-9);
+    EXPECT_LE(static_cast<int>(r.probes.size()),
+              spec.maxProbes);
+}
+
+TEST(FindSaturation, FullyStableNetworkNeedsOneProbe)
+{
+    SaturationResult r = findSaturation(syntheticNetwork(2.0));
+    EXPECT_DOUBLE_EQ(r.saturationLoad, 1.0);
+    EXPECT_EQ(r.probes.size(), 1u);
+}
+
+TEST(FindSaturation, SaturatedBelowFloorReportsZero)
+{
+    SaturationResult r = findSaturation(syntheticNetwork(0.01));
+    EXPECT_DOUBLE_EQ(r.saturationLoad, 0.0);
+    EXPECT_EQ(r.probes.size(), 2u); // hi then lo, both unstable
+}
+
+TEST(FindSaturation, RespectsProbeBudget)
+{
+    SaturationSpec spec;
+    spec.tolerance = 1e-9; // unreachable; budget must cut off
+    spec.maxProbes = 6;
+    SaturationResult r =
+        findSaturation(syntheticNetwork(0.37), spec);
+    EXPECT_LE(static_cast<int>(r.probes.size()), spec.maxProbes);
+    EXPECT_GT(r.saturationLoad, 0.0);
+}
+
+TEST(FindSaturation, ProbesAreRecordedInExecutionOrder)
+{
+    SaturationResult r = findSaturation(syntheticNetwork(0.37));
+    ASSERT_GE(r.probes.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.probes[0].load, 1.0);  // hi first
+    EXPECT_DOUBLE_EQ(r.probes[1].load, 0.05); // then lo
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TopologyCache tests: build-once reuse, hit/miss accounting, and
+ * concurrent first-lookup safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "topo/topology_cache.hh"
+
+namespace snoc {
+namespace {
+
+TEST(TopologyCache, ReturnsSameInstanceOnRepeatLookup)
+{
+    TopologyCache cache;
+    const NocTopology &a = cache.get("t2d4");
+    const NocTopology &b = cache.get("t2d4");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.name(), "t2d4");
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TopologyCache, DistinctIdsAreDistinctEntries)
+{
+    TopologyCache cache;
+    const NocTopology &a = cache.get("t2d4");
+    const NocTopology &b = cache.get("cm4");
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(a.numNodes(), b.numNodes()); // both N = 200 class
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TopologyCache, EntriesStayPinnedAcrossLaterInsertions)
+{
+    TopologyCache cache;
+    const NocTopology *first = &cache.get("t2d4");
+    cache.get("cm4");
+    cache.get("pfbf4");
+    cache.get("sn_subgr_200");
+    EXPECT_EQ(first, &cache.get("t2d4"));
+}
+
+TEST(TopologyCache, ClearResetsEntriesAndCounters)
+{
+    TopologyCache cache;
+    cache.get("t2d4");
+    cache.get("t2d4");
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.get("t2d4");
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TopologyCache, UnknownIdThrows)
+{
+    TopologyCache cache;
+    EXPECT_THROW(cache.get("no_such_topology"), FatalError);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TopologyCache, ConcurrentFirstLookupBuildsOnce)
+{
+    TopologyCache cache;
+    constexpr int kThreads = 8;
+    std::vector<const NocTopology *> seen(kThreads, nullptr);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back(
+            [&cache, &seen, t] { seen[t] = &cache.get("cm4"); });
+    for (std::thread &t : pool)
+        t.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0], seen[t]);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), static_cast<std::size_t>(kThreads - 1));
+}
+
+TEST(TopologyCache, ProcessWideInstanceIsStable)
+{
+    TopologyCache &a = TopologyCache::instance();
+    TopologyCache &b = TopologyCache::instance();
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace
+} // namespace snoc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Hot-path throughput benchmark: raw cycle-loop speed of the
+ * flit-level simulator, recorded as the repo's perf trajectory.
+ *
+ * For each topology x routing mode it warms a network up under
+ * random Bernoulli traffic, then times a fixed window of
+ * Network::step() calls and reports simulated cycles/sec,
+ * flit-hops/sec (link work actually performed), delivered
+ * flits/sec, and the mean active-router fraction (how much of the
+ * network the worklist actually visits per cycle).
+ *
+ * Results stream to stdout like every bench and are also written to
+ * BENCH_hotpath.json (see SNOC_BENCH_OUT), giving successive commits
+ * comparable perf points. SNOC_BENCH_FAST=1 shrinks the windows for
+ * CI smoke runs; throughput numbers are then noisy but the artifact
+ * shape is identical.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace snoc;
+using namespace snoc::bench;
+
+const char *
+modeName(RoutingMode mode)
+{
+    switch (mode) {
+      case RoutingMode::Minimal: return "minimal";
+      case RoutingMode::MinAdaptive: return "min-adaptive";
+      case RoutingMode::UgalL: return "ugal-l";
+      case RoutingMode::UgalG: return "ugal-g";
+      case RoutingMode::XyAdaptive: return "xy-adaptive";
+    }
+    return "?";
+}
+
+std::string
+fmt(double v, const char *spec = "%.3g")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return buf;
+}
+
+struct PerfPoint
+{
+    double cyclesPerSec = 0.0;
+    double flitHopsPerSec = 0.0;
+    double flitsPerSec = 0.0;
+    double activeFraction = 0.0;
+    Cycle cycles = 0;
+};
+
+PerfPoint
+measure(const std::string &topoId, RoutingMode mode, double load)
+{
+    Network net(topo(topoId), RouterConfig::named("EB-Var"),
+                LinkConfig{}, mode, /*seed=*/7);
+    net.reservePackets(1u << 14);
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, net.topology()));
+    SyntheticConfig sc;
+    sc.load = load;
+    TrafficSource src = makeSyntheticSource(pattern, sc);
+
+    PerfPoint p;
+    Cycle warmup = fastMode() ? 300 : 2000;
+    p.cycles = fastMode() ? 1500 : 20000;
+
+    for (Cycle c = 0; c < warmup; ++c) {
+        src(net, net.now());
+        net.step();
+    }
+
+    SimCounters before = net.counters();
+    std::uint64_t activeSum = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (Cycle c = 0; c < p.cycles; ++c) {
+        src(net, net.now());
+        net.step();
+        activeSum += net.lastActiveRouters();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    wall = wall > 0.0 ? wall : 1e-9;
+    SimCounters delta = net.counters() - before;
+
+    p.cyclesPerSec = static_cast<double>(p.cycles) / wall;
+    p.flitHopsPerSec = static_cast<double>(delta.linkFlitHops) / wall;
+    p.flitsPerSec = static_cast<double>(delta.flitsDelivered) / wall;
+    p.activeFraction =
+        static_cast<double>(activeSum) /
+        (static_cast<double>(p.cycles) *
+         static_cast<double>(net.topology().numRouters()));
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *topologies[] = {"sn_subgr_200", "cm4", "t2d4"};
+    const RoutingMode modes[] = {RoutingMode::Minimal,
+                                 RoutingMode::UgalL,
+                                 RoutingMode::UgalG};
+    const double load = 0.10;
+
+    PerfReport report("hotpath");
+    report.out().beginTable(
+        "hot-path cycle-loop throughput (random traffic, load " +
+            fmt(load, "%.2f") + " flits/node/cycle, EB-Var)",
+        {"topology", "routing", "cycles", "cycles_per_sec",
+         "flit_hops_per_sec", "flits_delivered_per_sec",
+         "active_router_fraction"});
+    for (const char *t : topologies) {
+        for (RoutingMode m : modes) {
+            PerfPoint p = measure(t, m, load);
+            report.out().addRow(
+                {t, modeName(m),
+                 std::to_string(static_cast<std::uint64_t>(p.cycles)),
+                 fmt(p.cyclesPerSec, "%.0f"),
+                 fmt(p.flitHopsPerSec, "%.0f"),
+                 fmt(p.flitsPerSec, "%.0f"),
+                 fmt(p.activeFraction, "%.3f")});
+        }
+    }
+    report.out().endTable();
+    std::cout << "\nperf artifact: " << report.path() << "\n";
+    return 0;
+}

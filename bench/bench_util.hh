@@ -15,6 +15,8 @@
  *                         (used by CI); default windows give stable
  *                         numbers.
  *   SNOC_BENCH_FORMAT=x   result format: table (default), csv, json.
+ *   SNOC_BENCH_OUT=dir    directory for BENCH_*.json perf artifacts
+ *                         (default: current directory).
  *   SNOC_EXP_THREADS=n    worker threads for campaign execution.
  */
 
@@ -22,11 +24,13 @@
 #define SNOC_BENCH_BENCH_UTIL_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "exp/result_sink.hh"
 #include "exp/runner.hh"
 #include "power/power_model.hh"
@@ -143,6 +147,47 @@ banner(const std::string &title)
 {
     std::cout << "\n=== " << title << " ===\n\n";
 }
+
+/** Path of a BENCH_<name>.json perf artifact under SNOC_BENCH_OUT
+ *  (default: current directory). */
+inline std::string
+benchJsonPath(const std::string &name)
+{
+    const char *dir = std::getenv("SNOC_BENCH_OUT");
+    std::string base = dir && dir[0] ? dir : ".";
+    return base + "/BENCH_" + name + ".json";
+}
+
+/**
+ * Perf mode for bench binaries: tables stream both to stdout (in the
+ * SNOC_BENCH_FORMAT format, like every other bench) and to a
+ * machine-readable BENCH_<name>.json artifact, so perf-trajectory
+ * points are recorded as a side effect of running the bench.
+ */
+class PerfReport
+{
+  public:
+    explicit PerfReport(const std::string &name)
+        : path_(benchJsonPath(name)), file_(path_),
+          fileSink_(file_), tee_({&bench::sink(), &fileSink_})
+    {
+        if (!file_)
+            fatal("cannot open perf artifact ", path_);
+    }
+
+    ~PerfReport() { fileSink_.finish(); }
+
+    /** Tee sink: stdout + the JSON artifact. */
+    ResultSink &out() { return tee_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream file_;
+    JsonSink fileSink_;
+    TeeSink tee_;
+};
 
 } // namespace snoc::bench
 

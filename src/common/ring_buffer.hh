@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer for the simulator hot path.
+ *
+ * The per-cycle loop previously ran on std::deque, whose node
+ * allocation pattern puts heap traffic on every sustained
+ * producer/consumer queue. RingBuffer stores elements in one
+ * contiguous power-of-two block and moves only head/size indices, so
+ * steady-state push/pop performs zero heap allocations. Capacity is
+ * reserved up front from the credit/buffer bounds of the caller
+ * (RouterConfig depths, downstream credit counts); if a push ever
+ * exceeds capacity the buffer grows by doubling, preserving FIFO
+ * order, rather than corrupting state — growth is a one-time warmup
+ * event, never a steady-state one.
+ */
+
+#ifndef SNOC_COMMON_RING_BUFFER_HH
+#define SNOC_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace snoc {
+
+/** Contiguous single-ended FIFO: push_back / pop_front only. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    /** Construct with capacity for at least `n` elements. */
+    explicit RingBuffer(std::size_t n) { reserve(n); }
+
+    /** Ensure capacity for at least `n` elements (rounded to pow2). */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > data_.size())
+            grow(n);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return data_.size(); }
+
+    T &front() { return data_[head_]; }
+    const T &front() const { return data_[head_]; }
+
+    const T &
+    back() const
+    {
+        return data_[(head_ + size_ - 1) & (data_.size() - 1)];
+    }
+
+    /** The i-th element from the front (0 == front()). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        return data_[(head_ + i) & (data_.size() - 1)];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == data_.size())
+            grow(size_ + 1);
+        data_[(head_ + size_) & (data_.size() - 1)] = std::move(v);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & (data_.size() - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> data_; //!< always a power-of-two length (or empty)
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+
+    void
+    grow(std::size_t minCap)
+    {
+        std::size_t cap = data_.empty() ? 8 : data_.size();
+        while (cap < minCap)
+            cap *= 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            next[i] = std::move(data_[(head_ + i) & (data_.size() - 1)]);
+        data_ = std::move(next);
+        head_ = 0;
+    }
+};
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_RING_BUFFER_HH

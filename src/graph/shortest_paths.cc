@@ -55,21 +55,29 @@ ShortestPaths::nextHop(int src, int dst) const
 std::vector<int>
 ShortestPaths::minimalNextHops(int src, int dst) const
 {
+    std::vector<int> hops;
+    minimalNextHops(src, dst, hops);
+    return hops;
+}
+
+void
+ShortestPaths::minimalNextHops(int src, int dst,
+                               std::vector<int> &out) const
+{
     SNOC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_,
                 "vertex out of range");
-    std::vector<int> hops;
+    out.clear();
     if (src == dst)
-        return hops;
+        return;
     const auto &d = dist_[static_cast<std::size_t>(dst)];
     for (int w : graph_->neighbors(src)) {
         if (d[static_cast<std::size_t>(w)] ==
             d[static_cast<std::size_t>(src)] - 1) {
             // Parallel edges produce duplicate neighbors; keep one each.
-            if (std::find(hops.begin(), hops.end(), w) == hops.end())
-                hops.push_back(w);
+            if (std::find(out.begin(), out.end(), w) == out.end())
+                out.push_back(w);
         }
     }
-    return hops;
 }
 
 std::vector<int>

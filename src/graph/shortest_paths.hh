@@ -43,6 +43,10 @@ class ShortestPaths
     /** All neighbors of src that lie on some minimal src->dst path. */
     std::vector<int> minimalNextHops(int src, int dst) const;
 
+    /** Allocation-free variant for per-route hot paths: clears `out`
+     *  and fills it with the minimal next hops. */
+    void minimalNextHops(int src, int dst, std::vector<int> &out) const;
+
     /** The full deterministic path src -> ... -> dst (inclusive). */
     std::vector<int> path(int src, int dst) const;
 

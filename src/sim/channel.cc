@@ -13,40 +13,36 @@ void
 FlitChannel::pushFlit(Flit flit, Cycle now, int extraDelay)
 {
     Cycle arrival = now + static_cast<Cycle>(latency_ + extraDelay);
-    SNOC_ASSERT(flits_.empty() || flits_.back().first <= arrival,
+    SNOC_ASSERT(flits_.empty() || flits_.back().at <= arrival,
                 "non-monotonic flit arrival");
-    flits_.emplace_back(arrival, std::move(flit));
+    flits_.push_back(TimedFlit{arrival, flit});
 }
 
-std::vector<Flit>
-FlitChannel::popArrivedFlits(Cycle now)
+void
+FlitChannel::popArrivedFlits(Cycle now, std::vector<Flit> &out)
 {
-    std::vector<Flit> out;
-    while (!flits_.empty() && flits_.front().first <= now) {
-        out.push_back(std::move(flits_.front().second));
+    while (!flits_.empty() && flits_.front().at <= now) {
+        out.push_back(flits_.front().flit);
         flits_.pop_front();
     }
-    return out;
 }
 
 void
 FlitChannel::pushCredit(int vc, Cycle now)
 {
     Cycle arrival = now + static_cast<Cycle>(latency_);
-    SNOC_ASSERT(credits_.empty() || credits_.back().first <= arrival,
+    SNOC_ASSERT(credits_.empty() || credits_.back().at <= arrival,
                 "non-monotonic credit arrival");
-    credits_.emplace_back(arrival, vc);
+    credits_.push_back(TimedCredit{arrival, vc});
 }
 
-std::vector<int>
-FlitChannel::popArrivedCredits(Cycle now)
+void
+FlitChannel::popArrivedCredits(Cycle now, std::vector<int> &out)
 {
-    std::vector<int> out;
-    while (!credits_.empty() && credits_.front().first <= now) {
-        out.push_back(credits_.front().second);
+    while (!credits_.empty() && credits_.front().at <= now) {
+        out.push_back(credits_.front().vc);
         credits_.pop_front();
     }
-    return out;
 }
 
 } // namespace snoc

@@ -11,15 +11,21 @@
  * With ElastiStore elastic links (Section 4.1) the pipeline latches
  * themselves store flits; the simulator models this as additional
  * effective buffer depth at the downstream input (see RouterConfig).
+ *
+ * Hot-path contract: in-flight storage is a pre-reserved ring buffer
+ * (credit flow control bounds occupancy by the downstream buffer
+ * depth, which the attaching Router reserves via reserveFlits /
+ * reserveCredits), and arrivals drain into caller-provided scratch
+ * vectors — steady-state channel traffic performs no heap
+ * allocations.
  */
 
 #ifndef SNOC_SIM_CHANNEL_HH
 #define SNOC_SIM_CHANNEL_HH
 
-#include <deque>
-#include <utility>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "sim/types.hh"
 
 namespace snoc {
@@ -39,22 +45,44 @@ class FlitChannel
     /** Send a flit; it arrives at now + latency (+ extraDelay). */
     void pushFlit(Flit flit, Cycle now, int extraDelay = 0);
 
-    /** Pop all flits that have arrived by `now` (ordered). */
-    std::vector<Flit> popArrivedFlits(Cycle now);
+    /** Append all flits that have arrived by `now` to `out`
+     *  (ordered); `out` is the caller's reusable scratch vector. */
+    void popArrivedFlits(Cycle now, std::vector<Flit> &out);
 
     /** Return a credit for `vc`; arrives upstream at now + latency. */
     void pushCredit(int vc, Cycle now);
 
-    /** Pop all credits that have arrived by `now`. */
-    std::vector<int> popArrivedCredits(Cycle now);
+    /** Append all credits that have arrived by `now` to `out`. */
+    void popArrivedCredits(Cycle now, std::vector<int> &out);
 
     /** Number of flits currently in flight. */
     std::size_t flitsInFlight() const { return flits_.size(); }
 
+    /** Number of credits currently in flight. */
+    std::size_t creditsInFlight() const { return credits_.size(); }
+
+    /** Pre-size the flit ring (attaching router knows the bound). */
+    void reserveFlits(std::size_t n) { flits_.reserve(n); }
+
+    /** Pre-size the credit ring. */
+    void reserveCredits(std::size_t n) { credits_.reserve(n); }
+
   private:
+    struct TimedFlit
+    {
+        Cycle at = 0;
+        Flit flit;
+    };
+
+    struct TimedCredit
+    {
+        Cycle at = 0;
+        int vc = 0;
+    };
+
     int latency_;
-    std::deque<std::pair<Cycle, Flit>> flits_;
-    std::deque<std::pair<Cycle, int>> credits_;
+    RingBuffer<TimedFlit> flits_;
+    RingBuffer<TimedCredit> credits_;
 };
 
 } // namespace snoc

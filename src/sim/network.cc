@@ -32,7 +32,7 @@ Network::build(std::uint64_t seed, RoutingMode mode)
     routers_.reserve(static_cast<std::size_t>(g.numVertices()));
     for (int r = 0; r < g.numVertices(); ++r) {
         routers_.push_back(std::make_unique<Router>(
-            r, routerCfg_, *routing_, *counters_));
+            r, routerCfg_, *routing_, *pool_, *counters_));
     }
 
     // Create one channel pair per directed adjacency entry. Port k of
@@ -50,6 +50,10 @@ Network::build(std::uint64_t seed, RoutingMode mode)
             channels_.push_back(std::make_unique<FlitChannel>(lat));
             channelTo[static_cast<std::size_t>(u)][k] =
                 channels_.back().get();
+            // Channel u -> nb[k]: its flits wake the downstream
+            // router, its returning credits wake the sender.
+            chanFlitSink_.push_back(nb[k]);
+            chanCreditSink_.push_back(u);
         }
     }
     // Pair directed channels into bidirectional ports.
@@ -97,6 +101,27 @@ Network::build(std::uint64_t seed, RoutingMode mode)
     }
     for (auto &r : routers_)
         r->finalize();
+
+    deliveredScratch_.reserve(
+        static_cast<std::size_t>(topo_.numNodes()));
+    routerActive_.resize(routers_.size());
+    activeScratch_.reserve(static_cast<std::size_t>(g.numVertices()));
+}
+
+void
+Network::reservePackets(std::size_t packets)
+{
+    pool_->reserve(packets);
+    if (sourceQueues_.empty())
+        return;
+    // `packets` bounds the *total* concurrent packets; give each
+    // node's queue its share plus burst slack rather than the full
+    // total (which would multiply the reservation by the node
+    // count). An unusually bursty node grows its ring once — a
+    // warmup event, not a steady-state one.
+    std::size_t perQueue = packets / sourceQueues_.size() + 16;
+    for (auto &q : sourceQueues_)
+        q.reserve(perQueue);
 }
 
 void
@@ -108,18 +133,18 @@ Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
                 "node out of range");
     SNOC_ASSERT(srcNode != dstNode, "self-addressed packet");
     SNOC_ASSERT(sizeFlits >= 1, "empty packet");
-    auto pkt = std::make_shared<Packet>();
-    pkt->id = nextPacketId_++;
-    pkt->srcNode = srcNode;
-    pkt->dstNode = dstNode;
-    pkt->srcRouter = topo_.routerOfNode(srcNode);
-    pkt->dstRouter = topo_.routerOfNode(dstNode);
-    pkt->sizeFlits = sizeFlits;
-    pkt->msgClass = msgClass;
-    pkt->createdAt = now_;
-    routing_->onInject(*pkt, *this);
-    sourceQueues_[static_cast<std::size_t>(srcNode)].push_back(
-        std::move(pkt));
+    PacketHandle h = pool_->alloc();
+    Packet &pkt = pool_->get(h);
+    pkt.id = nextPacketId_++;
+    pkt.srcNode = srcNode;
+    pkt.dstNode = dstNode;
+    pkt.srcRouter = topo_.routerOfNode(srcNode);
+    pkt.dstRouter = topo_.routerOfNode(dstNode);
+    pkt.sizeFlits = sizeFlits;
+    pkt.msgClass = msgClass;
+    pkt.createdAt = now_;
+    routing_->onInject(pkt, *this);
+    sourceQueues_[static_cast<std::size_t>(srcNode)].push_back(h);
 }
 
 void
@@ -133,24 +158,54 @@ Network::pumpInjection()
             topo_.routerOfNode(node))];
         int slot = localSlot_[static_cast<std::size_t>(node)];
         // Move whole packets only, keeping flits contiguous.
-        while (!q.empty() &&
-               r.injectionSpace(slot) >= q.front()->sizeFlits) {
-            PacketPtr pkt = std::move(q.front());
+        while (!q.empty()) {
+            Packet &pkt = pool_->get(q.front());
+            if (r.injectionSpace(slot) < pkt.sizeFlits)
+                break;
+            PacketHandle h = q.front();
             q.pop_front();
-            pkt->injectedAt = now_;
-            for (int f = 0; f < pkt->sizeFlits; ++f) {
+            pkt.injectedAt = now_;
+            for (int f = 0; f < pkt.sizeFlits; ++f) {
                 Flit flit;
-                flit.pkt = pkt;
+                flit.pkt = h;
                 flit.head = f == 0;
-                flit.tail = f == pkt->sizeFlits - 1;
+                flit.tail = f == pkt.sizeFlits - 1;
                 flit.vc = 0;
-                r.injectFlit(slot, std::move(flit));
+                r.injectFlit(slot, flit);
             }
             counters_->flitsInjected +=
-                static_cast<std::uint64_t>(pkt->sizeFlits);
+                static_cast<std::uint64_t>(pkt.sizeFlits);
             ++counters_->packetsInjected;
         }
     }
+}
+
+void
+Network::buildWorklist()
+{
+    // A router must run this cycle iff it has buffered flits (inputs,
+    // central buffer, or ejection queues — fresh injections included)
+    // or traffic parked on an incident channel (arriving flits or
+    // returning credits, whether or not they arrive this cycle).
+    // Everything else is provably a no-op: routeHeads and the
+    // allocators touch only buffered flits, and the rotating
+    // arbitration pointers are derived from `now`, not mutated state.
+    activeScratch_.clear();
+    int n = static_cast<int>(routers_.size());
+    for (int r = 0; r < n; ++r)
+        routerActive_[static_cast<std::size_t>(r)] =
+            routers_[static_cast<std::size_t>(r)]->bufferedFlits() > 0;
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        if (channels_[c]->flitsInFlight() > 0)
+            routerActive_[static_cast<std::size_t>(
+                chanFlitSink_[c])] = true;
+        if (channels_[c]->creditsInFlight() > 0)
+            routerActive_[static_cast<std::size_t>(
+                chanCreditSink_[c])] = true;
+    }
+    for (int r = 0; r < n; ++r)
+        if (routerActive_[static_cast<std::size_t>(r)])
+            activeScratch_.push_back(r);
 }
 
 void
@@ -164,22 +219,26 @@ Network::step()
         stateAttached_ = true;
     }
     pumpInjection();
-    for (auto &r : routers_)
-        r->collectArrivals(now_);
-    for (auto &r : routers_)
-        r->step(now_);
+    buildWorklist();
+    for (int r : activeScratch_)
+        routers_[static_cast<std::size_t>(r)]->collectArrivals(now_);
+    for (int r : activeScratch_)
+        routers_[static_cast<std::size_t>(r)]->step(now_);
     deliveredScratch_.clear();
-    for (auto &r : routers_)
-        r->drainEjection(now_, deliveredScratch_);
-    for (const PacketPtr &pkt : deliveredScratch_) {
-        latency_.add(static_cast<double>(pkt->ejectedAt -
-                                         pkt->createdAt));
-        netLatency_.add(static_cast<double>(pkt->ejectedAt -
-                                            pkt->injectedAt));
-        hops_.add(static_cast<double>(pkt->hops));
-        winFlits_ += static_cast<std::uint64_t>(pkt->sizeFlits);
+    for (int r : activeScratch_)
+        routers_[static_cast<std::size_t>(r)]->drainEjection(
+            now_, deliveredScratch_);
+    for (PacketHandle h : deliveredScratch_) {
+        const Packet &pkt = pool_->get(h);
+        latency_.add(static_cast<double>(pkt.ejectedAt -
+                                         pkt.createdAt));
+        netLatency_.add(static_cast<double>(pkt.ejectedAt -
+                                            pkt.injectedAt));
+        hops_.add(static_cast<double>(pkt.hops));
+        winFlits_ += static_cast<std::uint64_t>(pkt.sizeFlits);
         if (onDeliver_)
             onDeliver_(pkt);
+        pool_->release(h);
     }
     ++now_;
 }

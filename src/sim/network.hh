@@ -8,18 +8,27 @@
  * counts toward packet latency) feeding the routers' 20-flit
  * injection queues. Link latencies are ceil(wireLength / H) with
  * H = 1 (plain) or H ~ 9 (SMART links, Section 5.1).
+ *
+ * Hot-path contract: packets live in an index-based PacketPool arena
+ * owned by the Network (flits carry handles, not refcounts), all
+ * queues are pre-reserved ring buffers, and step() visits only the
+ * active-router worklist — routers with buffered flits, in-flight
+ * channel traffic, or fresh injections. Steady-state step() performs
+ * zero heap allocations (enforced by tests/sim/
+ * hotpath_equivalence_test.cc).
  */
 
 #ifndef SNOC_SIM_NETWORK_HH
 #define SNOC_SIM_NETWORK_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/stats.hh"
 #include "sim/channel.hh"
+#include "sim/packet_pool.hh"
 #include "sim/router.hh"
 #include "topo/noc_topology.hh"
 
@@ -31,8 +40,12 @@ struct LinkConfig
     int hopsPerCycle = 1; //!< SMART H; 1 disables SMART
 };
 
-/** Called for every delivered packet (trace replay hooks replies). */
-using DeliveryCallback = std::function<void(const PacketPtr &)>;
+/**
+ * Called for every delivered packet (trace replay hooks replies).
+ * The reference is borrowed: it is valid for the duration of the
+ * callback only, after which the pool slot is recycled.
+ */
+using DeliveryCallback = std::function<void(const Packet &)>;
 
 /** A simulated network instance. */
 class Network : public NetworkState
@@ -66,11 +79,22 @@ class Network : public NetworkState
     /** Set a callback invoked at packet delivery. */
     void setDeliveryCallback(DeliveryCallback cb) { onDeliver_ = cb; }
 
+    /**
+     * Pre-size the packet arena (and each source queue) for at least
+     * `packets` concurrent packets, so even the very first cycles of
+     * a run allocate nothing. Optional: the pool grows on demand and
+     * stops allocating once the in-flight high-water mark is reached.
+     */
+    void reservePackets(std::size_t packets);
+
     /** Flits currently anywhere in the network (drain check). */
     std::uint64_t flitsInFlight() const;
 
     /** Packets waiting in source queues. */
     std::uint64_t sourceQueueDepth() const;
+
+    /** Routers visited by the last step() (worklist diagnostics). */
+    std::size_t lastActiveRouters() const { return activeScratch_.size(); }
 
     // --- measurement ---
 
@@ -119,10 +143,13 @@ class Network : public NetworkState
     std::unique_ptr<ShortestPaths> paths_; //!< for pathOccupancy
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<FlitChannel>> channels_;
+    // Router woken by each channel's in-flight flits / credits.
+    std::vector<int> chanFlitSink_;
+    std::vector<int> chanCreditSink_;
     DeliveryCallback onDeliver_;
 
     /** Per-node source queue of not-yet-flitized packets. */
-    std::vector<std::deque<PacketPtr>> sourceQueues_;
+    std::vector<RingBuffer<PacketHandle>> sourceQueues_;
     /** Local slot of each node within its router. */
     std::vector<int> localSlot_;
 
@@ -131,6 +158,7 @@ class Network : public NetworkState
     std::uint64_t nextPacketId_ = 1;
     // Heap-allocated so routers' pointers stay valid if the Network
     // is moved (factories return Network by value).
+    std::unique_ptr<PacketPool> pool_ = std::make_unique<PacketPool>();
     std::unique_ptr<SimCounters> counters_ =
         std::make_unique<SimCounters>();
     Accumulator latency_;
@@ -138,10 +166,13 @@ class Network : public NetworkState
     Accumulator hops_;
     std::uint64_t winFlits_ = 0;
 
-    std::vector<PacketPtr> deliveredScratch_;
+    std::vector<PacketHandle> deliveredScratch_;
+    std::vector<std::uint8_t> routerActive_; //!< per-router wake flag
+    std::vector<int> activeScratch_; //!< this cycle's router worklist
 
     void build(std::uint64_t seed, RoutingMode mode);
     void pumpInjection();
+    void buildWorklist();
     int linkLatencyFor(int distance) const;
 };
 

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Index-based arena for in-flight Packet records.
+ *
+ * Every flit of a packet used to carry a std::shared_ptr<Packet>,
+ * which put an atomic refcount update on each flit copy and a
+ * heap allocation on every injected packet. The pool replaces the
+ * shared_ptr with a 32-bit PacketHandle into chunked storage owned
+ * by the Network: alloc() pops a free slot, release() pushes it
+ * back after the tail flit ejects, and get() is two array indexings.
+ * Chunks are never freed or moved, so Packet references stay stable
+ * while held within one cycle; across cycles only handles are stored.
+ *
+ * Steady state (in-flight packet count at or below the historical
+ * high-water mark) allocates nothing; the free list is pre-extended
+ * on chunk growth so release() never reallocates it.
+ */
+
+#ifndef SNOC_SIM_PACKET_POOL_HH
+#define SNOC_SIM_PACKET_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/types.hh"
+
+namespace snoc {
+
+/** Chunked free-list arena handing out PacketHandles. */
+class PacketPool
+{
+  public:
+    /** A fresh default-initialized Packet slot. */
+    PacketHandle
+    alloc()
+    {
+        if (freeList_.empty())
+            addChunk();
+        PacketHandle h = freeList_.back();
+        freeList_.pop_back();
+        get(h) = Packet{};
+        ++live_;
+        return h;
+    }
+
+    /** Return a slot once the last reference (tail ejection) is done. */
+    void
+    release(PacketHandle h)
+    {
+        SNOC_ASSERT(live_ > 0, "pool release underflow");
+        --live_;
+        freeList_.push_back(h);
+    }
+
+    Packet &
+    get(PacketHandle h)
+    {
+        return chunks_[h >> kChunkBits][h & (kChunkSize - 1)];
+    }
+
+    const Packet &
+    get(PacketHandle h) const
+    {
+        return chunks_[h >> kChunkBits][h & (kChunkSize - 1)];
+    }
+
+    /** Pre-size the arena for at least `n` concurrent packets. */
+    void
+    reserve(std::size_t n)
+    {
+        while (capacity() < n)
+            addChunk();
+    }
+
+    /** Total slots across all chunks. */
+    std::size_t
+    capacity() const
+    {
+        return chunks_.size() * kChunkSize;
+    }
+
+    /** Slots currently allocated (packets in flight or queued). */
+    std::size_t liveCount() const { return live_; }
+
+  private:
+    static constexpr std::uint32_t kChunkBits = 10;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+    std::vector<std::unique_ptr<Packet[]>> chunks_;
+    std::vector<PacketHandle> freeList_;
+    std::size_t live_ = 0;
+
+    void
+    addChunk()
+    {
+        SNOC_ASSERT(capacity() + kChunkSize <= 0xffffffffULL,
+                    "packet pool exhausted the 32-bit handle space");
+        auto base = static_cast<PacketHandle>(capacity());
+        chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+        // Keep the free list's capacity >= total slots so release()
+        // never reallocates; hand slots out in ascending order.
+        freeList_.reserve(capacity());
+        for (std::uint32_t i = kChunkSize; i > 0; --i)
+            freeList_.push_back(base + i - 1);
+    }
+};
+
+} // namespace snoc
+
+#endif // SNOC_SIM_PACKET_POOL_HH

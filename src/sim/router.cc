@@ -7,8 +7,10 @@
 namespace snoc {
 
 Router::Router(int id, const RouterConfig &cfg,
-               RoutingAlgorithm &routing, SimCounters &counters)
-    : id_(id), cfg_(cfg), routing_(&routing), counters_(&counters)
+               RoutingAlgorithm &routing, PacketPool &pool,
+               SimCounters &counters)
+    : id_(id), cfg_(cfg), routing_(&routing), pool_(&pool),
+      counters_(&counters)
 {
     numVcs_ = cfg_.numVcs > 0 ? cfg_.numVcs : routing.numVcs();
     SNOC_ASSERT(numVcs_ >= routing.numVcs(),
@@ -27,8 +29,18 @@ Router::addNetworkPort(FlitChannel *out, FlitChannel *in, int neighbor,
     int depth = cfg_.inputBufferDepth(in->latency()) +
                 cfg_.elasticBonus(in->latency());
     ip.vcs.resize(static_cast<std::size_t>(numVcs_));
-    for (auto &vc : ip.vcs)
+    for (auto &vc : ip.vcs) {
         vc.capacity = depth;
+        vc.buffer.reserve(static_cast<std::size_t>(depth));
+    }
+    // Credit flow control bounds the channel's in-flight flits (and
+    // returning credits) by our input buffering; pre-reserve the
+    // rings so steady-state link traffic never allocates. Every
+    // channel is exactly one router's `in`, so this covers them all.
+    std::size_t bound = static_cast<std::size_t>(numVcs_) *
+                        static_cast<std::size_t>(depth);
+    in->reserveFlits(bound);
+    in->reserveCredits(bound);
     inputs_.push_back(std::move(ip));
 
     OutputPort op;
@@ -55,12 +67,16 @@ Router::addLocalPort(int node)
     ip.node = node;
     ip.vcs.resize(1);
     ip.vcs[0].capacity = cfg_.injectionQueueFlits;
+    ip.vcs[0].buffer.reserve(
+        static_cast<std::size_t>(cfg_.injectionQueueFlits));
     inputs_.push_back(std::move(ip));
 
     OutputPort op;
     op.node = node;
     op.vcs.resize(static_cast<std::size_t>(numVcs_));
     op.ejectionCapacity = cfg_.ejectionQueueFlits;
+    op.ejectionQueue.reserve(
+        static_cast<std::size_t>(cfg_.ejectionQueueFlits));
     outputs_.push_back(std::move(op));
 
     int port = static_cast<int>(inputs_.size()) - 1;
@@ -71,12 +87,27 @@ Router::addLocalPort(int node)
 void
 Router::finalize()
 {
+    SNOC_ASSERT(inputs_.size() == outputs_.size(),
+                "ports are added input/output-paired");
     inputBusy_.assign(inputs_.size(), false);
     if (cfg_.arch == RouterArch::CentralBuffer) {
         cbCapacity_ = cfg_.centralBufferFlits;
         cbQueues_.resize(outputs_.size() *
                          static_cast<std::size_t>(numVcs_));
+        for (auto &q : cbQueues_)
+            q.flits.reserve(static_cast<std::size_t>(cbCapacity_));
     }
+    // Arrival scratch: one port is drained at a time, so the bound is
+    // the largest per-port buffering (flits) / credit backlog.
+    std::size_t maxPort = 0;
+    for (const auto &ip : inputs_) {
+        std::size_t cap = 0;
+        for (const auto &vc : ip.vcs)
+            cap += static_cast<std::size_t>(vc.capacity);
+        maxPort = std::max(maxPort, cap);
+    }
+    flitScratch_.reserve(maxPort);
+    creditScratch_.reserve(maxPort);
 }
 
 Router::CbQueue &
@@ -102,7 +133,8 @@ Router::injectFlit(int localIndex, Flit flit)
     InputVc &vc = inputs_[static_cast<std::size_t>(port)].vcs[0];
     SNOC_ASSERT(static_cast<int>(vc.buffer.size()) < vc.capacity,
                 "injection queue overflow");
-    vc.buffer.push_back(std::move(flit));
+    vc.buffer.push_back(flit);
+    ++bufferedFlits_;
     ++counters_->bufferWrites;
 }
 
@@ -113,13 +145,16 @@ Router::collectArrivals(Cycle now)
         InputPort &ip = inputs_[p];
         if (!ip.in)
             continue;
-        for (Flit &flit : ip.in->popArrivedFlits(now)) {
+        flitScratch_.clear();
+        ip.in->popArrivedFlits(now, flitScratch_);
+        for (const Flit &flit : flitScratch_) {
             InputVc &vc = ip.vcs[static_cast<std::size_t>(flit.vc)];
             SNOC_ASSERT(static_cast<int>(vc.buffer.size()) <
                             vc.capacity,
                         "credit protocol violated: input VC overflow "
                         "at router ", id_);
-            vc.buffer.push_back(std::move(flit));
+            vc.buffer.push_back(flit);
+            ++bufferedFlits_;
             ++counters_->bufferWrites;
         }
     }
@@ -127,7 +162,9 @@ Router::collectArrivals(Cycle now)
         OutputPort &op = outputs_[p];
         if (!op.out)
             continue;
-        for (int vc : op.out->popArrivedCredits(now))
+        creditScratch_.clear();
+        op.out->popArrivedCredits(now, creditScratch_);
+        for (int vc : creditScratch_)
             ++op.vcs[static_cast<std::size_t>(vc)].credits;
     }
 }
@@ -145,23 +182,24 @@ Router::routeHeads(Cycle now)
             const Flit &head = ivc.buffer.front();
             if (!head.head)
                 continue; // stale body flit; handled by flitsLeft
-            RouteDecision rd = routing_->route(id_, *head.pkt);
+            Packet &pkt = pool_->get(head.pkt);
+            RouteDecision rd = routing_->route(id_, pkt);
             ivc.routed = true;
             ivc.viaCb = false;
-            ivc.flitsLeft = head.pkt->sizeFlits;
+            ivc.flitsLeft = pkt.sizeFlits;
             if (rd.nextRouter < 0) {
                 // Eject to the local port of the destination node.
                 int slot = -1;
                 for (std::size_t l = 0; l < localPorts_.size(); ++l) {
                     int port = localPorts_[l];
                     if (outputs_[static_cast<std::size_t>(port)].node ==
-                        head.pkt->dstNode) {
+                        pkt.dstNode) {
                         slot = port;
                         break;
                     }
                 }
                 SNOC_ASSERT(slot >= 0, "destination node ",
-                            head.pkt->dstNode, " not on router ", id_);
+                            pkt.dstNode, " not on router ", id_);
                 ivc.outPort = slot;
                 ivc.outVc = 0;
             } else {
@@ -208,15 +246,17 @@ Router::resolveOutPort(int nextRouter, int vcForTieBreak) const
 void
 Router::cbIntake(Cycle now)
 {
-    (void)now;
     if (cfg_.arch != RouterArch::CentralBuffer || cbInputBusy_)
         return;
     // Single CB input port: move at most one flit per cycle from an
     // input VC that holds a CB-assigned packet. Round-robin over
-    // input ports for fairness.
+    // input ports for fairness, phase-locked to the cycle counter
+    // (see switchAllocate).
     int n = static_cast<int>(inputs_.size());
+    int base = static_cast<int>((now + 1) %
+                                static_cast<Cycle>(n));
     for (int k = 0; k < n; ++k) {
-        int p = (rrOutput_ + k) % n; // reuse rotating pointer
+        int p = (base + k) % n;
         InputPort &ip = inputs_[static_cast<std::size_t>(p)];
         if (inputBusy_[static_cast<std::size_t>(p)])
             continue;
@@ -224,17 +264,17 @@ Router::cbIntake(Cycle now)
             if (!ivc.routed || !ivc.viaCb || ivc.buffer.empty())
                 continue;
             CbQueue &q = cbQueue(ivc.outPort, ivc.outVc);
-            const Packet *pkt = ivc.buffer.front().pkt.get();
-            if (q.appender && q.appender != pkt)
+            PacketHandle pkt = ivc.buffer.front().pkt;
+            if (q.appender != kInvalidPacket && q.appender != pkt)
                 continue; // another packet mid-append to this queue
-            Flit flit = std::move(ivc.buffer.front());
+            Flit flit = ivc.buffer.front();
             ivc.buffer.pop_front();
             ++counters_->bufferReads;
             ++counters_->cbWrites;
             ++cbOccupied_;
-            q.appender = flit.tail ? nullptr : pkt;
+            q.appender = flit.tail ? kInvalidPacket : pkt;
             bool tail = flit.tail;
-            q.flits.push_back(std::move(flit));
+            q.flits.push_back(flit);
             if (ip.in)
                 ip.in->pushCredit(static_cast<int>(&ivc - ip.vcs.data()),
                                   now);
@@ -271,11 +311,15 @@ Router::switchAllocate(Cycle now)
     int numOutputs = static_cast<int>(outputs_.size());
     if (numOutputs == 0)
         return;
+    // The rotating start pointer used to be a member incremented every
+    // step; deriving it from `now` is bit-identical (step runs once
+    // per cycle from cycle 0) and lets the Network skip idle routers
+    // without perturbing arbitration.
+    int base = static_cast<int>(now % static_cast<Cycle>(numOutputs));
     for (int k = 0; k < numOutputs; ++k) {
-        int port = (rrOutput_ + k) % numOutputs;
+        int port = (base + k) % numOutputs;
         tryGrantOutput(port, now);
     }
-    rrOutput_ = (rrOutput_ + 1) % numOutputs;
 }
 
 bool
@@ -308,7 +352,7 @@ Router::tryGrantOutput(int port, Cycle now)
                 ovc.owner.inputVc)];
             if (ivc.buffer.empty() || ivc.flitsLeft <= 0)
                 continue;
-            Flit flit = std::move(ivc.buffer.front());
+            Flit flit = ivc.buffer.front();
             ivc.buffer.pop_front();
             ++counters_->bufferReads;
             if (ip.in) {
@@ -318,7 +362,7 @@ Router::tryGrantOutput(int port, Cycle now)
                 true;
             --ivc.flitsLeft;
             bool tail = flit.tail;
-            sendFlit(port, vc, std::move(flit), now, false);
+            sendFlit(port, vc, flit, now, false);
             if (tail) {
                 ovc.owner = VcOwner();
                 ivc.routed = false;
@@ -332,14 +376,14 @@ Router::tryGrantOutput(int port, Cycle now)
             CbQueue &q = cbQueue(port, vc);
             if (q.flits.empty())
                 continue;
-            Flit flit = std::move(q.flits.front());
+            Flit flit = q.flits.front();
             q.flits.pop_front();
             ++counters_->cbReads;
             --cbOccupied_;
             --cbReserved_;
             cbOutputBusy_ = true;
             bool tail = flit.tail;
-            sendFlit(port, vc, std::move(flit), now, true);
+            sendFlit(port, vc, flit, now, true);
             if (tail)
                 ovc.owner = VcOwner();
             op.rrVc = (vc + 1) % numVcs_;
@@ -352,14 +396,14 @@ Router::tryGrantOutput(int port, Cycle now)
             CbQueue &q = cbQueue(port, vc);
             if (!q.flits.empty() && q.flits.front().head) {
                 ovc.owner.kind = VcOwner::Kind::Cb;
-                Flit flit = std::move(q.flits.front());
+                Flit flit = q.flits.front();
                 q.flits.pop_front();
                 ++counters_->cbReads;
                 --cbOccupied_;
                 --cbReserved_;
                 cbOutputBusy_ = true;
                 bool tail = flit.tail;
-                sendFlit(port, vc, std::move(flit), now, true);
+                sendFlit(port, vc, flit, now, true);
                 if (tail)
                     ovc.owner = VcOwner();
                 op.rrVc = (vc + 1) % numVcs_;
@@ -387,7 +431,7 @@ Router::tryGrantOutput(int port, Cycle now)
                 // is diverted into the CB if space allows.
                 // (Reaching here means the VC is free, so this is
                 // the bypass path.)
-                Flit flit = std::move(ivc.buffer.front());
+                Flit flit = ivc.buffer.front();
                 ivc.buffer.pop_front();
                 ++counters_->bufferReads;
                 if (ip.in)
@@ -397,9 +441,9 @@ Router::tryGrantOutput(int port, Cycle now)
                 ovc.owner.kind = VcOwner::Kind::Input;
                 ovc.owner.inputPort = ipIdx;
                 ovc.owner.inputVc = static_cast<int>(v);
-                ++flit.pkt->hops;
+                ++pool_->get(flit.pkt).hops;
                 bool tail = flit.tail;
-                sendFlit(port, vc, std::move(flit), now, false);
+                sendFlit(port, vc, flit, now, false);
                 if (tail) {
                     ovc.owner = VcOwner();
                     ivc.routed = false;
@@ -448,12 +492,12 @@ Router::cbDivert(Cycle now)
                  downstreamSpace)) {
                 continue; // bypass is (still) available
             }
-            int size = ivc.buffer.front().pkt->sizeFlits;
-            if (cbReserved_ + size > cbCapacity_)
+            Packet &pkt = pool_->get(ivc.buffer.front().pkt);
+            if (cbReserved_ + pkt.sizeFlits > cbCapacity_)
                 continue; // CB full; wait
-            cbReserved_ += size;
+            cbReserved_ += pkt.sizeFlits;
             ivc.viaCb = true;
-            ++ivc.buffer.front().pkt->hops;
+            ++pkt.hops;
         }
     }
 }
@@ -467,30 +511,32 @@ Router::sendFlit(int port, int vc, Flit flit, Cycle now, bool fromCb)
     flit.vc = vc;
     if (op.out) {
         --op.vcs[static_cast<std::size_t>(vc)].credits;
+        --bufferedFlits_; // leaves this router for the wire
         counters_->linkFlitHops +=
             static_cast<std::uint64_t>(op.wireLength);
         // The router pipeline (2-cycle bypass; the CB path's extra
         // queue stages emerge from the CB intake/drain cycles) is
         // added as a constant so arrivals stay monotonic per channel.
-        op.out->pushFlit(std::move(flit), now, cfg_.pipelineCycles - 1);
+        op.out->pushFlit(flit, now, cfg_.pipelineCycles - 1);
     } else {
-        op.ejectionQueue.push_back(std::move(flit));
+        op.ejectionQueue.push_back(flit);
     }
     (void)fromCb;
 }
 
 void
-Router::drainEjection(Cycle now, std::vector<PacketPtr> &delivered)
+Router::drainEjection(Cycle now, std::vector<PacketHandle> &delivered)
 {
     for (int portIdx : localPorts_) {
         OutputPort &op = outputs_[static_cast<std::size_t>(portIdx)];
         if (op.ejectionQueue.empty())
             continue;
-        Flit flit = std::move(op.ejectionQueue.front());
+        Flit flit = op.ejectionQueue.front();
         op.ejectionQueue.pop_front();
+        --bufferedFlits_;
         ++counters_->flitsDelivered;
         if (flit.tail) {
-            flit.pkt->ejectedAt = now;
+            pool_->get(flit.pkt).ejectedAt = now;
             ++counters_->packetsDelivered;
             delivered.push_back(flit.pkt);
         }
@@ -529,18 +575,6 @@ Router::portNeighbor(int port) const
 {
     SNOC_ASSERT(port >= 0 && port < numNetPorts_, "not a net port");
     return outputs_[static_cast<std::size_t>(port)].neighbor;
-}
-
-int
-Router::bufferedFlits() const
-{
-    int total = cbOccupied_;
-    for (const auto &ip : inputs_)
-        for (const auto &vc : ip.vcs)
-            total += static_cast<int>(vc.buffer.size());
-    for (const auto &op : outputs_)
-        total += static_cast<int>(op.ejectionQueue.size());
-    return total;
 }
 
 } // namespace snoc

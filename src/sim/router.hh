@@ -19,16 +19,24 @@
  * Port space: [0, numNetPorts) are network ports aligned with the
  * topology adjacency list; [numNetPorts, numNetPorts + localNodes)
  * are per-node local ports (injection in, ejection out).
+ *
+ * Hot-path contract: all queues are pre-reserved ring buffers sized
+ * from RouterConfig, flits reference packets through PacketPool
+ * handles, round-robin pointers that used to advance every cycle are
+ * derived from `now` (so idle routers can be skipped bit-exactly by
+ * the Network's active worklist), and steady-state operation performs
+ * zero heap allocations.
  */
 
 #ifndef SNOC_SIM_ROUTER_HH
 #define SNOC_SIM_ROUTER_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "sim/channel.hh"
 #include "sim/counters.hh"
+#include "sim/packet_pool.hh"
 #include "sim/router_config.hh"
 #include "sim/routing.hh"
 #include "sim/types.hh"
@@ -43,10 +51,11 @@ class Router
      * @param id        router id (graph vertex)
      * @param cfg       microarchitecture configuration
      * @param routing   shared routing algorithm
+     * @param pool      shared packet arena (owned by the Network)
      * @param counters  shared activity counters
      */
     Router(int id, const RouterConfig &cfg, RoutingAlgorithm &routing,
-           SimCounters &counters);
+           PacketPool &pool, SimCounters &counters);
 
     /**
      * Attach a bidirectional network port.
@@ -83,13 +92,14 @@ class Router
 
     /** Phase 3: drain ejection queues (1 flit/node/cycle); completed
      *  packets are appended to `delivered`. */
-    void drainEjection(Cycle now, std::vector<PacketPtr> &delivered);
+    void drainEjection(Cycle now, std::vector<PacketHandle> &delivered);
 
     /** Downstream buffer occupancy toward a neighbor (for UGAL). */
     int linkOccupancyToward(int neighbor) const;
 
-    /** Total flits buffered in this router (for drain checks). */
-    int bufferedFlits() const;
+    /** Total flits buffered in this router, maintained incrementally
+     *  (drain checks and the Network's active-router worklist). */
+    int bufferedFlits() const { return bufferedFlits_; }
 
     /** Flits sent on the port toward the k-th adjacency entry. */
     std::uint64_t portFlitsSent(int port) const;
@@ -103,7 +113,7 @@ class Router
     /** Per-input-VC state. */
     struct InputVc
     {
-        std::deque<Flit> buffer;
+        RingBuffer<Flit> buffer;
         int capacity = 1;
         // Current packet's routing state.
         bool routed = false;
@@ -151,7 +161,7 @@ class Router
         int rrInput = 0; //!< round-robin over requesters
         int rrVc = 0;
         // Local ejection queue (flits), drained 1/cycle.
-        std::deque<Flit> ejectionQueue;
+        RingBuffer<Flit> ejectionQueue;
         int ejectionCapacity = 0;
         std::uint64_t flitsSent = 0; //!< utilization instrumentation
     };
@@ -159,15 +169,16 @@ class Router
     /** A central-buffer queue: flits bound for one (port, vc). */
     struct CbQueue
     {
-        std::deque<Flit> flits;
+        RingBuffer<Flit> flits;
         // The packet currently being appended (atomicity guard);
-        // null when the last append was a tail flit.
-        const Packet *appender = nullptr;
+        // kInvalidPacket when the last append was a tail flit.
+        PacketHandle appender = kInvalidPacket;
     };
 
     int id_;
     RouterConfig cfg_;
     RoutingAlgorithm *routing_;
+    PacketPool *pool_;
     SimCounters *counters_;
     int numVcs_;
     int numNetPorts_ = 0;
@@ -182,12 +193,18 @@ class Router
     int cbOccupied_ = 0;               //!< flits physically present
     std::vector<CbQueue> cbQueues_;    //!< indexed port * numVcs + vc
 
-    int rrOutput_ = 0;
+    // Incremental count of flits buffered anywhere in this router
+    // (input VCs + central buffer + ejection queues).
+    int bufferedFlits_ = 0;
 
     // Per-cycle scratch: which input ports / CB already moved a flit.
     std::vector<bool> inputBusy_;
     bool cbOutputBusy_ = false;
     bool cbInputBusy_ = false;
+
+    // Reused arrival-drain scratch (cleared per port per cycle).
+    std::vector<Flit> flitScratch_;
+    std::vector<int> creditScratch_;
 
     void routeHeads(Cycle now);
     void cbDivert(Cycle now);

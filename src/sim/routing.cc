@@ -295,17 +295,18 @@ class MinAdaptiveRouting : public RoutingAlgorithm
     {
         if (router == packet.dstRouter)
             return {-1, 0};
-        auto candidates =
-            paths_->minimalNextHops(router, packet.dstRouter);
-        SNOC_ASSERT(!candidates.empty(), "no minimal next hop");
-        int best = candidates.front();
+        // Reused scratch: route() runs once per head flit per hop,
+        // so a fresh vector here would be a per-cycle allocation.
+        paths_->minimalNextHops(router, packet.dstRouter, candidates_);
+        SNOC_ASSERT(!candidates_.empty(), "no minimal next hop");
+        int best = candidates_.front();
         if (state_) {
             int bestOcc = state_->linkOccupancy(router, best);
-            for (std::size_t i = 1; i < candidates.size(); ++i) {
+            for (std::size_t i = 1; i < candidates_.size(); ++i) {
                 int occ = state_->linkOccupancy(router,
-                                                candidates[i]);
+                                                candidates_[i]);
                 if (occ < bestOcc) {
-                    best = candidates[i];
+                    best = candidates_[i];
                     bestOcc = occ;
                 }
             }
@@ -321,6 +322,7 @@ class MinAdaptiveRouting : public RoutingAlgorithm
     Graph graph_;
     std::unique_ptr<ShortestPaths> paths_;
     const NetworkState *state_ = nullptr;
+    std::vector<int> candidates_; //!< reused minimal-next-hop scratch
     int numVcs_;
     int maxHops_;
 };

@@ -12,7 +12,6 @@
 #define SNOC_SIM_TYPES_HH
 
 #include <cstdint>
-#include <memory>
 
 namespace snoc {
 
@@ -52,12 +51,24 @@ struct Packet
     int hops = 0;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/**
+ * Index of a live Packet inside the Network's PacketPool arena.
+ *
+ * Flits used to share their Packet through a shared_ptr; the handle
+ * replaces the refcount with a 32-bit slot index that is allocated at
+ * offerPacket() and released after the tail flit ejects, making flit
+ * copies trivially cheap and the steady-state cycle loop
+ * allocation-free.
+ */
+using PacketHandle = std::uint32_t;
+
+/** Sentinel for "no packet" (default-constructed flits). */
+inline constexpr PacketHandle kInvalidPacket = ~PacketHandle{0};
 
 /** One flit of a packet. */
 struct Flit
 {
-    PacketPtr pkt;
+    PacketHandle pkt = kInvalidPacket;
     bool head = false;
     bool tail = false;
     int vc = 0;        //!< VC on the link it last traversed

@@ -128,15 +128,15 @@ makeTraceSource(std::vector<TraceEvent> events, Cycle memoryDelay)
         if (!st->callbackInstalled) {
             st->callbackInstalled = true;
             net.setDeliveryCallback([st, memoryDelay,
-                                     &net](const PacketPtr &pkt) {
-                if (pkt->msgClass != MsgClass::ReadReq)
+                                     &net](const Packet &pkt) {
+                if (pkt.msgClass != MsgClass::ReadReq)
                     return;
                 // The destination serves the read after the memory
                 // delay and returns a 6-flit reply.
                 TraceEvent reply;
                 reply.cycle = net.now() + memoryDelay;
-                reply.srcNode = pkt->dstNode;
-                reply.dstNode = pkt->srcNode;
+                reply.srcNode = pkt.dstNode;
+                reply.dstNode = pkt.srcNode;
                 reply.msgClass = MsgClass::Reply;
                 st->replies.push_back(reply);
                 ++st->outstanding;

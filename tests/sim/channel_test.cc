@@ -1,32 +1,52 @@
 /**
  * @file
- * Channel tests: latency semantics, FIFO ordering, and credit return.
+ * Channel tests: latency semantics, FIFO ordering, credit return,
+ * and the scratch-vector drain API (flits/credits append to a
+ * caller-provided vector; the channel never allocates).
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/ring_buffer.hh"
 #include "sim/channel.hh"
 
 namespace snoc {
 namespace {
 
 Flit
-mkFlit(std::uint64_t id)
+mkFlit(PacketHandle id)
 {
     Flit f;
-    f.pkt = std::make_shared<Packet>();
-    f.pkt->id = id;
+    f.pkt = id;
     return f;
+}
+
+std::vector<Flit>
+drainFlits(FlitChannel &ch, Cycle now)
+{
+    std::vector<Flit> out;
+    ch.popArrivedFlits(now, out);
+    return out;
+}
+
+std::vector<int>
+drainCredits(FlitChannel &ch, Cycle now)
+{
+    std::vector<int> out;
+    ch.popArrivedCredits(now, out);
+    return out;
 }
 
 TEST(FlitChannel, DeliversAfterLatency)
 {
     FlitChannel ch(3);
     ch.pushFlit(mkFlit(1), 10);
-    EXPECT_TRUE(ch.popArrivedFlits(12).empty());
-    auto got = ch.popArrivedFlits(13);
+    EXPECT_TRUE(drainFlits(ch, 12).empty());
+    auto got = drainFlits(ch, 13);
     ASSERT_EQ(got.size(), 1u);
-    EXPECT_EQ(got[0].pkt->id, 1u);
+    EXPECT_EQ(got[0].pkt, 1u);
     EXPECT_EQ(ch.flitsInFlight(), 0u);
 }
 
@@ -34,19 +54,19 @@ TEST(FlitChannel, ExtraDelayAdds)
 {
     FlitChannel ch(2);
     ch.pushFlit(mkFlit(1), 0, 4);
-    EXPECT_TRUE(ch.popArrivedFlits(5).empty());
-    EXPECT_EQ(ch.popArrivedFlits(6).size(), 1u);
+    EXPECT_TRUE(drainFlits(ch, 5).empty());
+    EXPECT_EQ(drainFlits(ch, 6).size(), 1u);
 }
 
 TEST(FlitChannel, FifoOrderPreserved)
 {
     FlitChannel ch(2);
-    for (std::uint64_t i = 0; i < 5; ++i)
+    for (PacketHandle i = 0; i < 5; ++i)
         ch.pushFlit(mkFlit(i), i);
-    auto got = ch.popArrivedFlits(100);
+    auto got = drainFlits(ch, 100);
     ASSERT_EQ(got.size(), 5u);
-    for (std::uint64_t i = 0; i < 5; ++i)
-        EXPECT_EQ(got[i].pkt->id, i);
+    for (PacketHandle i = 0; i < 5; ++i)
+        EXPECT_EQ(got[i].pkt, i);
 }
 
 TEST(FlitChannel, PartialPop)
@@ -54,9 +74,24 @@ TEST(FlitChannel, PartialPop)
     FlitChannel ch(1);
     ch.pushFlit(mkFlit(1), 0);
     ch.pushFlit(mkFlit(2), 5);
-    EXPECT_EQ(ch.popArrivedFlits(1).size(), 1u);
+    EXPECT_EQ(drainFlits(ch, 1).size(), 1u);
     EXPECT_EQ(ch.flitsInFlight(), 1u);
-    EXPECT_EQ(ch.popArrivedFlits(6).size(), 1u);
+    EXPECT_EQ(drainFlits(ch, 6).size(), 1u);
+}
+
+TEST(FlitChannel, PopAppendsToScratch)
+{
+    // The drain API appends without clearing: one scratch vector can
+    // accumulate a port's arrivals across calls.
+    FlitChannel ch(1);
+    ch.pushFlit(mkFlit(1), 0);
+    ch.pushFlit(mkFlit(2), 1);
+    std::vector<Flit> scratch;
+    ch.popArrivedFlits(1, scratch);
+    ch.popArrivedFlits(2, scratch);
+    ASSERT_EQ(scratch.size(), 2u);
+    EXPECT_EQ(scratch[0].pkt, 1u);
+    EXPECT_EQ(scratch[1].pkt, 2u);
 }
 
 TEST(FlitChannel, CreditsTravelWithSameLatency)
@@ -64,13 +99,53 @@ TEST(FlitChannel, CreditsTravelWithSameLatency)
     FlitChannel ch(4);
     ch.pushCredit(1, 0);
     ch.pushCredit(0, 2);
-    EXPECT_TRUE(ch.popArrivedCredits(3).empty());
-    auto c1 = ch.popArrivedCredits(4);
+    EXPECT_TRUE(drainCredits(ch, 3).empty());
+    EXPECT_EQ(ch.creditsInFlight(), 2u);
+    auto c1 = drainCredits(ch, 4);
     ASSERT_EQ(c1.size(), 1u);
     EXPECT_EQ(c1[0], 1);
-    auto c2 = ch.popArrivedCredits(6);
+    auto c2 = drainCredits(ch, 6);
     ASSERT_EQ(c2.size(), 1u);
     EXPECT_EQ(c2[0], 0);
+    EXPECT_EQ(ch.creditsInFlight(), 0u);
+}
+
+TEST(RingBuffer, ReservedTrafficDoesNotGrowStorage)
+{
+    // The channel/router queues rely on this: within the reserved
+    // capacity, sustained push/pop moves indices, not storage.
+    RingBuffer<int> rb;
+    rb.reserve(4);
+    std::size_t cap = rb.capacity();
+    ASSERT_GE(cap, 4u);
+    for (int i = 0; i < 1000; ++i) {
+        rb.push_back(i);
+        if (rb.size() > 3) {
+            EXPECT_EQ(rb.front(), i - 3);
+            rb.pop_front();
+        }
+    }
+    EXPECT_EQ(rb.capacity(), cap);
+}
+
+TEST(RingBuffer, GrowthPreservesFifoOrder)
+{
+    RingBuffer<int> rb;
+    rb.reserve(4);
+    // Wrap the ring, then overflow the reservation mid-stream.
+    for (int i = 0; i < 3; ++i) {
+        rb.push_back(i);
+        rb.pop_front();
+    }
+    for (int i = 0; i < 20; ++i)
+        rb.push_back(i);
+    EXPECT_GT(rb.capacity(), 4u);
+    EXPECT_EQ(rb.back(), 19);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
 }
 
 TEST(FlitChannel, RejectsZeroLatency)

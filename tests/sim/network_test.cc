@@ -46,13 +46,13 @@ TEST(Network, SingleParcelTraversesSn200)
     Network net = makeNet("sn_subgr_200", "EB-Var");
     net.offerPacket(0, 199, 6);
     bool delivered = false;
-    net.setDeliveryCallback([&](const PacketPtr &p) {
+    net.setDeliveryCallback([&](const Packet &p) {
         delivered = true;
-        EXPECT_EQ(p->srcNode, 0);
-        EXPECT_EQ(p->dstNode, 199);
+        EXPECT_EQ(p.srcNode, 0);
+        EXPECT_EQ(p.dstNode, 199);
         // Diameter 2: at most 2 router-to-router hops, so hops <= 3
         // counting the source router's output stage.
-        EXPECT_LE(p->hops, 3);
+        EXPECT_LE(p.hops, 3);
     });
     for (int c = 0; c < 300 && !delivered; ++c)
         net.step();

@@ -2,27 +2,117 @@
  * @file
  * Resilience ablation: quantifies Section 2.1's claim that the MMS
  * graphs' expander structure yields "high resilience to link
- * failures". Sweeps link-failure fractions for SN and the baselines
- * and reports connectivity, diameter inflation, and average-path
- * inflation, plus the edge-expansion probe.
+ * failures" — dynamically.
+ *
+ * The primary study runs the flit-level simulator with mid-run fault
+ * injection: for each topology x routing mode, a resilience sweep
+ * (failure fraction x offered load, exp/resilience.hh) kills a
+ * seeded random fraction of links at the end of warmup and measures
+ * the degraded network — delivered throughput, latency, and the
+ * drop/refusal counters. Curves stream to stdout and to the
+ * BENCH_resilience.json perf artifact (SNOC_BENCH_OUT).
+ *
+ * A secondary section keeps the original static graph metrics
+ * (connectivity / path inflation on the bare graph minus random
+ * edges) for cross-checking the dynamic numbers against pure
+ * structure.
+ *
+ * Note: with a fault plan armed, `minimal` on the torus/mesh
+ * baselines means BFS-table minimal routing (the algebraic
+ * dimension-ordered schemes cannot route around holes); Slim NoC
+ * runs its regular table routing either way.
  */
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/resilience.hh"
 #include "graph/resilience.hh"
 
 using namespace snoc;
 using namespace snoc::bench;
 
-int
-main()
+namespace {
+
+const char *
+modeName(RoutingMode mode)
+{
+    return mode == RoutingMode::UgalL ? "ugal-l" : "minimal";
+}
+
+std::string
+fmt(double v, int prec)
+{
+    return TextTable::fmt(v, prec);
+}
+
+void
+dynamicDegradation(ResultSink &out)
+{
+    const char *topologies[] = {"sn_54", "cm4", "t2d4"};
+    const RoutingMode modes[] = {RoutingMode::Minimal,
+                                 RoutingMode::UgalL};
+
+    ResilienceSpec spec;
+    spec.failureFractions =
+        fastMode() ? std::vector<double>{0.0, 0.10}
+                   : std::vector<double>{0.0, 0.05, 0.10, 0.20};
+    spec.loads = fastMode() ? std::vector<double>{0.02, 0.06}
+                            : std::vector<double>{0.02, 0.06, 0.16};
+
+    for (const char *id : topologies) {
+        for (RoutingMode mode : modes) {
+            Scenario base = syntheticScenario(
+                id, "EB-Var", PatternKind::Random, 0.0, 1, mode);
+            base.label.clear();
+            ExperimentPlan plan = makeResiliencePlan(base, spec);
+            std::vector<JobResult> results =
+                ExperimentRunner().run(plan);
+
+            out.beginTable(
+                "dynamic degradation: " + std::string(id) + " / " +
+                    modeName(mode) +
+                    " (random link failures at end of warmup)",
+                {"topology", "routing", "fail_fraction", "load",
+                 "offered", "throughput", "avg_latency",
+                 "flits_dropped", "packets_dropped",
+                 "packets_unroutable", "packets_refused", "stable"});
+            std::size_t job = 0;
+            for (double frac : spec.failureFractions) {
+                for (double load : spec.loads) {
+                    const SimResult &r =
+                        results[job++].points.front().sim;
+                    out.addRow(
+                        {id, modeName(mode), fmt(frac, 2),
+                         fmt(load, 3), fmt(r.offeredLoad, 4),
+                         fmt(r.throughput, 4),
+                         fmt(r.avgPacketLatency, 2),
+                         TextTable::fmt(r.counters.flitsDropped),
+                         TextTable::fmt(r.counters.packetsDropped),
+                         TextTable::fmt(
+                             r.counters.packetsUnroutable),
+                         TextTable::fmt(r.counters.packetsRefused),
+                         r.stable ? "yes" : "no"});
+                }
+            }
+            out.endTable();
+        }
+    }
+    out.note("Expected: SN's expander structure keeps delivered "
+             "throughput close to the intact baseline while the "
+             "grid baselines degrade faster; drops spike only in "
+             "the fault transient (cut packets), refusals stay 0 "
+             "while the graph remains connected.");
+}
+
+void
+staticMetrics()
 {
     const char *nets[] = {"sn_subgr_200", "fbf4", "pfbf4", "t2d4",
                           "cm4"};
     int trials = fastMode() ? 5 : 25;
 
-    banner("Resilience: connectivity under random link failures "
-           "(N in {192,200} class)");
+    banner("Static cross-check: connectivity under random link "
+           "failures (bare graph, N in {192,200} class)");
     for (double frac : {0.05, 0.10, 0.20}) {
         TextTable t({"network", "links", "connected [%]",
                      "avg diameter", "APL inflation"});
@@ -62,7 +152,18 @@ main()
                      "rivals FBF's. Note that random balanced "
                      "bipartitions underestimate grid topologies' "
                      "weakness (their worst cuts are geometric); the "
-                     "failure sweep above is the sharper signal.\n";
+                     "dynamic sweep above is the sharper signal.\n";
     }
+}
+
+} // namespace
+
+int
+main()
+{
+    PerfReport report("resilience");
+    dynamicDegradation(report.out());
+    staticMetrics();
+    std::cout << "\nperf artifact: " << report.path() << "\n";
     return 0;
 }

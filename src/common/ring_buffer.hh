@@ -84,6 +84,29 @@ class RingBuffer
         size_ = 0;
     }
 
+    /**
+     * Remove every element matching `pred`, preserving survivor
+     * order; returns the number removed. Not for the hot path — it
+     * rotates the whole buffer once (the fault purge's rare-path
+     * filter; predicates may carry side effects per removal).
+     */
+    template <typename Pred>
+    std::size_t
+    removeIf(Pred pred)
+    {
+        std::size_t n = size_;
+        std::size_t removed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            T v = std::move(front());
+            pop_front();
+            if (pred(v))
+                ++removed;
+            else
+                push_back(std::move(v));
+        }
+        return removed;
+    }
+
   private:
     std::vector<T> data_; //!< always a power-of-two length (or empty)
     std::size_t head_ = 0;

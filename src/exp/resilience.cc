@@ -1,0 +1,38 @@
+#include "exp/resilience.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+ExperimentPlan
+makeResiliencePlan(const Scenario &base, const ResilienceSpec &spec)
+{
+    SNOC_ASSERT(!spec.failureFractions.empty() && !spec.loads.empty(),
+                "resilience sweep needs fractions and loads");
+    Cycle failAt =
+        spec.failAt > 0 ? spec.failAt : base.sim.warmupCycles;
+
+    ExperimentPlan plan;
+    plan.name = base.describe() + " resilience";
+    for (std::size_t fi = 0; fi < spec.failureFractions.size();
+         ++fi) {
+        double frac = spec.failureFractions[fi];
+        for (double load : spec.loads) {
+            Scenario s = base;
+            s.load = load;
+            s.faults = FaultPlan::randomLinkFailures(
+                frac, failAt,
+                spec.faultSeed + static_cast<std::uint64_t>(fi));
+            std::ostringstream label;
+            label << base.describe() << "/fail" << 100.0 * frac
+                  << "%@" << load;
+            s.label = label.str();
+            plan.add(std::move(s));
+        }
+    }
+    return plan;
+}
+
+} // namespace snoc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Resilience sweep strategy: failure fraction x offered load as an
+ * ExperimentPlan.
+ *
+ * Section 2.1 of the paper attributes Slim NoC's "high resilience to
+ * link failures" to the expander structure of the MMS graphs. The
+ * static analyzer (graph/resilience.hh) quantifies that on the bare
+ * graph; this strategy asks the dynamic question — what happens to
+ * delivered throughput, latency, and drop counts when the configured
+ * fraction of links dies *mid-flight* — by fanning a base Scenario
+ * out over (failure fraction x load) points, each carrying a seeded
+ * random-link-failure FaultPlan that strikes at the end of warmup.
+ *
+ * Every point (including the 0%-failure baseline) runs with an
+ * *armed* plan, so the whole curve uses the same fault-aware routing
+ * and bookkeeping and fractions are comparable like for like.
+ */
+
+#ifndef SNOC_EXP_RESILIENCE_HH
+#define SNOC_EXP_RESILIENCE_HH
+
+#include <vector>
+
+#include "exp/experiment_plan.hh"
+
+namespace snoc {
+
+/** Axes of a resilience sweep. */
+struct ResilienceSpec
+{
+    /** Link-failure fractions; include 0.0 for the baseline row. */
+    std::vector<double> failureFractions = {0.0, 0.05, 0.10, 0.20};
+
+    /** Offered loads swept at each fraction. */
+    std::vector<double> loads = {0.02, 0.06, 0.16};
+
+    /**
+     * Cycle at which the failures strike; 0 resolves to the base
+     * Scenario's warmup length, so the measurement window observes
+     * the degraded network plus the fault transient.
+     */
+    Cycle failAt = 0;
+
+    /**
+     * Seed for the random link draw. Each fraction re-draws from
+     * `faultSeed + fraction index`, so deeper fractions are fresh
+     * samples rather than supersets of shallower ones.
+     */
+    std::uint64_t faultSeed = 1;
+};
+
+/**
+ * Expand `base` over the spec's (fraction x load) grid. One Single
+ * job per point, labeled "<base>/fail<percent>%@<load>"; job order is
+ * fraction-major, so results slice back into per-fraction curves.
+ */
+ExperimentPlan makeResiliencePlan(const Scenario &base,
+                                  const ResilienceSpec &spec = {});
+
+} // namespace snoc
+
+#endif // SNOC_EXP_RESILIENCE_HH

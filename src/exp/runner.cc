@@ -41,7 +41,7 @@ ExperimentRunner::runScenario(const Scenario &s)
 {
     const NocTopology &topo = TopologyCache::instance().get(s.topology);
     RouterConfig rc = RouterConfig::named(s.routerConfig);
-    Network net(topo, rc, s.link, s.routing, s.routingSeed);
+    Network net(topo, rc, s.link, s.routing, s.routingSeed, s.faults);
 
     if (s.traffic.kind == TrafficSpec::Kind::Workload) {
         const WorkloadProfile &w = workloadByName(s.traffic.workload);

@@ -75,6 +75,9 @@ struct Scenario
     std::uint64_t seed = 42;       //!< traffic source seed
     std::uint64_t routingSeed = 7; //!< adaptive-routing tie-break seed
     SimConfig sim;          //!< warmup / measurement windows
+    FaultPlan faults;       //!< timed link/router failures; an
+                            //!< inactive (default) plan keeps the run
+                            //!< bit-identical to the fault-free path
 
     /** label, or "topo/router/traffic@load" when label is empty. */
     std::string describe() const;

@@ -45,4 +45,44 @@ FlitChannel::popArrivedCredits(Cycle now, std::vector<int> &out)
     }
 }
 
+void
+FlitChannel::purgeFlits(const std::function<bool(const Flit &)> &drop,
+                        std::vector<Flit> &removed)
+{
+    flits_.removeIf([&](const TimedFlit &tf) {
+        if (!drop(tf.flit))
+            return false;
+        removed.push_back(tf.flit);
+        return true;
+    });
+}
+
+void
+FlitChannel::forEachFlit(
+    const std::function<void(const Flit &)> &fn) const
+{
+    for (std::size_t i = 0; i < flits_.size(); ++i)
+        fn(flits_[i].flit);
+}
+
+std::size_t
+FlitChannel::flitsInFlightOnVc(int vc) const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < flits_.size(); ++i)
+        if (flits_[i].flit.vc == vc)
+            ++n;
+    return n;
+}
+
+std::size_t
+FlitChannel::creditsInFlightOnVc(int vc) const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < credits_.size(); ++i)
+        if (credits_[i].vc == vc)
+            ++n;
+    return n;
+}
+
 } // namespace snoc

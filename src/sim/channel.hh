@@ -23,6 +23,7 @@
 #ifndef SNOC_SIM_CHANNEL_HH
 #define SNOC_SIM_CHANNEL_HH
 
+#include <functional>
 #include <vector>
 
 #include "common/ring_buffer.hh"
@@ -66,6 +67,24 @@ class FlitChannel
 
     /** Pre-size the credit ring. */
     void reserveCredits(std::size_t n) { credits_.reserve(n); }
+
+    // --- fault injection / audit (not hot path) ---
+
+    /**
+     * Remove every in-flight flit matching `drop`, appending removals
+     * to `removed`; survivors keep their order and arrival times.
+     */
+    void purgeFlits(const std::function<bool(const Flit &)> &drop,
+                    std::vector<Flit> &removed);
+
+    /** Visit every in-flight flit, oldest first (fault discovery). */
+    void forEachFlit(const std::function<void(const Flit &)> &fn) const;
+
+    /** In-flight flits carrying the given VC tag (invariant audit). */
+    std::size_t flitsInFlightOnVc(int vc) const;
+
+    /** In-flight returning credits for the given VC. */
+    std::size_t creditsInFlightOnVc(int vc) const;
 
   private:
     struct TimedFlit

@@ -25,6 +25,27 @@ struct SimCounters
     std::uint64_t packetsInjected = 0;
     std::uint64_t packetsDelivered = 0;
 
+    // --- fault-injection group (all zero on fault-free runs) ---
+    // Conservation contracts (see tests/support/sim_invariants.hh):
+    //   flitsInjected == flitsDelivered + flitsDropped + in-flight
+    //   packetsInjected == packetsDelivered + packetsDropped
+    //                      + packetsUnroutable + in-flight
+    // packetsRefused covers source-side discards of packets that were
+    // never injected, so it sits outside both balances.
+    std::uint64_t faultEvents = 0;       //!< fault/repair events fired
+    std::uint64_t flitsDropped = 0;      //!< flits purged by faults
+    std::uint64_t packetsDropped = 0;    //!< in-flight packets cut by a
+                                         //!< failed link/router
+    std::uint64_t packetsUnroutable = 0; //!< in-flight packets whose
+                                         //!< destination became
+                                         //!< disconnected
+    std::uint64_t packetsRefused = 0;    //!< source-side drops: dead
+                                         //!< source router or
+                                         //!< disconnected pair at
+                                         //!< offer/injection time
+    std::uint64_t packetsRerouted = 0;   //!< committed detours replanned
+                                         //!< around a fault
+
     void
     reset()
     {
@@ -47,6 +68,13 @@ struct SimCounters
         d.flitsDelivered = a.flitsDelivered - b.flitsDelivered;
         d.packetsInjected = a.packetsInjected - b.packetsInjected;
         d.packetsDelivered = a.packetsDelivered - b.packetsDelivered;
+        d.faultEvents = a.faultEvents - b.faultEvents;
+        d.flitsDropped = a.flitsDropped - b.flitsDropped;
+        d.packetsDropped = a.packetsDropped - b.packetsDropped;
+        d.packetsUnroutable =
+            a.packetsUnroutable - b.packetsUnroutable;
+        d.packetsRefused = a.packetsRefused - b.packetsRefused;
+        d.packetsRerouted = a.packetsRerouted - b.packetsRerouted;
         return d;
     }
 };

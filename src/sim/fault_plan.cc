@@ -1,0 +1,45 @@
+#include "sim/fault_plan.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace snoc {
+
+std::vector<FaultEvent>
+FaultPlan::resolve(const Graph &g) const
+{
+    std::vector<FaultEvent> out = events;
+
+    if (randomLinkFraction > 0.0) {
+        // Distinct adjacent router pairs (a LinkDown kills every
+        // parallel channel between the pair, so parallel edges count
+        // once here, mirroring the event's semantics).
+        std::vector<std::pair<int, int>> pairs;
+        for (int u = 0; u < g.numVertices(); ++u)
+            for (int v : g.neighbors(u))
+                if (u < v)
+                    pairs.push_back({u, v});
+        std::sort(pairs.begin(), pairs.end());
+        pairs.erase(std::unique(pairs.begin(), pairs.end()),
+                    pairs.end());
+
+        Rng rng(faultSeed);
+        rng.shuffle(pairs);
+        std::size_t kill = static_cast<std::size_t>(
+            randomLinkFraction * static_cast<double>(pairs.size()) +
+            0.5);
+        kill = std::min(kill, pairs.size());
+        for (std::size_t i = 0; i < kill; ++i)
+            out.push_back({randomFailAt, FaultEvent::Kind::LinkDown,
+                           pairs[i].first, pairs[i].second});
+    }
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent &x, const FaultEvent &y) {
+                         return x.at < y.at;
+                     });
+    return out;
+}
+
+} // namespace snoc

@@ -8,11 +8,11 @@ namespace snoc {
 
 Network::Network(const NocTopology &topo, const RouterConfig &router,
                  const LinkConfig &link, RoutingMode mode,
-                 std::uint64_t seed)
+                 std::uint64_t seed, const FaultPlan &faults)
     : topo_(topo), routerCfg_(router), linkCfg_(link)
 {
     SNOC_ASSERT(linkCfg_.hopsPerCycle >= 1, "H must be >= 1");
-    build(seed, mode);
+    build(seed, mode, faults);
 }
 
 int
@@ -23,9 +23,10 @@ Network::linkLatencyFor(int distance) const
 }
 
 void
-Network::build(std::uint64_t seed, RoutingMode mode)
+Network::build(std::uint64_t seed, RoutingMode mode,
+               const FaultPlan &faults)
 {
-    routing_ = makeRouting(topo_, mode, seed);
+    routing_ = makeRouting(topo_, mode, seed, faults.active());
     paths_ = std::make_unique<ShortestPaths>(topo_.routers());
 
     const Graph &g = topo_.routers();
@@ -106,6 +107,9 @@ Network::build(std::uint64_t seed, RoutingMode mode)
         static_cast<std::size_t>(topo_.numNodes()));
     routerActive_.resize(routers_.size());
     activeScratch_.reserve(static_cast<std::size_t>(g.numVertices()));
+
+    if (faults.active())
+        armFaults(faults);
 }
 
 void
@@ -133,6 +137,10 @@ Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
                 "node out of range");
     SNOC_ASSERT(srcNode != dstNode, "self-addressed packet");
     SNOC_ASSERT(sizeFlits >= 1, "empty packet");
+    if (faultsArmed_ &&
+        offerBlockedByFaults(topo_.routerOfNode(srcNode),
+                             topo_.routerOfNode(dstNode)))
+        return;
     PacketHandle h = pool_->alloc();
     Packet &pkt = pool_->get(h);
     pkt.id = nextPacketId_++;
@@ -218,6 +226,8 @@ Network::step()
         routing_->attachState(*this);
         stateAttached_ = true;
     }
+    if (faultsArmed_)
+        applyPendingFaults();
     pumpInjection();
     buildWorklist();
     for (int r : activeScratch_)

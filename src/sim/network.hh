@@ -23,11 +23,13 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ring_buffer.hh"
 #include "common/stats.hh"
 #include "sim/channel.hh"
+#include "sim/fault_plan.hh"
 #include "sim/packet_pool.hh"
 #include "sim/router.hh"
 #include "topo/noc_topology.hh"
@@ -57,11 +59,15 @@ class Network : public NetworkState
      * @param link    wire configuration
      * @param mode    routing mode
      * @param seed    seed for routing randomness
+     * @param faults  fault schedule; an inactive (default) plan keeps
+     *                the network bit-for-bit identical to one built
+     *                without a plan, an active plan arms fault-aware
+     *                routing and the degraded-operation machinery
      */
     Network(const NocTopology &topo, const RouterConfig &router,
             const LinkConfig &link = {},
             RoutingMode mode = RoutingMode::Minimal,
-            std::uint64_t seed = 7);
+            std::uint64_t seed = 7, const FaultPlan &faults = {});
 
     const NocTopology &topology() const { return topo_; }
     Cycle now() const { return now_; }
@@ -95,6 +101,40 @@ class Network : public NetworkState
 
     /** Routers visited by the last step() (worklist diagnostics). */
     std::size_t lastActiveRouters() const { return activeScratch_.size(); }
+
+    // --- fault injection (see src/sim/fault_injection.cc) ---
+
+    /** True when an active FaultPlan armed the fault machinery. */
+    bool faultsArmed() const { return faultsArmed_; }
+
+    /** Fault events not yet fired (diagnostics). */
+    std::size_t pendingFaultEvents() const
+    {
+        return faultEvents_.size() - faultCursor_;
+    }
+
+    /**
+     * The currently-alive router graph: the topology minus failed
+     * links/routers. Identical to topology().routers() until a fault
+     * event fires (or when faults are not armed).
+     */
+    const Graph &liveTopology() const;
+
+    /** Whether a router is currently alive (always true unarmed). */
+    bool routerAlive(int router) const;
+
+    /** Packet pool slots currently allocated (in flight + queued). */
+    std::size_t packetsAlive() const { return pool_->liveCount(); }
+
+    /**
+     * Exhaustive structural audit for the test suite's invariant
+     * layer (tests/support/sim_invariants.hh): per-VC credit
+     * conservation across every channel, buffered-flit recounts,
+     * central-buffer occupancy/reservation consistency. Returns
+     * false and fills `err` on the first violation. Not a hot-path
+     * facility — it walks the whole network.
+     */
+    bool auditInvariants(std::string &err) const;
 
     // --- measurement ---
 
@@ -170,10 +210,30 @@ class Network : public NetworkState
     std::vector<std::uint8_t> routerActive_; //!< per-router wake flag
     std::vector<int> activeScratch_; //!< this cycle's router worklist
 
-    void build(std::uint64_t seed, RoutingMode mode);
+    // --- fault state (inert unless faultsArmed_) ---
+    bool faultsArmed_ = false;
+    std::vector<FaultEvent> faultEvents_; //!< resolved, cycle-sorted
+    std::size_t faultCursor_ = 0;         //!< first unfired event
+    std::vector<std::uint8_t> linkDead_;  //!< per channel: explicit
+                                          //!< LinkDown in force
+    std::vector<std::uint8_t> routerLive_;
+    std::unique_ptr<Graph> liveGraph_;    //!< topo minus dead elements
+    std::unordered_map<const FlitChannel *, std::size_t>
+        chanIndexByPtr_; //!< purge: router port -> channel index
+
+    void build(std::uint64_t seed, RoutingMode mode,
+               const FaultPlan &faults);
     void pumpInjection();
     void buildWorklist();
     int linkLatencyFor(int distance) const;
+
+    // Fault machinery (src/sim/fault_injection.cc).
+    void armFaults(const FaultPlan &faults);
+    bool channelAlive(std::size_t chan) const;
+    void applyPendingFaults();
+    void rebuildLiveGraph();
+    void purgeAfterFaults();
+    bool offerBlockedByFaults(int srcRouter, int dstRouter);
 };
 
 } // namespace snoc

@@ -187,6 +187,7 @@ Router::routeHeads(Cycle now)
             ivc.routed = true;
             ivc.viaCb = false;
             ivc.flitsLeft = pkt.sizeFlits;
+            ivc.curPkt = head.pkt;
             if (rd.nextRouter < 0) {
                 // Eject to the local port of the destination node.
                 int slot = -1;
@@ -272,6 +273,12 @@ Router::cbIntake(Cycle now)
             ++counters_->bufferReads;
             ++counters_->cbWrites;
             ++cbOccupied_;
+            // Count down the packet's flits not yet through the CB;
+            // keeps cbReserved_ == cbOccupied_ + sum of viaCb
+            // flitsLeft, the invariant the fault purge and the test
+            // audit rely on. (The bypass path in tryGrantOutput
+            // already decrements per flit.)
+            --ivc.flitsLeft;
             q.appender = flit.tail ? kInvalidPacket : pkt;
             bool tail = flit.tail;
             q.flits.push_back(flit);
@@ -396,6 +403,7 @@ Router::tryGrantOutput(int port, Cycle now)
             CbQueue &q = cbQueue(port, vc);
             if (!q.flits.empty() && q.flits.front().head) {
                 ovc.owner.kind = VcOwner::Kind::Cb;
+                ovc.owner.pkt = q.flits.front().pkt;
                 Flit flit = q.flits.front();
                 q.flits.pop_front();
                 ++counters_->cbReads;
@@ -441,6 +449,7 @@ Router::tryGrantOutput(int port, Cycle now)
                 ovc.owner.kind = VcOwner::Kind::Input;
                 ovc.owner.inputPort = ipIdx;
                 ovc.owner.inputVc = static_cast<int>(v);
+                ovc.owner.pkt = flit.pkt;
                 ++pool_->get(flit.pkt).hops;
                 bool tail = flit.tail;
                 sendFlit(port, vc, flit, now, false);

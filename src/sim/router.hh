@@ -110,6 +110,12 @@ class Router
     int portNeighbor(int port) const;
 
   private:
+    // The Network implements the rare-path fault purge and the test
+    // suite's invariant audit directly over router internals (see
+    // src/sim/fault_injection.cc); the two are coupled by
+    // construction anyway (the Network wires every port).
+    friend class Network;
+
     /** Per-input-VC state. */
     struct InputVc
     {
@@ -122,6 +128,10 @@ class Router
         bool viaCb = false;   //!< diverted to the central buffer
         int flitsLeft = 0;    //!< flits of the current packet not yet
                               //!< forwarded out of this input VC
+        PacketHandle curPkt = kInvalidPacket; //!< packet the routing
+                              //!< state belongs to (fault purge needs
+                              //!< it when the buffer has drained ahead
+                              //!< of the tail)
     };
 
     /** An input port: network neighbor or local injection. */
@@ -141,6 +151,9 @@ class Router
         Kind kind = Kind::None;
         int inputPort = -1;
         int inputVc = -1;
+        PacketHandle pkt = kInvalidPacket; //!< packet holding the VC
+                                           //!< (fault purge releases
+                                           //!< ownership when it dies)
     };
 
     /** Per-output-VC state. */

@@ -43,6 +43,18 @@ class TableMinimalRouting : public RoutingAlgorithm
     int numVcs() const override { return numVcs_; }
     int maxHops() const override { return maxHops_; }
 
+    bool supportsFaults() const override { return true; }
+
+    void
+    onTopologyChange(const Graph &live) override
+    {
+        // Degraded diameters may exceed numVcs; VC indices are
+        // clamped in route(), trading the strict VC ordering for
+        // continued operation (see docs/ARCHITECTURE.md).
+        graph_ = live;
+        paths_ = std::make_unique<ShortestPaths>(graph_);
+    }
+
     const ShortestPaths &paths() const { return *paths_; }
 
   private:
@@ -318,6 +330,15 @@ class MinAdaptiveRouting : public RoutingAlgorithm
     int numVcs() const override { return numVcs_; }
     int maxHops() const override { return maxHops_; }
 
+    bool supportsFaults() const override { return true; }
+
+    void
+    onTopologyChange(const Graph &live) override
+    {
+        graph_ = live;
+        paths_ = std::make_unique<ShortestPaths>(graph_);
+    }
+
   private:
     Graph graph_;
     std::unique_ptr<ShortestPaths> paths_;
@@ -364,8 +385,11 @@ class UgalRouting : public RoutingAlgorithm
             return; // degenerate detour: stay minimal this time
 
         int hMin = paths_->distance(src, dst);
-        int hVal = paths_->distance(src, inter) +
-                   paths_->distance(inter, dst);
+        int hLeg1 = paths_->distance(src, inter);
+        int hLeg2 = paths_->distance(inter, dst);
+        if (hLeg1 < 0 || hLeg2 < 0)
+            return; // detour crosses a disconnected region (faults)
+        int hVal = hLeg1 + hLeg2;
         double costMin;
         double costVal;
         if (global_) {
@@ -402,6 +426,15 @@ class UgalRouting : public RoutingAlgorithm
 
     int numVcs() const override { return numVcs_; }
     int maxHops() const override { return maxHops_; }
+
+    bool supportsFaults() const override { return true; }
+
+    void
+    onTopologyChange(const Graph &live) override
+    {
+        graph_ = live;
+        paths_ = std::make_unique<ShortestPaths>(graph_);
+    }
 
   private:
     Graph graph_;
@@ -465,7 +498,8 @@ class FbfXyAdaptiveRouting : public GridBase
 } // namespace
 
 std::unique_ptr<RoutingAlgorithm>
-makeRouting(const NocTopology &topo, RoutingMode mode, std::uint64_t seed)
+makeRouting(const NocTopology &topo, RoutingMode mode, std::uint64_t seed,
+            bool faultAware)
 {
     using Kind = RoutingHint::Kind;
     Kind kind = topo.routingHint().kind;
@@ -481,7 +515,20 @@ makeRouting(const NocTopology &topo, RoutingMode mode, std::uint64_t seed)
     if (mode == RoutingMode::XyAdaptive) {
         SNOC_ASSERT(kind == Kind::Fbf,
                     "XY-adaptive routing is an FBF scheme");
+        if (faultAware)
+            fatal("XY-adaptive routing cannot reroute around faults; "
+                  "use minimal or UGAL with a fault plan");
         return std::make_unique<FbfXyAdaptiveRouting>(topo);
+    }
+
+    // Algebraic grid schemes compute next hops from coordinates and
+    // cannot express holes; fault-aware runs use BFS-table minimal
+    // routing on the same graph instead (rebuilt per fault event).
+    if (faultAware &&
+        (kind == Kind::Mesh || kind == Kind::Torus ||
+         kind == Kind::Fbf || kind == Kind::Pfbf)) {
+        return std::make_unique<TableMinimalRouting>(
+            topo, std::max(2, topo.routers().diameter()));
     }
 
     switch (kind) {

@@ -79,6 +79,23 @@ class RoutingAlgorithm
     {
         (void)state;
     }
+
+    /**
+     * True when the scheme can reroute around dead links: it routes
+     * from tables that onTopologyChange() rebuilds. Algebraic grid
+     * schemes (XY, dateline torus, FBF, PFBF) return false; the
+     * fault-aware makeRouting() replaces them with table routing.
+     */
+    virtual bool supportsFaults() const { return false; }
+
+    /**
+     * Rebuild routing tables against the degraded (or repaired)
+     * router graph. Called by the Network after each fault event;
+     * `live` holds only the currently-alive links. Unreachable
+     * destinations get no next hop — the Network purges packets that
+     * would need one before any route() call can see them.
+     */
+    virtual void onTopologyChange(const Graph &live) { (void)live; }
 };
 
 /** Adaptive-routing selector for makeRouting(). */
@@ -94,14 +111,20 @@ enum class RoutingMode
 /**
  * Build the routing algorithm for a topology.
  *
- * @param topo     the topology (its RoutingHint selects the scheme)
- * @param mode     minimal or one of the adaptive modes
- * @param seed     rng seed for adaptive tie-breaks / Valiant picks
+ * @param topo       the topology (its RoutingHint selects the scheme)
+ * @param mode       minimal or one of the adaptive modes
+ * @param seed       rng seed for adaptive tie-breaks / Valiant picks
+ * @param faultAware require a scheme that supportsFaults(): algebraic
+ *                   grid schemes are replaced by BFS-table minimal
+ *                   routing on the same graph (identical scheme for
+ *                   SlimNoc/Generic topologies, so zero-fault armed
+ *                   runs match unarmed ones there)
  */
 std::unique_ptr<RoutingAlgorithm> makeRouting(const NocTopology &topo,
                                               RoutingMode mode =
                                                   RoutingMode::Minimal,
-                                              std::uint64_t seed = 7);
+                                              std::uint64_t seed = 7,
+                                              bool faultAware = false);
 
 } // namespace snoc
 

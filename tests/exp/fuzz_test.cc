@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Seeded scenario fuzzing: randomized (topology x routing x router
+ * config x load x fault plan) runs, cross-checked two ways —
+ *
+ *  1. serial-vs-parallel ExperimentRunner execution must be bitwise
+ *     identical (the engine's core determinism guarantee, now under
+ *     mid-run fault injection too);
+ *  2. a direct run of every sampled scenario must satisfy the full
+ *     invariant layer (flit/packet conservation, credit accounting,
+ *     exactly-once delivery) at mid-run checkpoints and after drain.
+ *
+ * Every iteration logs its seed; on failure, re-run the binary with
+ * SNOC_FUZZ_SEED=<seed> SNOC_FUZZ_ITERS=1 to replay exactly that
+ * scenario. SNOC_FUZZ_ITERS scales the sweep (CI keeps it small).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "exp/runner.hh"
+#include "tests/support/sim_invariants.hh"
+#include "topo/topology_cache.hh"
+#include "traffic/synthetic.hh"
+
+namespace snoc {
+namespace {
+
+using testsupport::SimInvariantChecker;
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !v[0])
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+/** Sample one random scenario (with a fault plan) from `rng`. */
+Scenario
+sampleScenario(Rng &rng)
+{
+    static const char *topologies[] = {"sn_54", "cm4", "t2d4",
+                                       "pfbf4"};
+    static const char *routerCfgs[] = {"EB-Var", "EB-Small", "CBR-6"};
+    static const RoutingMode modes[] = {
+        RoutingMode::Minimal, RoutingMode::MinAdaptive,
+        RoutingMode::UgalL, RoutingMode::UgalG};
+    static const PatternKind patterns[] = {PatternKind::Random,
+                                           PatternKind::Shuffle,
+                                           PatternKind::Adversarial1};
+
+    Scenario s;
+    s.topology = topologies[rng.nextUint(4)];
+    s.routerConfig = routerCfgs[rng.nextUint(3)];
+    s.routing = modes[rng.nextUint(4)];
+    s.traffic = TrafficSpec::synthetic(patterns[rng.nextUint(3)]);
+    s.load = 0.03 + 0.3 * rng.nextDouble();
+    s.seed = rng.next();
+    s.routingSeed = rng.next();
+    s.sim.warmupCycles = 150 + rng.nextUint(150);
+    s.sim.measureCycles = 400 + rng.nextUint(300);
+
+    // Fault plan: usually random link failures striking somewhere in
+    // the run; sometimes a router failure, sometimes a repair, and
+    // sometimes (1 in 4) no faults at all to keep the fault-free
+    // path in the fuzzed population.
+    if (rng.nextUint(4) != 0) {
+        Cycle horizon = s.sim.warmupCycles + s.sim.measureCycles;
+        Cycle failAt = 50 + rng.nextUint(horizon - 50);
+        s.faults = FaultPlan::randomLinkFailures(
+            0.03 + 0.2 * rng.nextDouble(), failAt, rng.next());
+        const NocTopology &topo =
+            TopologyCache::instance().get(s.topology);
+        if (rng.nextUint(3) == 0) {
+            int victim = static_cast<int>(
+                rng.nextUint(static_cast<std::uint64_t>(
+                    topo.numRouters())));
+            s.faults.routerDown(victim,
+                                failAt + rng.nextUint(200));
+        }
+        if (rng.nextUint(3) == 0) {
+            int a = static_cast<int>(rng.nextUint(
+                static_cast<std::uint64_t>(topo.numRouters())));
+            int b = topo.routers().neighbors(a).front();
+            Cycle down = 50 + rng.nextUint(horizon / 2);
+            s.faults.linkDown(a, b, down)
+                .linkUp(a, b, down + 100 + rng.nextUint(horizon / 2));
+        }
+    }
+    return s;
+}
+
+std::string
+describeFully(const Scenario &s)
+{
+    std::ostringstream oss;
+    oss << s.describe() << " routing=" << static_cast<int>(s.routing)
+        << " warmup=" << s.sim.warmupCycles
+        << " measure=" << s.sim.measureCycles
+        << " faultFrac=" << s.faults.randomLinkFraction
+        << " failAt=" << s.faults.randomFailAt
+        << " events=" << s.faults.events.size();
+    return oss.str();
+}
+
+void
+expectBitwiseEqual(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.avgPacketLatency, b.avgPacketLatency);
+    EXPECT_EQ(a.avgNetworkLatency, b.avgNetworkLatency);
+    EXPECT_EQ(a.avgHops, b.avgHops);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.offeredLoad, b.offeredLoad);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.stable, b.stable);
+    EXPECT_EQ(a.counters.bufferWrites, b.counters.bufferWrites);
+    EXPECT_EQ(a.counters.bufferReads, b.counters.bufferReads);
+    EXPECT_EQ(a.counters.cbWrites, b.counters.cbWrites);
+    EXPECT_EQ(a.counters.cbReads, b.counters.cbReads);
+    EXPECT_EQ(a.counters.crossbarTraversals,
+              b.counters.crossbarTraversals);
+    EXPECT_EQ(a.counters.linkFlitHops, b.counters.linkFlitHops);
+    EXPECT_EQ(a.counters.flitsInjected, b.counters.flitsInjected);
+    EXPECT_EQ(a.counters.flitsDelivered, b.counters.flitsDelivered);
+    EXPECT_EQ(a.counters.faultEvents, b.counters.faultEvents);
+    EXPECT_EQ(a.counters.flitsDropped, b.counters.flitsDropped);
+    EXPECT_EQ(a.counters.packetsDropped, b.counters.packetsDropped);
+    EXPECT_EQ(a.counters.packetsUnroutable,
+              b.counters.packetsUnroutable);
+    EXPECT_EQ(a.counters.packetsRefused, b.counters.packetsRefused);
+    EXPECT_EQ(a.counters.packetsRerouted,
+              b.counters.packetsRerouted);
+}
+
+TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
+{
+    const std::uint64_t baseSeed =
+        envU64("SNOC_FUZZ_SEED", 0xf00dd00dULL);
+    const std::uint64_t iters = envU64("SNOC_FUZZ_ITERS", 6);
+
+    std::vector<Scenario> scenarios;
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        std::uint64_t seed = baseSeed + i;
+        Rng rng(seed);
+        scenarios.push_back(sampleScenario(rng));
+        seeds.push_back(seed);
+    }
+
+    // 1. Engine determinism: the whole batch, 1 worker vs 4.
+    ExperimentPlan plan;
+    for (const Scenario &s : scenarios)
+        plan.add(s);
+    RunnerOptions serialOpts;
+    serialOpts.threads = 1;
+    RunnerOptions parallelOpts;
+    parallelOpts.threads = 4;
+    std::vector<JobResult> serial =
+        ExperimentRunner(serialOpts).run(plan);
+    std::vector<JobResult> parallel =
+        ExperimentRunner(parallelOpts).run(plan);
+    ASSERT_EQ(serial.size(), scenarios.size());
+    ASSERT_EQ(parallel.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        SCOPED_TRACE("replay with SNOC_FUZZ_SEED=" +
+                     std::to_string(seeds[i]) +
+                     " SNOC_FUZZ_ITERS=1 | " +
+                     describeFully(scenarios[i]));
+        expectBitwiseEqual(serial[i].points[0].sim,
+                           parallel[i].points[0].sim);
+    }
+
+    // 2. Invariant cleanliness of every sampled scenario.
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario &s = scenarios[i];
+        SCOPED_TRACE("replay with SNOC_FUZZ_SEED=" +
+                     std::to_string(seeds[i]) +
+                     " SNOC_FUZZ_ITERS=1 | " + describeFully(s));
+
+        const NocTopology &topo =
+            TopologyCache::instance().get(s.topology);
+        Network net(topo, RouterConfig::named(s.routerConfig),
+                    s.link, s.routing, s.routingSeed, s.faults);
+        SimInvariantChecker checker(net);
+        auto pattern = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(s.traffic.pattern, topo));
+        SyntheticConfig sc;
+        sc.load = s.load;
+        sc.packetSizeFlits = s.traffic.packetSizeFlits;
+        sc.seed = s.seed;
+        TrafficSource source = makeSyntheticSource(pattern, sc);
+
+        Cycle total = s.sim.warmupCycles + s.sim.measureCycles;
+        for (Cycle c = 0; c < total; ++c) {
+            source(net, net.now());
+            net.step();
+        }
+        checker.check("mid-run");
+        for (int c = 0; c < 60000 &&
+                        net.flitsInFlight() + net.sourceQueueDepth() >
+                            0;
+             ++c)
+            net.step();
+        checker.checkQuiescent("after drain");
+    }
+}
+
+} // namespace
+} // namespace snoc

@@ -9,11 +9,14 @@
 
 #include "sim/network.hh"
 #include "sim/simulation.hh"
+#include "tests/support/sim_invariants.hh"
 #include "topo/table4.hh"
 #include "traffic/synthetic.hh"
 
 namespace snoc {
 namespace {
+
+using testsupport::SimInvariantChecker;
 
 SimResult
 run(Network &net, double load, Cycle warmup, Cycle measure)
@@ -34,10 +37,12 @@ TEST(Instrumentation, CbBypassedAtLowLoad)
     // path: CB writes are a tiny fraction of buffer writes.
     NocTopology topo = makeNamedTopology("sn_subgr_200");
     Network net(topo, RouterConfig::named("CBR-20"));
+    SimInvariantChecker checker(net);
     SimResult r = run(net, 0.01, 500, 2000);
     ASSERT_GT(r.counters.bufferWrites, 0u);
     EXPECT_LT(static_cast<double>(r.counters.cbWrites),
               0.05 * static_cast<double>(r.counters.bufferWrites));
+    checker.check("CBR low load");
 }
 
 TEST(Instrumentation, CbEngagedUnderContention)
@@ -46,6 +51,7 @@ TEST(Instrumentation, CbEngagedUnderContention)
     // drives packets through the CB (Section 4.1's buffered path).
     NocTopology topo = makeNamedTopology("sn_subgr_200");
     Network net(topo, RouterConfig::named("CBR-20"));
+    SimInvariantChecker checker(net);
     auto pat = std::shared_ptr<TrafficPattern>(
         makeTrafficPattern(PatternKind::Adversarial1, topo));
     SyntheticConfig sc;
@@ -55,6 +61,7 @@ TEST(Instrumentation, CbEngagedUnderContention)
     cfg.measureCycles = 3000;
     SimResult r =
         runSimulation(net, makeSyntheticSource(pat, sc), cfg);
+    checker.check("CBR under adversarial saturation");
     EXPECT_GT(r.counters.cbWrites, 100u);
     // Conservation: everything written to the CB eventually leaves
     // (allow in-flight residue of one CB per router).

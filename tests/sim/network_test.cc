@@ -9,11 +9,14 @@
 
 #include "sim/network.hh"
 #include "sim/simulation.hh"
+#include "tests/support/sim_invariants.hh"
 #include "topo/table4.hh"
 #include "traffic/synthetic.hh"
 
 namespace snoc {
 namespace {
+
+using testsupport::SimInvariantChecker;
 
 Network
 makeNet(const std::string &topoId, const std::string &routerCfg,
@@ -44,9 +47,10 @@ runLoad(Network &net, PatternKind pattern, double load,
 TEST(Network, SingleParcelTraversesSn200)
 {
     Network net = makeNet("sn_subgr_200", "EB-Var");
+    SimInvariantChecker checker(net);
     net.offerPacket(0, 199, 6);
     bool delivered = false;
-    net.setDeliveryCallback([&](const Packet &p) {
+    checker.setDeliveryCallback([&](const Packet &p) {
         delivered = true;
         EXPECT_EQ(p.srcNode, 0);
         EXPECT_EQ(p.dstNode, 199);
@@ -57,7 +61,7 @@ TEST(Network, SingleParcelTraversesSn200)
     for (int c = 0; c < 300 && !delivered; ++c)
         net.step();
     EXPECT_TRUE(delivered);
-    EXPECT_EQ(net.flitsInFlight(), 0u);
+    checker.checkQuiescent("single parcel");
 }
 
 TEST(Network, ZeroLoadLatencyIsNearAnalytic)
@@ -82,6 +86,7 @@ class AllTopologiesDeliver
 TEST_P(AllTopologiesDeliver, RandomLowLoad)
 {
     Network net = makeNet(GetParam(), "EB-Var");
+    SimInvariantChecker checker(net);
     SimResult res = runLoad(net, PatternKind::Random, 0.02);
     EXPECT_GT(res.packetsDelivered, 0u) << GetParam();
     EXPECT_TRUE(res.stable) << GetParam();
@@ -89,6 +94,7 @@ TEST_P(AllTopologiesDeliver, RandomLowLoad)
     EXPECT_NEAR(res.throughput, res.offeredLoad,
                 0.4 * res.offeredLoad)
         << GetParam();
+    checker.check(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Table4, AllTopologiesDeliver,
@@ -147,6 +153,7 @@ TEST(Network, DeadlockFreeBaselines)
 TEST(Network, DrainsCompletely)
 {
     Network net = makeNet("sn_subgr_200", "CBR-20");
+    SimInvariantChecker checker(net);
     auto pat = std::shared_ptr<TrafficPattern>(
         makeTrafficPattern(PatternKind::Random, net.topology()));
     SyntheticConfig sc;
@@ -156,12 +163,16 @@ TEST(Network, DrainsCompletely)
         src(net, net.now());
         net.step();
     }
+    checker.check("loaded CBR-20");
     // Stop injecting; everything in flight must eventually eject.
-    for (int c = 0; c < 20000 && net.flitsInFlight() > 0; ++c)
+    for (int c = 0; c < 20000 && net.flitsInFlight() +
+                                     net.sourceQueueDepth() >
+                                 0;
+         ++c)
         net.step();
-    EXPECT_EQ(net.flitsInFlight(), 0u);
     EXPECT_EQ(net.counters().flitsInjected,
               net.counters().flitsDelivered);
+    checker.checkQuiescent("after drain");
 }
 
 TEST(Network, SmartLinksReduceLatency)
@@ -222,7 +233,9 @@ TEST(Network, AdaptiveRoutingModesRun)
 TEST(Network, CountersAreConsistent)
 {
     Network net = makeNet("sn_subgr_200", "EB-Var");
+    SimInvariantChecker checker(net);
     SimResult res = runLoad(net, PatternKind::Random, 0.1);
+    checker.check("after measurement");
     const SimCounters &c = res.counters;
     EXPECT_GE(c.flitsInjected, c.flitsDelivered);
     EXPECT_GT(c.crossbarTraversals, c.flitsDelivered);

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reusable simulator invariant checker for the test suite.
+ *
+ * Attach a SimInvariantChecker to a Network and call check() at any
+ * cycle boundary (and checkQuiescent() after a drain) to assert the
+ * conservation laws the simulator must uphold under *any* schedule,
+ * including mid-run fault injection:
+ *
+ *  - flit conservation: every injected flit is delivered, dropped by
+ *    a fault, or still somewhere in the network;
+ *  - packet conservation: every live pool slot is an in-flight
+ *    injected packet or a source-queued one;
+ *  - credit conservation and structural bounds, via
+ *    Network::auditInvariants() (per-VC credit accounting across
+ *    every channel, buffered-flit recounts, central-buffer
+ *    occupancy/reservation consistency);
+ *  - exactly-once delivery: no packet id is delivered twice, and at
+ *    quiescence none is silently lost.
+ *
+ * The checker takes over the network's delivery callback; tests that
+ * need their own hook chain it through setDeliveryCallback() here.
+ */
+
+#ifndef SNOC_TESTS_SUPPORT_SIM_INVARIANTS_HH
+#define SNOC_TESTS_SUPPORT_SIM_INVARIANTS_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "sim/network.hh"
+
+namespace snoc::testsupport {
+
+class SimInvariantChecker
+{
+  public:
+    explicit SimInvariantChecker(Network &net) : net_(&net)
+    {
+        net.setDeliveryCallback([this](const Packet &p) {
+            if (!ids_.insert(p.id).second)
+                ++duplicates_;
+            ++deliveredSeen_;
+            if (user_)
+                user_(p);
+        });
+    }
+
+    /** Chain a test-specific delivery hook behind the checker. */
+    void setDeliveryCallback(DeliveryCallback cb) { user_ = std::move(cb); }
+
+    std::uint64_t deliveredSeen() const { return deliveredSeen_; }
+
+    /**
+     * Assert every invariant that must hold at a cycle boundary,
+     * in-flight traffic included. `when` labels failures.
+     */
+    void
+    check(const std::string &when = "")
+    {
+        const SimCounters &c = net_->counters();
+
+        std::string err;
+        EXPECT_TRUE(net_->auditInvariants(err))
+            << when << ": " << err;
+
+        // Flit conservation.
+        EXPECT_EQ(c.flitsInjected,
+                  c.flitsDelivered + c.flitsDropped +
+                      net_->flitsInFlight())
+            << when << ": flit conservation (injected "
+            << c.flitsInjected << ", delivered " << c.flitsDelivered
+            << ", dropped " << c.flitsDropped << ", in flight "
+            << net_->flitsInFlight() << ")";
+
+        // Packet conservation: live pool slots are injected packets
+        // still traveling plus packets waiting in source queues.
+        std::uint64_t inFlightPackets =
+            c.packetsInjected - c.packetsDelivered -
+            c.packetsDropped - c.packetsUnroutable;
+        EXPECT_EQ(net_->packetsAlive(),
+                  inFlightPackets + net_->sourceQueueDepth())
+            << when << ": packet conservation (pool "
+            << net_->packetsAlive() << ", in flight "
+            << inFlightPackets << ", queued "
+            << net_->sourceQueueDepth() << ")";
+
+        // Exactly-once delivery.
+        EXPECT_EQ(duplicates_, 0u)
+            << when << ": duplicate packet deliveries";
+        EXPECT_EQ(deliveredSeen_, c.packetsDelivered)
+            << when << ": delivery callback count diverged from the "
+                       "packetsDelivered counter";
+    }
+
+    /**
+     * Assert full conservation after a drain: nothing in flight,
+     * nothing queued, and no packet silently lost.
+     */
+    void
+    checkQuiescent(const std::string &when = "")
+    {
+        EXPECT_EQ(net_->flitsInFlight(), 0u)
+            << when << ": drain left flits in the network";
+        EXPECT_EQ(net_->sourceQueueDepth(), 0u)
+            << when << ": drain left source-queued packets";
+        check(when);
+        const SimCounters &c = net_->counters();
+        EXPECT_EQ(c.flitsInjected,
+                  c.flitsDelivered + c.flitsDropped)
+            << when << ": quiescent flit balance";
+        EXPECT_EQ(c.packetsInjected,
+                  c.packetsDelivered + c.packetsDropped +
+                      c.packetsUnroutable)
+            << when << ": quiescent packet balance";
+        EXPECT_EQ(ids_.size(), c.packetsDelivered)
+            << when << ": lost or duplicated packet ids";
+    }
+
+  private:
+    Network *net_;
+    DeliveryCallback user_;
+    std::unordered_set<std::uint64_t> ids_;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t deliveredSeen_ = 0;
+};
+
+} // namespace snoc::testsupport
+
+#endif // SNOC_TESTS_SUPPORT_SIM_INVARIANTS_HH

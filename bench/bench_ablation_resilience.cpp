@@ -5,12 +5,15 @@
  * failures" — dynamically.
  *
  * The primary study runs the flit-level simulator with mid-run fault
- * injection: for each topology x routing mode, a resilience sweep
- * (failure fraction x offered load, exp/resilience.hh) kills a
- * seeded random fraction of links at the end of warmup and measures
- * the degraded network — delivered throughput, latency, and the
- * drop/refusal counters. Curves stream to stdout and to the
- * BENCH_resilience.json perf artifact (SNOC_BENCH_OUT).
+ * injection: the committed plan file plans/resilience.json fans each
+ * topology x routing mode out over a (failure fraction x offered
+ * load) grid, kills a seeded random fraction of links at the end of
+ * warmup, and measures the degraded network. The plan executes
+ * through the same load/execute/render code path as
+ * `snoc run plans/resilience.json` (CI diffs the JSON outputs);
+ * curves stream to stdout and to the BENCH_resilience.json perf
+ * artifact (SNOC_BENCH_OUT). Edit the plan file, not this file, to
+ * change the grid.
  *
  * A secondary section keeps the original static graph metrics
  * (connectivity / path inflation on the bare graph minus random
@@ -25,7 +28,8 @@
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
-#include "exp/resilience.hh"
+#include "exp/plan_io.hh"
+#include "exp/report.hh"
 #include "graph/resilience.hh"
 
 using namespace snoc;
@@ -33,70 +37,13 @@ using namespace snoc::bench;
 
 namespace {
 
-const char *
-modeName(RoutingMode mode)
-{
-    return mode == RoutingMode::UgalL ? "ugal-l" : "minimal";
-}
-
-std::string
-fmt(double v, int prec)
-{
-    return TextTable::fmt(v, prec);
-}
-
 void
 dynamicDegradation(ResultSink &out)
 {
-    const char *topologies[] = {"sn_54", "cm4", "t2d4"};
-    const RoutingMode modes[] = {RoutingMode::Minimal,
-                                 RoutingMode::UgalL};
-
-    ResilienceSpec spec;
-    spec.failureFractions =
-        fastMode() ? std::vector<double>{0.0, 0.10}
-                   : std::vector<double>{0.0, 0.05, 0.10, 0.20};
-    spec.loads = fastMode() ? std::vector<double>{0.02, 0.06}
-                            : std::vector<double>{0.02, 0.06, 0.16};
-
-    for (const char *id : topologies) {
-        for (RoutingMode mode : modes) {
-            Scenario base = syntheticScenario(
-                id, "EB-Var", PatternKind::Random, 0.0, 1, mode);
-            base.label.clear();
-            ExperimentPlan plan = makeResiliencePlan(base, spec);
-            std::vector<JobResult> results =
-                ExperimentRunner().run(plan);
-
-            out.beginTable(
-                "dynamic degradation: " + std::string(id) + " / " +
-                    modeName(mode) +
-                    " (random link failures at end of warmup)",
-                {"topology", "routing", "fail_fraction", "load",
-                 "offered", "throughput", "avg_latency",
-                 "flits_dropped", "packets_dropped",
-                 "packets_unroutable", "packets_refused", "stable"});
-            std::size_t job = 0;
-            for (double frac : spec.failureFractions) {
-                for (double load : spec.loads) {
-                    const SimResult &r =
-                        results[job++].points.front().sim;
-                    out.addRow(
-                        {id, modeName(mode), fmt(frac, 2),
-                         fmt(load, 3), fmt(r.offeredLoad, 4),
-                         fmt(r.throughput, 4),
-                         fmt(r.avgPacketLatency, 2),
-                         TextTable::fmt(r.counters.flitsDropped),
-                         TextTable::fmt(r.counters.packetsDropped),
-                         TextTable::fmt(
-                             r.counters.packetsUnroutable),
-                         TextTable::fmt(r.counters.packetsRefused),
-                         r.stable ? "yes" : "no"});
-                }
-            }
-            out.endTable();
-        }
-    }
+    ExperimentPlan plan = loadPlanFile("plans/resilience.json");
+    if (fastMode())
+        applyFastMode(plan);
+    runPlanReport(plan, out);
     out.note("Expected: SN's expander structure keeps delivered "
              "throughput close to the intact baseline while the "
              "grid baselines degrade faster; drops spike only in "

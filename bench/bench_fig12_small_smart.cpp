@@ -2,15 +2,18 @@
  * @file
  * Regenerates Figure 12: SN vs cm3 / t2d3 / pfbf3 / pfbf4 / fbf3
  * with SMART links for the small networks (N in {192, 200}), four
- * traffic patterns, with the paper's ratio row (SN latency relative
- * to each baseline at load 0.008, time-normalized).
+ * traffic patterns.
  *
- * The pattern x load x network grid is one ExperimentPlan executed
- * through the runner; per-pattern tables are formatted afterwards.
+ * The campaign lives in the committed plan file plans/fig12.json —
+ * this binary is a thin driver over the same load/execute/render
+ * code path as `snoc run plans/fig12.json`, and the two produce
+ * byte-identical output (CI diffs them). Edit the plan file, not
+ * this file, to change the campaign.
  */
 
 #include "bench/bench_util.hh"
-#include "common/table.hh"
+#include "exp/plan_io.hh"
+#include "exp/report.hh"
 
 using namespace snoc;
 using namespace snoc::bench;
@@ -18,59 +21,9 @@ using namespace snoc::bench;
 int
 main()
 {
-    const char *nets[] = {"cm3", "t2d3", "pfbf3", "pfbf4",
-                          "sn_subgr_200", "fbf3"};
-    const PatternKind patterns[] = {
-        PatternKind::Adversarial1, PatternKind::BitReversal,
-        PatternKind::Random, PatternKind::Shuffle};
-
-    std::vector<Scenario> scenarios;
-    for (PatternKind pat : patterns)
-        for (double load : loadGrid())
-            for (const char *id : nets)
-                scenarios.push_back(
-                    syntheticScenario(id, "EB-Var", pat, load, 9));
-    std::vector<SimResult> results = runScenarios(scenarios);
-
-    std::size_t k = 0;
-    for (PatternKind pat : patterns) {
-        sink().beginTable(
-            "Figure 12 (" + to_string(pat) +
-                "): latency [ns] vs load, SMART H=9, N in {192,200}",
-            {"load", "cm3", "t2d3", "pfbf3", "pfbf4", "sn_subgr",
-             "fbf3"});
-        double snBase = 0.0;
-        std::vector<double> base(6, 0.0);
-        bool first = true;
-        for (double load : loadGrid()) {
-            std::vector<std::string> row{TextTable::fmt(load, 3)};
-            int i = 0;
-            for (const char *id : nets) {
-                const SimResult &r = results[k++];
-                bool ok = r.packetsDelivered && r.stable;
-                double ns = latencyNs(id, r);
-                row.push_back(ok ? TextTable::fmt(ns, 1) : "sat");
-                if (first && ok) {
-                    base[static_cast<std::size_t>(i)] = ns;
-                    if (std::string(id) == "sn_subgr_200")
-                        snBase = ns;
-                }
-                ++i;
-            }
-            first = false;
-            sink().addRow(row);
-        }
-        sink().endTable();
-        std::string summary = "SN latency at load 0.008 relative to"
-                              " cm3/t2d3/pfbf4/fbf3: ";
-        for (std::size_t i : {std::size_t{0}, std::size_t{1},
-                              std::size_t{3}, std::size_t{5}}) {
-            summary += base[i] > 0.0
-                           ? TextTable::fmt(
-                                 100.0 * snBase / base[i], 0) + "% "
-                           : "n/a ";
-        }
-        sink().note(summary + "(paper: e.g. RND 71/86/92/86%)");
-    }
+    ExperimentPlan plan = loadPlanFile("plans/fig12.json");
+    if (fastMode())
+        applyFastMode(plan);
+    runPlanReport(plan, sink());
     return 0;
 }

@@ -23,13 +23,13 @@
 #ifndef SNOC_BENCH_BENCH_UTIL_HH
 #define SNOC_BENCH_BENCH_UTIL_HH
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "exp/result_sink.hh"
 #include "exp/runner.hh"
@@ -45,8 +45,7 @@ namespace snoc::bench {
 inline bool
 fastMode()
 {
-    const char *v = std::getenv("SNOC_BENCH_FAST");
-    return v != nullptr && v[0] == '1';
+    return envFlag(kEnvBenchFast);
 }
 
 /** Standard simulation windows (scaled down in fast mode). */
@@ -129,10 +128,8 @@ loadGrid()
 inline ResultSink &
 sink()
 {
-    static std::unique_ptr<ResultSink> s = [] {
-        const char *v = std::getenv("SNOC_BENCH_FORMAT");
-        return makeResultSink(v ? v : "table", std::cout);
-    }();
+    static std::unique_ptr<ResultSink> s = makeResultSink(
+        envString(kEnvBenchFormat, "table"), std::cout);
     return *s;
 }
 
@@ -153,9 +150,7 @@ banner(const std::string &title)
 inline std::string
 benchJsonPath(const std::string &name)
 {
-    const char *dir = std::getenv("SNOC_BENCH_OUT");
-    std::string base = dir && dir[0] ? dir : ".";
-    return base + "/BENCH_" + name + ".json";
+    return envString(kEnvBenchOut, ".") + "/BENCH_" + name + ".json";
 }
 
 /**

@@ -8,11 +8,14 @@
  *   noc_cli export-json <topology>
  *   noc_cli simulate <topology> <RND|SHF|REV|ADV1|ADV2|ASYM> <load>
  *           [--smart] [--router EB-Var|CBR-20|...]
- *           [--adaptive min|minadaptive|ugal-l|ugal-g]
+ *           [--adaptive minimal|min-adaptive|ugal-l|ugal-g]
  *   noc_cli resilience <topology> <failureFraction>
  *   noc_cli trace <topology> <workload> <cycles> [--save FILE]
  *
- * <topology> accepts every Table 4 id (see `noc_cli list`).
+ * <topology> accepts every Table 4 id (see `noc_cli list`). Pattern,
+ * router-config and routing-mode names resolve through the same
+ * registries as the `snoc` driver (`snoc list <axis>` enumerates
+ * them). For plan-driven campaigns use `snoc run` instead.
  */
 
 #include <cstring>
@@ -48,34 +51,6 @@ usage()
            "  resilience <topology> <failureFraction>\n"
            "  trace <topology> <workload> <cycles> [--save FILE]\n";
     return 2;
-}
-
-PatternKind
-parsePattern(const std::string &s)
-{
-    if (s == "SHF")
-        return PatternKind::Shuffle;
-    if (s == "REV")
-        return PatternKind::BitReversal;
-    if (s == "ADV1")
-        return PatternKind::Adversarial1;
-    if (s == "ADV2")
-        return PatternKind::Adversarial2;
-    if (s == "ASYM")
-        return PatternKind::Asymmetric;
-    return PatternKind::Random;
-}
-
-RoutingMode
-parseMode(const std::string &s)
-{
-    if (s == "minadaptive")
-        return RoutingMode::MinAdaptive;
-    if (s == "ugal-l")
-        return RoutingMode::UgalL;
-    if (s == "ugal-g")
-        return RoutingMode::UgalG;
-    return RoutingMode::Minimal;
 }
 
 int
@@ -126,7 +101,7 @@ cmdSimulate(const std::vector<std::string> &args)
     if (args.size() < 3)
         return usage();
     std::string id = args[0];
-    PatternKind pattern = parsePattern(args[1]);
+    PatternKind pattern = patternFromName(args[1]);
     double load = std::stod(args[2]);
     int h = 1;
     std::string router = "EB-Var";
@@ -137,7 +112,7 @@ cmdSimulate(const std::vector<std::string> &args)
         } else if (args[i] == "--router" && i + 1 < args.size()) {
             router = args[++i];
         } else if (args[i] == "--adaptive" && i + 1 < args.size()) {
-            mode = parseMode(args[++i]);
+            mode = routingModeFromName(args[++i]);
         } else {
             return usage();
         }

@@ -1,0 +1,338 @@
+#include "cli/cli.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "common/version.hh"
+#include "exp/plan_io.hh"
+#include "exp/report.hh"
+#include "exp/serialize.hh"
+#include "sim/router_config.hh"
+#include "topo/table4.hh"
+#include "trace/workloads.hh"
+
+namespace snoc::cli {
+
+namespace {
+
+int
+usage(std::ostream &err)
+{
+    err << "usage: snoc <command> [args]\n"
+           "  run <plan.json> [--format table|csv|json] [--threads N]\n"
+           "      [--fast] [--manifest PATH | --no-manifest]\n"
+           "  list <topologies|routings|patterns|workloads|configs|"
+           "formats|knobs>\n"
+           "      [--markdown]\n"
+           "  describe <scenario.json | plan.json>\n"
+           "  version\n";
+    return 2;
+}
+
+// --- snoc list --------------------------------------------------------------
+
+void
+listKnobs(std::ostream &out, bool markdown)
+{
+    if (markdown) {
+        out << "| knob | default | accepted values | effect |\n"
+            << "|---|---|---|---|\n";
+        for (const EnvKnob &k : envKnobs())
+            out << "| `" << k.name << "` | " << k.fallback << " | "
+                << k.values << " | " << k.effect << " |\n";
+        return;
+    }
+    TextTable t({"knob", "default", "accepted values", "effect"});
+    for (const EnvKnob &k : envKnobs())
+        t.addRow({k.name, k.fallback, k.values, k.effect});
+    t.print(out);
+}
+
+int
+cmdList(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err)
+{
+    bool markdown = false;
+    std::string axis;
+    for (const std::string &a : args) {
+        if (a == "--markdown")
+            markdown = true;
+        else if (axis.empty())
+            axis = a;
+        else
+            return usage(err);
+    }
+    if (axis.empty())
+        return usage(err);
+
+    auto plain = [&out](const std::vector<std::string> &names) {
+        for (const std::string &n : names)
+            out << n << "\n";
+        return 0;
+    };
+
+    if (axis == "topologies")
+        return plain(namedTopologyIds());
+    if (axis == "routings")
+        return plain(routingModeNames());
+    if (axis == "patterns")
+        return plain(patternNames());
+    if (axis == "workloads")
+        return plain(workloadNames());
+    if (axis == "configs")
+        return plain(RouterConfig::names());
+    if (axis == "formats")
+        return plain(resultSinkFormats());
+    if (axis == "knobs") {
+        listKnobs(out, markdown);
+        return 0;
+    }
+    err << "error: unknown axis '" << axis
+        << "' (expected topologies, routings, patterns, workloads, "
+           "configs, formats or knobs)\n";
+    return 2;
+}
+
+// --- snoc describe ----------------------------------------------------------
+
+void
+describeScenario(const Scenario &s, std::ostream &out,
+                 const std::string &indent)
+{
+    out << indent << "label    " << s.describe() << "\n"
+        << indent << "topology " << s.topology << "  router "
+        << s.routerConfig << "  routing " << to_string(s.routing)
+        << "  smart H=" << s.link.hopsPerCycle << "\n";
+    if (s.traffic.kind == TrafficSpec::Kind::Workload)
+        out << indent << "traffic  workload " << s.traffic.workload
+            << " for " << s.traffic.workloadCycles << " cycles\n";
+    else
+        out << indent << "traffic  " << to_string(s.traffic.pattern)
+            << " @ load " << s.load << ", "
+            << s.traffic.packetSizeFlits << " flits/packet\n";
+    out << indent << "windows  warmup " << s.sim.warmupCycles
+        << ", measure " << s.sim.measureCycles << "\n"
+        << indent << "seeds    traffic " << s.seed << ", routing "
+        << s.routingSeed << "\n";
+    if (s.faults.active())
+        out << indent << "faults   " << s.faults.events.size()
+            << " explicit events, random fraction "
+            << s.faults.randomLinkFraction << " at cycle "
+            << s.faults.randomFailAt << " (seed "
+            << s.faults.faultSeed << ")\n";
+}
+
+int
+cmdDescribe(const std::string &path, std::ostream &out)
+{
+    std::string resolved = resolvePlanPath(path);
+    JsonValue doc =
+        JsonValue::parse(readTextFile(resolved), resolved);
+
+    if (doc.find("jobs")) {
+        ExperimentPlan plan = planFromJson(doc);
+        out << "plan     " << (plan.name.empty() ? "(unnamed)"
+                                                 : plan.name)
+            << "\n"
+            << "file     " << resolved << "\n"
+            << "jobs     " << plan.jobs.size() << "\n\n";
+        for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+            const Job &job = plan.jobs[i];
+            out << "[" << i << "] ";
+            switch (job.kind) {
+            case Job::Kind::Single:
+                out << "single\n";
+                break;
+            case Job::Kind::Sweep: {
+                out << "sweep over " << job.loads.size()
+                    << " loads (";
+                for (std::size_t k = 0; k < job.loads.size(); ++k)
+                    out << (k ? " " : "") << job.loads[k];
+                out << ")"
+                    << (job.stopAtSaturation ? ", stop at saturation"
+                                             : "")
+                    << "\n";
+                break;
+            }
+            case Job::Kind::Saturation:
+                out << "saturation search ["
+                    << job.saturation.loLoad << ", "
+                    << job.saturation.hiLoad << "], tolerance "
+                    << job.saturation.tolerance << ", max "
+                    << job.saturation.maxProbes << " probes\n";
+                break;
+            }
+            describeScenario(job.scenario, out, "    ");
+        }
+        out << "\ncanonical form:\n" << serializePlan(plan);
+        return 0;
+    }
+
+    Scenario s = scenarioFromJson(doc);
+    out << "scenario\n"
+        << "file     " << resolved << "\n";
+    describeScenario(s, out, "");
+    out << "\ncanonical form:\n" << serializeScenario(s);
+    return 0;
+}
+
+// --- snoc run ---------------------------------------------------------------
+
+void
+writeManifest(const std::string &manifestPath,
+              const std::string &planFile, const ExperimentPlan &plan,
+              const std::vector<JobResult> &results, int threads,
+              const std::string &format, bool fast)
+{
+    std::size_t points = 0;
+    for (const JobResult &r : results)
+        points += r.points.size();
+
+    JsonValue m = JsonValue::object();
+    m.set("tool", JsonValue::string("snoc"));
+    m.set("version", JsonValue::string(gitDescribe()));
+    m.set("planFile", JsonValue::string(planFile));
+    m.set("planName", JsonValue::string(plan.name));
+    m.set("jobs", JsonValue::number(
+                      static_cast<std::uint64_t>(plan.jobs.size())));
+    m.set("points",
+          JsonValue::number(static_cast<std::uint64_t>(points)));
+    m.set("threads", JsonValue::number(threads));
+    m.set("format", JsonValue::string(format));
+    m.set("fastMode", JsonValue::boolean(fast));
+
+    JsonValue knobs = JsonValue::object();
+    for (const EnvKnob &k : envKnobs()) {
+        std::string v = envRaw(k.name);
+        knobs.set(k.name,
+                  v.empty() ? JsonValue() : JsonValue::string(v));
+    }
+    m.set("knobs", std::move(knobs));
+
+    JsonValue seeds = JsonValue::array();
+    for (const Job &job : plan.jobs) {
+        JsonValue s = JsonValue::object();
+        s.set("label", JsonValue::string(job.scenario.describe()));
+        s.set("seed", JsonValue::number(job.scenario.seed));
+        s.set("routingSeed",
+              JsonValue::number(job.scenario.routingSeed));
+        if (job.scenario.faults.active())
+            s.set("faultSeed",
+                  JsonValue::number(job.scenario.faults.faultSeed));
+        seeds.push(std::move(s));
+    }
+    m.set("seeds", std::move(seeds));
+
+    std::ofstream file(manifestPath);
+    if (!file)
+        fatal("cannot write run manifest '", manifestPath, "'");
+    file << m.dump(2) << "\n";
+}
+
+int
+cmdRun(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    std::string path;
+    std::string format = "table";
+    std::string manifestPath;
+    bool noManifest = false;
+    bool fast = envFlag(kEnvBenchFast);
+    int threads = 0;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if ((a == "--format" || a == "-f") && i + 1 < args.size()) {
+            format = args[++i];
+        } else if (a == "--threads" && i + 1 < args.size()) {
+            const std::string &v = args[++i];
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (end != v.c_str() + v.size() || n < 1 || n > 4096)
+                fatal("--threads expects a positive integer, got '",
+                      v, "'");
+            threads = static_cast<int>(n);
+        } else if (a == "--manifest" && i + 1 < args.size()) {
+            manifestPath = args[++i];
+        } else if (a == "--no-manifest") {
+            noManifest = true;
+        } else if (a == "--fast") {
+            fast = true;
+        } else if (path.empty() && !a.empty() && a[0] != '-') {
+            path = a;
+        } else {
+            return usage(err);
+        }
+    }
+    if (path.empty())
+        return usage(err);
+
+    std::string resolved = resolvePlanPath(path);
+    ExperimentPlan plan =
+        parsePlan(readTextFile(resolved), resolved);
+    if (fast)
+        applyFastMode(plan);
+
+    RunnerOptions opts;
+    opts.threads = threads;
+
+    std::vector<JobResult> results;
+    {
+        // Scope the sink: JsonSink emits its closing bracket on
+        // destruction, which must precede any further output.
+        std::unique_ptr<ResultSink> sink =
+            makeResultSink(format, out);
+        results = runPlanReport(plan, *sink, opts);
+    }
+
+    if (!noManifest) {
+        if (manifestPath.empty())
+            manifestPath = envString(kEnvBenchOut, ".") +
+                           "/snoc_manifest.json";
+        writeManifest(manifestPath, resolved, plan, results,
+                      ExperimentRunner(opts).threadCount(), format,
+                      fast);
+    }
+
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    if (args.empty())
+        return usage(err);
+    const std::string &cmd = args[0];
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+
+    try {
+        if (cmd == "run")
+            return cmdRun(rest, out, err);
+        if (cmd == "list")
+            return cmdList(rest, out, err);
+        if (cmd == "describe" && rest.size() == 1)
+            return cmdDescribe(rest[0], out);
+        if (cmd == "version" || cmd == "--version") {
+            out << "snoc " << gitDescribe() << "\n";
+            return 0;
+        }
+        if (cmd == "help" || cmd == "--help") {
+            usage(out);
+            return 0;
+        }
+    } catch (const FatalError &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage(err);
+}
+
+} // namespace snoc::cli

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * main() for the `snoc` binary (kept out of the snoc library so
+ * test binaries can link the CLI implementation directly).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return snoc::cli::runCli(args, std::cout, std::cerr);
+}

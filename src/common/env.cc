@@ -1,0 +1,97 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+const std::vector<EnvKnob> &
+envKnobs()
+{
+    static const std::vector<EnvKnob> kKnobs = {
+        {kEnvBenchFast, "unset", "1 (anything else = off)",
+         "shrink simulation windows and thin sweep load grids for "
+         "smoke runs (CI uses this; default windows give stable "
+         "numbers); honored by the bench binaries and `snoc run`"},
+        {kEnvBenchFormat, "table", "table, csv, json",
+         "stdout format of the bench binaries (`snoc run` takes "
+         "--format instead)"},
+        {kEnvBenchOut, ".", "directory path",
+         "where perf-mode benches write BENCH_*.json artifacts and "
+         "`snoc run` writes its default run manifest"},
+        {kEnvExpThreads, "hardware concurrency", "positive integer",
+         "experiment-engine worker threads (RunnerOptions::threads "
+         "and `snoc run --threads` override)"},
+        {kEnvFuzzIters, "6", "positive integer",
+         "scenario-fuzz iterations in exp_fuzz_test (CI sanitizer "
+         "job uses 4; crank it up for soak runs)"},
+        {kEnvFuzzSeed, "fixed", "64-bit integer",
+         "base seed of the scenario fuzzer; failing iterations print "
+         "the exact SNOC_FUZZ_SEED/SNOC_FUZZ_ITERS pair to replay "
+         "them"},
+        {kEnvPlanDir, "plans", "directory path",
+         "extra search directory for plan files named on the `snoc` "
+         "command line and in the ported bench binaries"},
+    };
+    return kKnobs;
+}
+
+namespace {
+
+/** Raw getenv behind a registration check: undeclared reads are bugs. */
+const char *
+rawDeclared(const char *name)
+{
+    [[maybe_unused]] bool declared = false;
+    for (const EnvKnob &k : envKnobs())
+        if (std::string(k.name) == name)
+            declared = true;
+    SNOC_ASSERT(declared, "env knob '", name,
+                "' is not declared in envKnobs()");
+    return std::getenv(name);
+}
+
+} // namespace
+
+std::string
+envRaw(const char *name)
+{
+    const char *v = rawDeclared(name);
+    return v ? v : "";
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *v = rawDeclared(name);
+    return v != nullptr && v[0] == '1';
+}
+
+int
+envInt(const char *name, int fallback)
+{
+    const char *v = rawDeclared(name);
+    if (!v || !v[0])
+        return fallback;
+    int n = std::atoi(v);
+    return n > 0 ? n : fallback;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = rawDeclared(name);
+    if (!v || !v[0])
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *v = rawDeclared(name);
+    return (v && v[0]) ? v : fallback;
+}
+
+} // namespace snoc

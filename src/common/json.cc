@@ -1,0 +1,608 @@
+#include "common/json.hh"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+// --- constructors -----------------------------------------------------------
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    SNOC_ASSERT(std::isfinite(d), "JSON numbers must be finite");
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    SNOC_ASSERT(ec == std::errc(), "to_chars failed");
+    return numberToken(std::string(buf, end));
+}
+
+JsonValue
+JsonValue::number(std::int64_t i)
+{
+    return numberToken(std::to_string(i));
+}
+
+JsonValue
+JsonValue::number(std::uint64_t u)
+{
+    return numberToken(std::to_string(u));
+}
+
+JsonValue
+JsonValue::number(int i)
+{
+    return numberToken(std::to_string(i));
+}
+
+JsonValue
+JsonValue::numberToken(std::string token)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.scalar_ = std::move(token);
+    return v;
+}
+
+JsonValue
+JsonValue::string(std::string s)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+// --- typed access -----------------------------------------------------------
+
+namespace {
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::Null: return "null";
+      case JsonValue::Type::Bool: return "bool";
+      case JsonValue::Type::Number: return "number";
+      case JsonValue::Type::String: return "string";
+      case JsonValue::Type::Array: return "array";
+      case JsonValue::Type::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeError(const std::string &path, const char *expected,
+          JsonValue::Type got)
+{
+    fatal(path, ": expected ", expected, ", got ", typeName(got));
+}
+
+} // namespace
+
+bool
+JsonValue::asBool(const std::string &path) const
+{
+    if (type_ != Type::Bool)
+        typeError(path, "bool", type_);
+    return bool_;
+}
+
+double
+JsonValue::asDouble(const std::string &path) const
+{
+    if (type_ != Type::Number)
+        typeError(path, "number", type_);
+    char *end = nullptr;
+    double v = std::strtod(scalar_.c_str(), &end);
+    if (end != scalar_.c_str() + scalar_.size() ||
+        !std::isfinite(v))
+        fatal(path, ": '", scalar_,
+              "' is not a representable finite number");
+    return v;
+}
+
+std::int64_t
+JsonValue::asI64(const std::string &path) const
+{
+    if (type_ != Type::Number)
+        typeError(path, "number", type_);
+    errno = 0;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(scalar_.c_str(), &end, 10);
+    if (errno == ERANGE || end != scalar_.c_str() + scalar_.size())
+        fatal(path, ": '", scalar_, "' is not a 64-bit integer");
+    return v;
+}
+
+std::uint64_t
+JsonValue::asU64(const std::string &path) const
+{
+    if (type_ != Type::Number)
+        typeError(path, "number", type_);
+    if (!scalar_.empty() && scalar_[0] == '-')
+        fatal(path, ": '", scalar_, "' is negative");
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (errno == ERANGE || end != scalar_.c_str() + scalar_.size())
+        fatal(path, ": '", scalar_,
+              "' is not an unsigned 64-bit integer");
+    return v;
+}
+
+int
+JsonValue::asInt(const std::string &path) const
+{
+    std::int64_t v = asI64(path);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+        fatal(path, ": ", v, " does not fit in int");
+    return static_cast<int>(v);
+}
+
+const std::string &
+JsonValue::asString(const std::string &path) const
+{
+    if (type_ != Type::String)
+        typeError(path, "string", type_);
+    return scalar_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items(const std::string &path) const
+{
+    if (type_ != Type::Array)
+        typeError(path, "array", type_);
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members(const std::string &path) const
+{
+    if (type_ != Type::Object)
+        typeError(path, "object", type_);
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    SNOC_ASSERT(type_ == Type::Object, "set() on a non-object");
+    for (auto &[k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    SNOC_ASSERT(type_ == Type::Array, "push() on a non-array");
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+// --- writer -----------------------------------------------------------------
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        out += scalar_;
+        break;
+    case Type::String:
+        escapeString(out, scalar_);
+        break;
+    case Type::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out += indent < 0 ? "," : ",";
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    }
+    case Type::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            newline(depth + 1);
+            escapeString(out, members_[i].first);
+            out += indent < 0 ? ":" : ": ";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &origin)
+        : text_(text), origin_(origin)
+    {
+    }
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after the document");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    const std::string &origin_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+
+    static constexpr int kMaxDepth = 200;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        fatal(origin_, ":", line_, ":", col_, ": ", what);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char
+    advance()
+    {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        if (atEnd() || peek() != c)
+            fail(std::string("expected '") + c + "'");
+        advance();
+    }
+
+    bool
+    consumeKeyword(const char *kw)
+    {
+        std::size_t len = std::string(kw).size();
+        if (text_.compare(pos_, len, kw) != 0)
+            return false;
+        for (std::size_t i = 0; i < len; ++i)
+            advance();
+        return true;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("document nests too deeply");
+        skipWs();
+        if (atEnd())
+            fail("unexpected end of input");
+        char c = peek();
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"')
+            return JsonValue::string(parseString());
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        if (consumeKeyword("true"))
+            return JsonValue::boolean(true);
+        if (consumeKeyword("false"))
+            return JsonValue::boolean(false);
+        if (consumeKeyword("null"))
+            return JsonValue();
+        fail("unexpected character");
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                fail("expected a member name string");
+            std::string key = parseString();
+            if (obj.find(key))
+                fail("duplicate member '" + key + "'");
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue(depth + 1));
+            skipWs();
+            if (atEnd())
+                fail("unterminated object");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue(depth + 1));
+            skipWs();
+            if (atEnd())
+                fail("unterminated array");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                fail("unterminated escape");
+            char e = advance();
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd())
+                        fail("unterminated \\u escape");
+                    char h = advance();
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // Encode the code point as UTF-8 (surrogates are
+                // passed through as-is; plan files are ASCII).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                fail("invalid escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::string token;
+        auto digits = [&] {
+            bool any = false;
+            while (!atEnd() && peek() >= '0' && peek() <= '9') {
+                token += advance();
+                any = true;
+            }
+            if (!any)
+                fail("malformed number");
+        };
+
+        if (!atEnd() && peek() == '-')
+            token += advance();
+        if (!atEnd() && peek() == '0') {
+            token += advance();
+        } else {
+            digits();
+        }
+        if (!atEnd() && peek() == '.') {
+            token += advance();
+            digits();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            token += advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                token += advance();
+            digits();
+        }
+        return JsonValue::numberToken(std::move(token));
+    }
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, const std::string &origin)
+{
+    return Parser(text, origin).parseDocument();
+}
+
+} // namespace snoc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal JSON document model, parser and writer (no external deps).
+ *
+ * The experiment engine already *emits* JSON (JsonSink); this adds
+ * the reading half so Scenarios and ExperimentPlans can round-trip
+ * through plan files (src/exp/serialize.hh, the `snoc` CLI).
+ *
+ * Design points:
+ *  - Objects keep insertion order, so serialize -> parse -> dump is
+ *    byte-stable and plan files diff cleanly.
+ *  - Numbers are stored as their literal token: 64-bit seeds survive
+ *    the round trip exactly (no double conversion on the way
+ *    through), and `0.008` re-emits as `0.008`.
+ *  - `//` line comments are accepted (and dropped) by the parser, so
+ *    committed plan files can be annotated.
+ *  - Parse errors carry line:column; typed accessors take the
+ *    caller's JSON path (e.g. "$.jobs[2].scenario.routing") so
+ *    malformed plans fail with an exact location either way.
+ */
+
+#ifndef SNOC_COMMON_JSON_HH
+#define SNOC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace snoc {
+
+/** One JSON value; a tree of these is a document. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default; //!< null
+
+    // --- constructors -------------------------------------------------------
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue number(std::int64_t v);
+    static JsonValue number(std::uint64_t v);
+    static JsonValue number(int v);
+    /** A pre-formatted numeric literal (must satisfy JSON grammar). */
+    static JsonValue numberToken(std::string token);
+    static JsonValue string(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    // --- inspection ---------------------------------------------------------
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /**
+     * Typed accessors. `path` names this value's location in the
+     * document ("$", "$.jobs[2].load", ...) and is used verbatim in
+     * the FatalError raised on a type or range mismatch.
+     */
+    bool asBool(const std::string &path) const;
+    double asDouble(const std::string &path) const;
+    std::int64_t asI64(const std::string &path) const;
+    std::uint64_t asU64(const std::string &path) const;
+    int asInt(const std::string &path) const;
+    const std::string &asString(const std::string &path) const;
+    const std::vector<JsonValue> &items(const std::string &path) const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members(const std::string &path) const;
+
+    /** Object member by key, or nullptr (non-objects: nullptr). */
+    const JsonValue *find(const std::string &key) const;
+
+    // --- construction -------------------------------------------------------
+    /** Append/replace a member (object only; keeps insertion order). */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Append an element (array only). */
+    JsonValue &push(JsonValue v);
+
+    /**
+     * Render the document. indent >= 0 pretty-prints with that many
+     * spaces per level; indent < 0 emits the compact one-line form.
+     * A trailing newline is NOT appended.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a JSON document (UTF-8, `//` line comments allowed).
+     * @param text   the document
+     * @param origin label used in error messages (e.g. a file name)
+     * @throws FatalError with origin:line:column on malformed input
+     */
+    static JsonValue parse(const std::string &text,
+                           const std::string &origin = "json");
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::string scalar_; //!< number token or string payload
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_JSON_HH

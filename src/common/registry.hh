@@ -1,0 +1,103 @@
+/**
+ * @file
+ * NamedRegistry: a tiny ordered string-keyed registry.
+ *
+ * Every axis of a Scenario — routing modes, traffic patterns, router
+ * configurations, trace workloads, result-sink formats, named
+ * topologies — is exposed as a `name ↔ value` registry so the full
+ * scenario space is reachable as *data* (plan files, the `snoc` CLI)
+ * and enumerable (`snoc list <axis>`), instead of being scattered
+ * over ad-hoc if/switch chains. Registries are built once, keep
+ * insertion order (listing order is the registration order), and are
+ * immutable after construction, so concurrent readers need no
+ * locking.
+ */
+
+#ifndef SNOC_COMMON_REGISTRY_HH
+#define SNOC_COMMON_REGISTRY_HH
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace snoc {
+
+/** Ordered name -> value table with fatal()-reporting lookup. */
+template <typename T>
+class NamedRegistry
+{
+  public:
+    NamedRegistry(std::string axis,
+                  std::initializer_list<std::pair<std::string, T>> items)
+        : axis_(std::move(axis))
+    {
+        for (auto &item : items)
+            add(item.first, item.second);
+    }
+
+    explicit NamedRegistry(std::string axis) : axis_(std::move(axis)) {}
+
+    /** Register a value; names must be unique within the registry. */
+    void
+    add(const std::string &name, T value)
+    {
+        SNOC_ASSERT(find(name) == nullptr, "duplicate ", axis_,
+                    " name '", name, "'");
+        entries_.emplace_back(name, std::move(value));
+        names_.push_back(name);
+    }
+
+    /** The value registered under `name`, or nullptr. */
+    const T *
+    find(const std::string &name) const
+    {
+        for (const auto &[n, v] : entries_)
+            if (n == name)
+                return &v;
+        return nullptr;
+    }
+
+    /**
+     * The value registered under `name`.
+     * @throws FatalError listing the registered names when unknown.
+     */
+    const T &
+    get(const std::string &name) const
+    {
+        if (const T *v = find(name))
+            return *v;
+        fatal("unknown ", axis_, " '", name, "' (expected one of: ",
+              joinedNames(), ")");
+    }
+
+    /** Registered names, in registration order. */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** The axis label used in error messages (e.g. "routing mode"). */
+    const std::string &axis() const { return axis_; }
+
+    /** Registered names joined with ", " (for messages / usage). */
+    std::string
+    joinedNames() const
+    {
+        std::string out;
+        for (const std::string &n : names_) {
+            if (!out.empty())
+                out += ", ";
+            out += n;
+        }
+        return out;
+    }
+
+  private:
+    std::string axis_;
+    std::vector<std::pair<std::string, T>> entries_;
+    std::vector<std::string> names_;
+};
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_REGISTRY_HH

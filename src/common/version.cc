@@ -1,0 +1,17 @@
+#include "common/version.hh"
+
+// CMake stamps the describe string into this translation unit only,
+// so incremental builds after a reconfigure relink cheaply.
+#ifndef SNOC_GIT_DESCRIBE
+#define SNOC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace snoc {
+
+const char *
+gitDescribe()
+{
+    return SNOC_GIT_DESCRIBE;
+}
+
+} // namespace snoc

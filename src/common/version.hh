@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Build version stamp for run manifests and `snoc --version`.
+ */
+
+#ifndef SNOC_COMMON_VERSION_HH
+#define SNOC_COMMON_VERSION_HH
+
+namespace snoc {
+
+/**
+ * `git describe --always --dirty --tags` captured at CMake configure
+ * time, or "unknown" when the build was configured outside a git
+ * checkout. Note the stamp refreshes on reconfigure, not on every
+ * commit.
+ */
+const char *gitDescribe();
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_VERSION_HH

@@ -42,6 +42,8 @@ struct Job
 
     // Saturation only.
     SaturationSpec saturation;
+
+    bool operator==(const Job &) const = default;
 };
 
 /** A Scenario together with its measured result. */
@@ -107,6 +109,8 @@ struct ExperimentPlan
 
     std::size_t size() const { return jobs.size(); }
     bool empty() const { return jobs.empty(); }
+
+    bool operator==(const ExperimentPlan &) const = default;
 };
 
 } // namespace snoc

@@ -1,0 +1,115 @@
+#include "exp/plan_io.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "exp/serialize.hh"
+
+// The source tree this build was configured from; plan files named
+// on the command line resolve against it as a last resort, so
+// binaries work from the build directory too.
+#ifndef SNOC_SOURCE_DIR
+#define SNOC_SOURCE_DIR ""
+#endif
+
+namespace snoc {
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::string
+resolvePlanPath(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> tried;
+    auto candidate = [&](const std::string &p) {
+        if (p.empty())
+            return false;
+        tried.push_back(p);
+        std::error_code ec;
+        return fs::is_regular_file(fs::path(p), ec);
+    };
+
+    if (candidate(path))
+        return path;
+    if (!fs::path(path).is_absolute()) {
+        std::string planDir = envString(kEnvPlanDir, "plans");
+        if (!planDir.empty() && candidate(planDir + "/" + path))
+            return tried.back();
+        std::string sourceDir = SNOC_SOURCE_DIR;
+        if (!sourceDir.empty() && candidate(sourceDir + "/" + path))
+            return tried.back();
+    }
+
+    std::string msg = "plan file '" + path + "' not found (tried:";
+    for (const std::string &t : tried)
+        msg += " " + t;
+    fatal(msg, ")");
+}
+
+ExperimentPlan
+loadPlanFile(const std::string &path)
+{
+    std::string resolved = resolvePlanPath(path);
+    return parsePlan(readTextFile(resolved), resolved);
+}
+
+Scenario
+loadScenarioFile(const std::string &path)
+{
+    std::string resolved = resolvePlanPath(path);
+    return parseScenario(readTextFile(resolved), resolved);
+}
+
+namespace {
+
+Cycle
+quarter(Cycle c)
+{
+    // Shrink, never raise: explicit zeros keep their semantics.
+    return c >= 4 ? c / 4 : (c > 0 ? 1 : 0);
+}
+
+void
+fastScenario(Scenario &s)
+{
+    s.sim.warmupCycles = quarter(s.sim.warmupCycles);
+    s.sim.measureCycles = quarter(s.sim.measureCycles);
+    if (s.traffic.kind == TrafficSpec::Kind::Workload)
+        s.traffic.workloadCycles = quarter(s.traffic.workloadCycles);
+    if (s.faults.active())
+        s.faults.randomFailAt = quarter(s.faults.randomFailAt);
+    for (FaultEvent &e : s.faults.events)
+        e.at = quarter(e.at);
+}
+
+} // namespace
+
+void
+applyFastMode(ExperimentPlan &plan)
+{
+    for (Job &job : plan.jobs) {
+        fastScenario(job.scenario);
+        if (job.kind == Job::Kind::Sweep && job.loads.size() > 2)
+            job.loads = {job.loads.front(),
+                         job.loads[job.loads.size() / 2]};
+        if (job.kind == Job::Kind::Saturation)
+            job.saturation.maxProbes =
+                std::min(job.saturation.maxProbes, 6);
+    }
+}
+
+} // namespace snoc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plan-file I/O shared by the `snoc` CLI and the ported bench
+ * binaries, so both execute the *same* bytes through the *same* code
+ * path (the byte-identity guarantee between `snoc run plans/x.json`
+ * and the corresponding bench binary rests on this).
+ *
+ * Path resolution makes committed plan files reachable from any
+ * working directory: a path is tried as given, then under
+ * $SNOC_PLAN_DIR, then under the source tree the build was
+ * configured from.
+ *
+ * applyFastMode() is the data-driven successor of the bench
+ * harness's SNOC_BENCH_FAST handling: instead of each bench
+ * hand-shrinking its grids, the transform rescales any loaded plan
+ * (simulation windows, fault-event cycles, sweep load grids) by the
+ * same rules.
+ */
+
+#ifndef SNOC_EXP_PLAN_IO_HH
+#define SNOC_EXP_PLAN_IO_HH
+
+#include <string>
+
+#include "exp/experiment_plan.hh"
+
+namespace snoc {
+
+/** Read a whole file. @throws FatalError when unreadable. */
+std::string readTextFile(const std::string &path);
+
+/**
+ * Resolve a plan path: as given, then $SNOC_PLAN_DIR/<path>, then
+ * <source dir>/<path> (the tree the build was configured from).
+ * @throws FatalError listing every tried location when not found
+ */
+std::string resolvePlanPath(const std::string &path);
+
+/** Resolve, read and parse a plan file. */
+ExperimentPlan loadPlanFile(const std::string &path);
+
+/** Resolve, read and parse a single-scenario file. */
+Scenario loadScenarioFile(const std::string &path);
+
+/**
+ * Shrink a plan for smoke runs (SNOC_BENCH_FAST): simulation windows
+ * and fault cycles divide by 4, and sweep grids with more than two
+ * loads thin to {first, middle} — the same shape the bench harness's
+ * fast mode always used.
+ */
+void applyFastMode(ExperimentPlan &plan);
+
+} // namespace snoc
+
+#endif // SNOC_EXP_PLAN_IO_HH

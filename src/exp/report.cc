@@ -1,0 +1,109 @@
+#include "exp/report.hh"
+
+#include "common/table.hh"
+#include "topo/topology_cache.hh"
+
+namespace snoc {
+
+namespace {
+
+std::string
+trafficCell(const TrafficSpec &traffic)
+{
+    if (traffic.kind == TrafficSpec::Kind::Workload)
+        return traffic.workload;
+    return to_string(traffic.pattern);
+}
+
+} // namespace
+
+void
+renderPlanReport(const ExperimentPlan &plan,
+                 const std::vector<JobResult> &results,
+                 ResultSink &sink)
+{
+    bool anyFaults = false;
+    bool anySaturation = false;
+    for (const Job &job : plan.jobs) {
+        anyFaults = anyFaults || job.scenario.faults.active();
+        anySaturation =
+            anySaturation || job.kind == Job::Kind::Saturation;
+    }
+
+    std::vector<std::string> columns = {
+        "scenario",      "topology",   "router",
+        "routing",       "traffic",    "load",
+        "offered",       "throughput", "latency [cyc]",
+        "latency [ns]",  "hops",       "stable"};
+    if (anyFaults) {
+        for (const char *c :
+             {"fault_events", "flits_dropped", "packets_dropped",
+              "packets_unroutable", "packets_refused"})
+            columns.push_back(c);
+    }
+
+    sink.beginTable(plan.name, columns);
+    for (const JobResult &job : results) {
+        for (const ScenarioResult &point : job.points) {
+            const Scenario &s = point.scenario;
+            const SimResult &r = point.sim;
+            double cycleNs =
+                TopologyCache::instance().get(s.topology)
+                    .cycleTimeNs();
+            std::vector<std::string> row = {
+                s.describe(),
+                s.topology,
+                s.routerConfig,
+                to_string(s.routing),
+                trafficCell(s.traffic),
+                TextTable::fmt(s.load, 3),
+                TextTable::fmt(r.offeredLoad, 4),
+                TextTable::fmt(r.throughput, 4),
+                TextTable::fmt(r.avgPacketLatency, 2),
+                TextTable::fmt(r.avgPacketLatency * cycleNs, 1),
+                TextTable::fmt(r.avgHops, 2),
+                r.stable ? "yes" : "no"};
+            if (anyFaults) {
+                row.push_back(
+                    TextTable::fmt(r.counters.faultEvents));
+                row.push_back(
+                    TextTable::fmt(r.counters.flitsDropped));
+                row.push_back(
+                    TextTable::fmt(r.counters.packetsDropped));
+                row.push_back(
+                    TextTable::fmt(r.counters.packetsUnroutable));
+                row.push_back(
+                    TextTable::fmt(r.counters.packetsRefused));
+            }
+            sink.addRow(row);
+        }
+    }
+    sink.endTable();
+
+    if (anySaturation) {
+        sink.beginTable(
+            plan.name.empty() ? "saturation searches"
+                              : plan.name + ": saturation searches",
+            {"scenario", "saturation_load", "best_throughput"});
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (plan.jobs[i].kind != Job::Kind::Saturation)
+                continue;
+            sink.addRow({plan.jobs[i].scenario.describe(),
+                         TextTable::fmt(results[i].saturationLoad, 4),
+                         TextTable::fmt(results[i].bestThroughput,
+                                        4)});
+        }
+        sink.endTable();
+    }
+}
+
+std::vector<JobResult>
+runPlanReport(const ExperimentPlan &plan, ResultSink &sink,
+              const RunnerOptions &opts)
+{
+    std::vector<JobResult> results = ExperimentRunner(opts).run(plan);
+    renderPlanReport(plan, results, sink);
+    return results;
+}
+
+} // namespace snoc

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <ostream>
 
 #include "common/log.hh"
+#include "common/registry.hh"
 #include "common/table.hh"
 
 namespace snoc {
@@ -253,17 +255,46 @@ TeeSink::note(const std::string &text)
 
 // --- factory ----------------------------------------------------------------
 
+namespace {
+
+using SinkFactory =
+    std::function<std::unique_ptr<ResultSink>(std::ostream &)>;
+
+/** The name <-> sink-factory registry ("" aliases to "table"). */
+const NamedRegistry<SinkFactory> &
+sinkRegistry()
+{
+    static const NamedRegistry<SinkFactory> reg(
+        "result sink format",
+        {
+            {"table",
+             [](std::ostream &os) {
+                 return std::make_unique<TableSink>(os);
+             }},
+            {"csv",
+             [](std::ostream &os) {
+                 return std::make_unique<CsvSink>(os);
+             }},
+            {"json",
+             [](std::ostream &os) {
+                 return std::make_unique<JsonSink>(os);
+             }},
+        });
+    return reg;
+}
+
+} // namespace
+
 std::unique_ptr<ResultSink>
 makeResultSink(const std::string &format, std::ostream &os)
 {
-    if (format.empty() || format == "table")
-        return std::make_unique<TableSink>(os);
-    if (format == "csv")
-        return std::make_unique<CsvSink>(os);
-    if (format == "json")
-        return std::make_unique<JsonSink>(os);
-    fatal("unknown result sink format '", format,
-          "' (expected table, csv or json)");
+    return sinkRegistry().get(format.empty() ? "table" : format)(os);
+}
+
+const std::vector<std::string> &
+resultSinkFormats()
+{
+    return sinkRegistry().names();
 }
 
 } // namespace snoc

@@ -118,10 +118,13 @@ class TeeSink : public ResultSink
 
 /**
  * Build a sink by format name: "table", "csv" or "json".
- * @throws FatalError for unknown formats.
+ * @throws FatalError listing the registered formats when unknown.
  */
 std::unique_ptr<ResultSink> makeResultSink(const std::string &format,
                                            std::ostream &os);
+
+/** All registered format names (`snoc list formats`). */
+const std::vector<std::string> &resultSinkFormats();
 
 } // namespace snoc
 

@@ -1,11 +1,11 @@
 #include "exp/runner.hh"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "topo/topology_cache.hh"
 #include "trace/trace.hh"
@@ -20,11 +20,8 @@ resolveThreads(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("SNOC_EXP_THREADS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
+    if (int n = envInt(kEnvExpThreads, 0); n > 0)
+        return n;
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }

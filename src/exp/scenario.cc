@@ -10,11 +10,14 @@ Scenario::describe() const
     if (!label.empty())
         return label;
     std::ostringstream oss;
-    oss << topology << "/" << routerConfig << "/";
+    oss << topology << "/" << routerConfig << "/"
+        << to_string(routing) << "/";
     if (traffic.kind == TrafficSpec::Kind::Workload)
         oss << traffic.workload;
     else
         oss << to_string(traffic.pattern) << "@" << load;
+    if (faults.active())
+        oss << "+faults";
     return oss.str();
 }
 

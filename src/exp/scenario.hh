@@ -60,6 +60,8 @@ struct TrafficSpec
         t.workloadCycles = cycles;
         return t;
     }
+
+    bool operator==(const TrafficSpec &) const = default;
 };
 
 /** One fully-specified simulation point, as data. */
@@ -79,7 +81,15 @@ struct Scenario
                             //!< inactive (default) plan keeps the run
                             //!< bit-identical to the fault-free path
 
-    /** label, or "topo/router/traffic@load" when label is empty. */
+    bool operator==(const Scenario &) const = default;
+
+    /**
+     * label, or a derived "topo/router/routing/traffic@load[+faults]"
+     * when the label is empty. Every axis that changes the result is
+     * part of the derived label (routing mode, fault-plan presence),
+     * so distinct points never collide; this is the single labeling
+     * path used by the report renderer, the sinks and the CLI.
+     */
     std::string describe() const;
 };
 

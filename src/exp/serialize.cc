@@ -1,0 +1,546 @@
+#include "exp/serialize.hh"
+
+#include "common/log.hh"
+#include "sim/router_config.hh"
+#include "topo/table4.hh"
+#include "trace/workloads.hh"
+
+namespace snoc {
+
+namespace {
+
+/**
+ * Strict object reader: members are taken by key; finish() rejects
+ * whatever was not taken, with the full path of the stray member.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue &v, std::string path)
+        : value_(v), path_(std::move(path)),
+          consumed_(v.members(path_).size(), false)
+    {
+    }
+
+    /** The member under `key` (marking it consumed), or nullptr. */
+    const JsonValue *
+    take(const char *key)
+    {
+        const auto &members = value_.members(path_);
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i].first == key) {
+                consumed_[i] = true;
+                return &members[i].second;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Path of the member under `key` ("<path>.<key>"). */
+    std::string
+    sub(const char *key) const
+    {
+        return path_ + "." + key;
+    }
+
+    /** Reject members that were never taken (typo protection). */
+    void
+    finish() const
+    {
+        const auto &members = value_.members(path_);
+        for (std::size_t i = 0; i < members.size(); ++i)
+            if (!consumed_[i])
+                fatal(path_, ": unknown member '", members[i].first,
+                      "'");
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    const JsonValue &value_;
+    std::string path_;
+    std::vector<bool> consumed_;
+};
+
+std::string
+elem(const std::string &path, std::size_t i)
+{
+    return path + "[" + std::to_string(i) + "]";
+}
+
+/** Re-raise a registry FatalError with the JSON path prepended. */
+template <typename Fn>
+auto
+atPath(const std::string &path, Fn &&fn)
+{
+    try {
+        return fn();
+    } catch (const FatalError &e) {
+        fatal(path, ": ", e.what());
+    }
+}
+
+// --- fault-event kind names -------------------------------------------------
+
+constexpr std::pair<FaultEvent::Kind, const char *> kEventKinds[] = {
+    {FaultEvent::Kind::LinkDown, "link-down"},
+    {FaultEvent::Kind::LinkUp, "link-up"},
+    {FaultEvent::Kind::RouterDown, "router-down"},
+    {FaultEvent::Kind::RouterUp, "router-up"},
+};
+
+const char *
+eventKindName(FaultEvent::Kind kind)
+{
+    for (const auto &[k, name] : kEventKinds)
+        if (k == kind)
+            return name;
+    SNOC_PANIC("unregistered fault-event kind");
+}
+
+FaultEvent::Kind
+eventKindFromName(const std::string &name, const std::string &path)
+{
+    for (const auto &[k, n] : kEventKinds)
+        if (name == n)
+            return k;
+    fatal(path, ": unknown fault-event kind '", name,
+          "' (expected one of: link-down, link-up, router-down, "
+          "router-up)");
+}
+
+} // namespace
+
+// --- writers ----------------------------------------------------------------
+
+JsonValue
+toJson(const TrafficSpec &traffic)
+{
+    JsonValue v = JsonValue::object();
+    if (traffic.kind == TrafficSpec::Kind::Workload) {
+        v.set("workload", JsonValue::string(traffic.workload));
+        if (traffic.workloadCycles != TrafficSpec().workloadCycles)
+            v.set("workloadCycles",
+                  JsonValue::number(traffic.workloadCycles));
+    } else {
+        v.set("pattern",
+              JsonValue::string(to_string(traffic.pattern)));
+        if (traffic.packetSizeFlits != TrafficSpec().packetSizeFlits)
+            v.set("packetSizeFlits",
+                  JsonValue::number(traffic.packetSizeFlits));
+    }
+    return v;
+}
+
+JsonValue
+toJson(const FaultPlan &faults)
+{
+    const FaultPlan defaults;
+    JsonValue v = JsonValue::object();
+    if (!faults.events.empty()) {
+        JsonValue events = JsonValue::array();
+        for (const FaultEvent &e : faults.events) {
+            JsonValue ev = JsonValue::object();
+            ev.set("at", JsonValue::number(e.at));
+            ev.set("kind", JsonValue::string(eventKindName(e.kind)));
+            ev.set("a", JsonValue::number(e.a));
+            if (e.b != -1)
+                ev.set("b", JsonValue::number(e.b));
+            events.push(std::move(ev));
+        }
+        v.set("events", std::move(events));
+    }
+    if (faults.randomLinkFraction != defaults.randomLinkFraction)
+        v.set("randomLinkFraction",
+              JsonValue::number(faults.randomLinkFraction));
+    if (faults.randomFailAt != defaults.randomFailAt)
+        v.set("randomFailAt", JsonValue::number(faults.randomFailAt));
+    if (faults.faultSeed != defaults.faultSeed)
+        v.set("faultSeed", JsonValue::number(faults.faultSeed));
+    if (faults.armed != defaults.armed)
+        v.set("armed", JsonValue::boolean(faults.armed));
+    return v;
+}
+
+JsonValue
+toJson(const SimConfig &sim)
+{
+    const SimConfig defaults;
+    JsonValue v = JsonValue::object();
+    if (sim.warmupCycles != defaults.warmupCycles)
+        v.set("warmupCycles", JsonValue::number(sim.warmupCycles));
+    if (sim.measureCycles != defaults.measureCycles)
+        v.set("measureCycles", JsonValue::number(sim.measureCycles));
+    if (sim.drainCycleLimit != defaults.drainCycleLimit)
+        v.set("drainCycleLimit",
+              JsonValue::number(sim.drainCycleLimit));
+    if (sim.drain != defaults.drain)
+        v.set("drain", JsonValue::boolean(sim.drain));
+    return v;
+}
+
+JsonValue
+toJson(const LinkConfig &link)
+{
+    JsonValue v = JsonValue::object();
+    if (link.hopsPerCycle != LinkConfig().hopsPerCycle)
+        v.set("hopsPerCycle", JsonValue::number(link.hopsPerCycle));
+    return v;
+}
+
+JsonValue
+toJson(const Scenario &scenario)
+{
+    const Scenario defaults;
+    JsonValue v = JsonValue::object();
+    if (!scenario.label.empty())
+        v.set("label", JsonValue::string(scenario.label));
+    v.set("topology", JsonValue::string(scenario.topology));
+    if (scenario.routerConfig != defaults.routerConfig)
+        v.set("routerConfig",
+              JsonValue::string(scenario.routerConfig));
+    if (!(scenario.link == defaults.link))
+        v.set("link", toJson(scenario.link));
+    if (scenario.routing != defaults.routing)
+        v.set("routing",
+              JsonValue::string(to_string(scenario.routing)));
+    if (!(scenario.traffic == defaults.traffic))
+        v.set("traffic", toJson(scenario.traffic));
+    if (scenario.load != defaults.load)
+        v.set("load", JsonValue::number(scenario.load));
+    if (scenario.seed != defaults.seed)
+        v.set("seed", JsonValue::number(scenario.seed));
+    if (scenario.routingSeed != defaults.routingSeed)
+        v.set("routingSeed", JsonValue::number(scenario.routingSeed));
+    if (!(scenario.sim == defaults.sim))
+        v.set("sim", toJson(scenario.sim));
+    if (!(scenario.faults == defaults.faults))
+        v.set("faults", toJson(scenario.faults));
+    return v;
+}
+
+JsonValue
+toJson(const Job &job)
+{
+    JsonValue v = JsonValue::object();
+    v.set("scenario", toJson(job.scenario));
+    if (job.kind == Job::Kind::Sweep) {
+        JsonValue sweep = JsonValue::object();
+        JsonValue loads = JsonValue::array();
+        for (double load : job.loads)
+            loads.push(JsonValue::number(load));
+        sweep.set("loads", std::move(loads));
+        if (!job.stopAtSaturation)
+            sweep.set("stopAtSaturation", JsonValue::boolean(false));
+        if (job.saturationFactor != Job().saturationFactor)
+            sweep.set("saturationFactor",
+                      JsonValue::number(job.saturationFactor));
+        v.set("sweep", std::move(sweep));
+    } else if (job.kind == Job::Kind::Saturation) {
+        const SaturationSpec defaults;
+        JsonValue sat = JsonValue::object();
+        if (job.saturation.loLoad != defaults.loLoad)
+            sat.set("loLoad",
+                    JsonValue::number(job.saturation.loLoad));
+        if (job.saturation.hiLoad != defaults.hiLoad)
+            sat.set("hiLoad",
+                    JsonValue::number(job.saturation.hiLoad));
+        if (job.saturation.tolerance != defaults.tolerance)
+            sat.set("tolerance",
+                    JsonValue::number(job.saturation.tolerance));
+        if (job.saturation.maxProbes != defaults.maxProbes)
+            sat.set("maxProbes",
+                    JsonValue::number(job.saturation.maxProbes));
+        v.set("saturation", std::move(sat));
+    }
+    return v;
+}
+
+JsonValue
+toJson(const ExperimentPlan &plan)
+{
+    JsonValue v = JsonValue::object();
+    if (!plan.name.empty())
+        v.set("name", JsonValue::string(plan.name));
+    JsonValue jobs = JsonValue::array();
+    for (const Job &job : plan.jobs)
+        jobs.push(toJson(job));
+    v.set("jobs", std::move(jobs));
+    return v;
+}
+
+// --- readers ----------------------------------------------------------------
+
+TrafficSpec
+trafficSpecFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    TrafficSpec traffic;
+    const JsonValue *workload = obj.take("workload");
+    const JsonValue *pattern = obj.take("pattern");
+    if (workload && pattern)
+        fatal(path, ": 'workload' and 'pattern' are exclusive");
+    if (workload) {
+        traffic.kind = TrafficSpec::Kind::Workload;
+        traffic.workload = workload->asString(obj.sub("workload"));
+        atPath(obj.sub("workload"), [&] {
+            workloadByName(traffic.workload);
+            return 0;
+        });
+        if (const JsonValue *m = obj.take("workloadCycles"))
+            traffic.workloadCycles =
+                m->asU64(obj.sub("workloadCycles"));
+    } else {
+        if (pattern)
+            traffic.pattern = atPath(obj.sub("pattern"), [&] {
+                return patternFromName(
+                    pattern->asString(obj.sub("pattern")));
+            });
+        if (const JsonValue *m = obj.take("packetSizeFlits")) {
+            traffic.packetSizeFlits =
+                m->asInt(obj.sub("packetSizeFlits"));
+            if (traffic.packetSizeFlits < 1)
+                fatal(obj.sub("packetSizeFlits"),
+                      ": must be at least 1 flit");
+        }
+    }
+    obj.finish();
+    return traffic;
+}
+
+FaultPlan
+faultPlanFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    FaultPlan faults;
+    if (const JsonValue *events = obj.take("events")) {
+        const std::string eventsPath = obj.sub("events");
+        std::size_t i = 0;
+        for (const JsonValue &ev : events->items(eventsPath)) {
+            const std::string evPath = elem(eventsPath, i++);
+            ObjectReader evObj(ev, evPath);
+            FaultEvent event;
+            if (const JsonValue *m = evObj.take("at"))
+                event.at = m->asU64(evObj.sub("at"));
+            const JsonValue *kind = evObj.take("kind");
+            if (!kind)
+                fatal(evPath, ": missing 'kind'");
+            event.kind = eventKindFromName(
+                kind->asString(evObj.sub("kind")), evObj.sub("kind"));
+            const JsonValue *a = evObj.take("a");
+            if (!a)
+                fatal(evPath, ": missing 'a' (router id)");
+            event.a = a->asInt(evObj.sub("a"));
+            if (const JsonValue *b = evObj.take("b"))
+                event.b = b->asInt(evObj.sub("b"));
+            bool isLink = event.kind == FaultEvent::Kind::LinkDown ||
+                          event.kind == FaultEvent::Kind::LinkUp;
+            if (isLink && event.b < 0)
+                fatal(evPath,
+                      ": link events need both endpoints 'a' and "
+                      "'b'");
+            evObj.finish();
+            faults.events.push_back(event);
+        }
+    }
+    if (const JsonValue *m = obj.take("randomLinkFraction")) {
+        faults.randomLinkFraction =
+            m->asDouble(obj.sub("randomLinkFraction"));
+        if (faults.randomLinkFraction < 0.0 ||
+            faults.randomLinkFraction > 1.0)
+            fatal(obj.sub("randomLinkFraction"),
+                  ": must be within [0, 1]");
+    }
+    if (const JsonValue *m = obj.take("randomFailAt"))
+        faults.randomFailAt = m->asU64(obj.sub("randomFailAt"));
+    if (const JsonValue *m = obj.take("faultSeed"))
+        faults.faultSeed = m->asU64(obj.sub("faultSeed"));
+    if (const JsonValue *m = obj.take("armed"))
+        faults.armed = m->asBool(obj.sub("armed"));
+    obj.finish();
+    return faults;
+}
+
+SimConfig
+simConfigFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    SimConfig sim;
+    if (const JsonValue *m = obj.take("warmupCycles"))
+        sim.warmupCycles = m->asU64(obj.sub("warmupCycles"));
+    if (const JsonValue *m = obj.take("measureCycles"))
+        sim.measureCycles = m->asU64(obj.sub("measureCycles"));
+    if (const JsonValue *m = obj.take("drainCycleLimit"))
+        sim.drainCycleLimit = m->asU64(obj.sub("drainCycleLimit"));
+    if (const JsonValue *m = obj.take("drain"))
+        sim.drain = m->asBool(obj.sub("drain"));
+    obj.finish();
+    return sim;
+}
+
+LinkConfig
+linkConfigFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    LinkConfig link;
+    if (const JsonValue *m = obj.take("hopsPerCycle")) {
+        link.hopsPerCycle = m->asInt(obj.sub("hopsPerCycle"));
+        if (link.hopsPerCycle < 1)
+            fatal(obj.sub("hopsPerCycle"), ": must be at least 1");
+    }
+    obj.finish();
+    return link;
+}
+
+Scenario
+scenarioFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    Scenario s;
+    if (const JsonValue *m = obj.take("label"))
+        s.label = m->asString(obj.sub("label"));
+    const JsonValue *topology = obj.take("topology");
+    if (!topology)
+        fatal(path, ": missing 'topology'");
+    s.topology = topology->asString(obj.sub("topology"));
+    if (!isNamedTopologyId(s.topology))
+        fatal(obj.sub("topology"), ": unknown topology id '",
+              s.topology, "'");
+    if (const JsonValue *m = obj.take("routerConfig")) {
+        s.routerConfig = m->asString(obj.sub("routerConfig"));
+        atPath(obj.sub("routerConfig"), [&] {
+            RouterConfig::named(s.routerConfig);
+            return 0;
+        });
+    }
+    if (const JsonValue *m = obj.take("link"))
+        s.link = linkConfigFromJson(*m, obj.sub("link"));
+    if (const JsonValue *m = obj.take("routing"))
+        s.routing = atPath(obj.sub("routing"), [&] {
+            return routingModeFromName(
+                m->asString(obj.sub("routing")));
+        });
+    if (const JsonValue *m = obj.take("traffic"))
+        s.traffic = trafficSpecFromJson(*m, obj.sub("traffic"));
+    if (const JsonValue *m = obj.take("load")) {
+        s.load = m->asDouble(obj.sub("load"));
+        if (s.load < 0.0)
+            fatal(obj.sub("load"), ": must be non-negative");
+    }
+    if (const JsonValue *m = obj.take("seed"))
+        s.seed = m->asU64(obj.sub("seed"));
+    if (const JsonValue *m = obj.take("routingSeed"))
+        s.routingSeed = m->asU64(obj.sub("routingSeed"));
+    if (const JsonValue *m = obj.take("sim"))
+        s.sim = simConfigFromJson(*m, obj.sub("sim"));
+    if (const JsonValue *m = obj.take("faults"))
+        s.faults = faultPlanFromJson(*m, obj.sub("faults"));
+    obj.finish();
+    return s;
+}
+
+Job
+jobFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    Job job;
+    const JsonValue *scenario = obj.take("scenario");
+    if (!scenario)
+        fatal(path, ": missing 'scenario'");
+    job.scenario = scenarioFromJson(*scenario, obj.sub("scenario"));
+
+    const JsonValue *sweep = obj.take("sweep");
+    const JsonValue *saturation = obj.take("saturation");
+    if (sweep && saturation)
+        fatal(path, ": 'sweep' and 'saturation' are exclusive");
+
+    if (sweep) {
+        job.kind = Job::Kind::Sweep;
+        const std::string sweepPath = obj.sub("sweep");
+        ObjectReader sweepObj(*sweep, sweepPath);
+        const JsonValue *loads = sweepObj.take("loads");
+        if (!loads)
+            fatal(sweepPath, ": missing 'loads'");
+        const std::string loadsPath = sweepObj.sub("loads");
+        std::size_t i = 0;
+        for (const JsonValue &load : loads->items(loadsPath))
+            job.loads.push_back(
+                load.asDouble(elem(loadsPath, i++)));
+        if (job.loads.empty())
+            fatal(loadsPath, ": needs at least one load");
+        if (const JsonValue *m = sweepObj.take("stopAtSaturation"))
+            job.stopAtSaturation =
+                m->asBool(sweepObj.sub("stopAtSaturation"));
+        if (const JsonValue *m = sweepObj.take("saturationFactor"))
+            job.saturationFactor =
+                m->asDouble(sweepObj.sub("saturationFactor"));
+        sweepObj.finish();
+    } else if (saturation) {
+        job.kind = Job::Kind::Saturation;
+        const std::string satPath = obj.sub("saturation");
+        ObjectReader satObj(*saturation, satPath);
+        if (const JsonValue *m = satObj.take("loLoad"))
+            job.saturation.loLoad =
+                m->asDouble(satObj.sub("loLoad"));
+        if (const JsonValue *m = satObj.take("hiLoad"))
+            job.saturation.hiLoad =
+                m->asDouble(satObj.sub("hiLoad"));
+        if (const JsonValue *m = satObj.take("tolerance"))
+            job.saturation.tolerance =
+                m->asDouble(satObj.sub("tolerance"));
+        if (const JsonValue *m = satObj.take("maxProbes"))
+            job.saturation.maxProbes =
+                m->asInt(satObj.sub("maxProbes"));
+        satObj.finish();
+    }
+    obj.finish();
+    return job;
+}
+
+ExperimentPlan
+planFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    ExperimentPlan plan;
+    if (const JsonValue *m = obj.take("name"))
+        plan.name = m->asString(obj.sub("name"));
+    const JsonValue *jobs = obj.take("jobs");
+    if (!jobs)
+        fatal(path, ": missing 'jobs'");
+    const std::string jobsPath = obj.sub("jobs");
+    std::size_t i = 0;
+    for (const JsonValue &job : jobs->items(jobsPath)) {
+        const std::string jobPath = elem(jobsPath, i++);
+        plan.jobs.push_back(jobFromJson(job, jobPath));
+    }
+    obj.finish();
+    return plan;
+}
+
+// --- text round trip --------------------------------------------------------
+
+std::string
+serializeScenario(const Scenario &scenario)
+{
+    return toJson(scenario).dump(2) + "\n";
+}
+
+std::string
+serializePlan(const ExperimentPlan &plan)
+{
+    return toJson(plan).dump(2) + "\n";
+}
+
+Scenario
+parseScenario(const std::string &text, const std::string &origin)
+{
+    return scenarioFromJson(JsonValue::parse(text, origin));
+}
+
+ExperimentPlan
+parsePlan(const std::string &text, const std::string &origin)
+{
+    return planFromJson(JsonValue::parse(text, origin));
+}
+
+} // namespace snoc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * JSON round-trip layer for the experiment-facing data structures.
+ *
+ * Scenario, TrafficSpec, FaultPlan, SimConfig, LinkConfig, Job and
+ * ExperimentPlan serialize to (and parse from) the plan-file schema
+ * documented in docs/SCENARIO_SCHEMA.md. Writers emit the canonical
+ * minimal form — members at their default value are omitted, member
+ * order is fixed — so `parse(serialize(x)) == x` holds exactly and
+ * committed plan files diff cleanly. Readers are strict: unknown
+ * members, wrong types and unregistered axis names (routing modes,
+ * patterns, router configs, workloads, topology ids) all raise
+ * FatalError with the JSON path of the offending value
+ * (e.g. "$.jobs[2].scenario.routing").
+ */
+
+#ifndef SNOC_EXP_SERIALIZE_HH
+#define SNOC_EXP_SERIALIZE_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "exp/experiment_plan.hh"
+
+namespace snoc {
+
+// --- struct -> JsonValue (canonical minimal form) ---------------------------
+
+JsonValue toJson(const TrafficSpec &traffic);
+JsonValue toJson(const FaultPlan &faults);
+JsonValue toJson(const SimConfig &sim);
+JsonValue toJson(const LinkConfig &link);
+JsonValue toJson(const Scenario &scenario);
+JsonValue toJson(const Job &job);
+JsonValue toJson(const ExperimentPlan &plan);
+
+// --- JsonValue -> struct (strict; `path` prefixes error messages) -----------
+
+TrafficSpec trafficSpecFromJson(const JsonValue &v,
+                                const std::string &path = "$");
+FaultPlan faultPlanFromJson(const JsonValue &v,
+                            const std::string &path = "$");
+SimConfig simConfigFromJson(const JsonValue &v,
+                            const std::string &path = "$");
+LinkConfig linkConfigFromJson(const JsonValue &v,
+                              const std::string &path = "$");
+Scenario scenarioFromJson(const JsonValue &v,
+                          const std::string &path = "$");
+Job jobFromJson(const JsonValue &v, const std::string &path = "$");
+ExperimentPlan planFromJson(const JsonValue &v,
+                            const std::string &path = "$");
+
+// --- text round trip --------------------------------------------------------
+
+/** Pretty-printed canonical JSON, newline-terminated. */
+std::string serializeScenario(const Scenario &scenario);
+std::string serializePlan(const ExperimentPlan &plan);
+
+/**
+ * Parse a scenario / plan document. `origin` labels parse errors
+ * (pass the file name when reading a file).
+ * @throws FatalError with origin:line:col (syntax) or JSON path
+ *         (schema) on malformed input
+ */
+Scenario parseScenario(const std::string &text,
+                       const std::string &origin = "scenario");
+ExperimentPlan parsePlan(const std::string &text,
+                         const std::string &origin = "plan");
+
+} // namespace snoc
+
+#endif // SNOC_EXP_SERIALIZE_HH

@@ -41,6 +41,8 @@ struct SaturationSpec
     double hiLoad = 1.0;   //!< upper bound (1 flit/node/cycle)
     double tolerance = 0.02; //!< stop when hi - lo <= tolerance
     int maxProbes = 12;    //!< hard cap on evaluations
+
+    bool operator==(const SaturationSpec &) const = default;
 };
 
 /** Outcome of a saturation search. */

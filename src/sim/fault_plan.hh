@@ -52,6 +52,8 @@ struct FaultEvent
     Kind kind = Kind::LinkDown;
     int a = -1; //!< router id (RouterDown/Up) or one link endpoint
     int b = -1; //!< the link's other endpoint; unused for routers
+
+    bool operator==(const FaultEvent &) const = default;
 };
 
 /** A schedule of fault events, attachable to a Scenario. */
@@ -78,6 +80,8 @@ struct FaultPlan
      * untouched hot path.
      */
     bool armed = false;
+
+    bool operator==(const FaultPlan &) const = default;
 
     /** True when the Network must arm its fault machinery. */
     bool

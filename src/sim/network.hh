@@ -40,6 +40,8 @@ namespace snoc {
 struct LinkConfig
 {
     int hopsPerCycle = 1; //!< SMART H; 1 disables SMART
+
+    bool operator==(const LinkConfig &) const = default;
 };
 
 /**

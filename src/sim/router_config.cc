@@ -1,37 +1,60 @@
 #include "sim/router_config.hh"
 
 #include "common/log.hh"
+#include "common/registry.hh"
 
 namespace snoc {
+
+namespace {
+
+RouterConfig
+edgeBuffer(BufferStrategy strategy)
+{
+    RouterConfig cfg;
+    cfg.strategy = strategy;
+    return cfg;
+}
+
+RouterConfig
+centralBuffer(int flits)
+{
+    RouterConfig cfg;
+    cfg.arch = RouterArch::CentralBuffer;
+    cfg.strategy = BufferStrategy::Cbr;
+    cfg.centralBufferFlits = flits;
+    return cfg;
+}
+
+/** The paper's named configurations (Section 5.1 buffer schemes). */
+const NamedRegistry<RouterConfig> &
+configRegistry()
+{
+    static const NamedRegistry<RouterConfig> reg(
+        "router configuration",
+        {
+            {"EB-Small", edgeBuffer(BufferStrategy::EbSmall)},
+            {"EB-Large", edgeBuffer(BufferStrategy::EbLarge)},
+            {"EB-Var", edgeBuffer(BufferStrategy::EbVar)},
+            {"EL-Links", edgeBuffer(BufferStrategy::ElLinks)},
+            {"CBR-6", centralBuffer(6)},
+            {"CBR-20", centralBuffer(20)},
+            {"CBR-40", centralBuffer(40)},
+        });
+    return reg;
+}
+
+} // namespace
 
 RouterConfig
 RouterConfig::named(const std::string &name)
 {
-    RouterConfig cfg;
-    if (name == "EB-Small") {
-        cfg.strategy = BufferStrategy::EbSmall;
-    } else if (name == "EB-Large") {
-        cfg.strategy = BufferStrategy::EbLarge;
-    } else if (name == "EB-Var") {
-        cfg.strategy = BufferStrategy::EbVar;
-    } else if (name == "EL-Links") {
-        cfg.strategy = BufferStrategy::ElLinks;
-    } else if (name == "CBR-6") {
-        cfg.arch = RouterArch::CentralBuffer;
-        cfg.strategy = BufferStrategy::Cbr;
-        cfg.centralBufferFlits = 6;
-    } else if (name == "CBR-20") {
-        cfg.arch = RouterArch::CentralBuffer;
-        cfg.strategy = BufferStrategy::Cbr;
-        cfg.centralBufferFlits = 20;
-    } else if (name == "CBR-40") {
-        cfg.arch = RouterArch::CentralBuffer;
-        cfg.strategy = BufferStrategy::Cbr;
-        cfg.centralBufferFlits = 40;
-    } else {
-        fatal("unknown router configuration '", name, "'");
-    }
-    return cfg;
+    return configRegistry().get(name);
+}
+
+const std::vector<std::string> &
+RouterConfig::names()
+{
+    return configRegistry().names();
 }
 
 int

@@ -21,6 +21,7 @@
 #define SNOC_SIM_ROUTER_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 namespace snoc {
 
@@ -54,8 +55,14 @@ struct RouterConfig
     int injectionQueueFlits = 20;
     int ejectionQueueFlits = 20;
 
-    /** Resolve one of the paper's named configurations. */
+    /**
+     * Resolve one of the paper's named configurations.
+     * @throws FatalError listing the registered names when unknown.
+     */
     static RouterConfig named(const std::string &name);
+
+    /** All registered configuration names (`snoc list configs`). */
+    static const std::vector<std::string> &names();
 
     /** Per-VC input buffer depth for a link of the given latency. */
     int inputBufferDepth(int linkLatency) const;

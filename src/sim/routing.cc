@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "common/registry.hh"
 
 namespace snoc {
 
@@ -495,7 +496,44 @@ class FbfXyAdaptiveRouting : public GridBase
     int maxHops() const override { return 3; }
 };
 
+/** The name <-> mode registry behind the lookup functions below. */
+const NamedRegistry<RoutingMode> &
+routingModeRegistry()
+{
+    static const NamedRegistry<RoutingMode> reg(
+        "routing mode", {
+                            {"minimal", RoutingMode::Minimal},
+                            {"min-adaptive", RoutingMode::MinAdaptive},
+                            {"ugal-l", RoutingMode::UgalL},
+                            {"ugal-g", RoutingMode::UgalG},
+                            {"xy-adaptive", RoutingMode::XyAdaptive},
+                        });
+    return reg;
+}
+
 } // namespace
+
+std::string
+to_string(RoutingMode mode)
+{
+    const NamedRegistry<RoutingMode> &reg = routingModeRegistry();
+    for (const std::string &name : reg.names())
+        if (*reg.find(name) == mode)
+            return name;
+    SNOC_PANIC("unregistered routing mode ", static_cast<int>(mode));
+}
+
+RoutingMode
+routingModeFromName(const std::string &name)
+{
+    return routingModeRegistry().get(name);
+}
+
+const std::vector<std::string> &
+routingModeNames()
+{
+    return routingModeRegistry().names();
+}
 
 std::unique_ptr<RoutingAlgorithm>
 makeRouting(const NocTopology &topo, RoutingMode mode, std::uint64_t seed,

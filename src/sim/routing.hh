@@ -18,6 +18,8 @@
 #define SNOC_SIM_ROUTING_HH
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "graph/shortest_paths.hh"
@@ -107,6 +109,19 @@ enum class RoutingMode
     UgalG,       //!< UGAL with global queue information
     XyAdaptive,  //!< FBF's adaptive X-first/Y-first (Section 6)
 };
+
+/** Registry name of a mode: "minimal", "ugal-l", ... */
+std::string to_string(RoutingMode mode);
+
+/**
+ * Resolve a registry name ("minimal", "min-adaptive", "ugal-l",
+ * "ugal-g", "xy-adaptive") to its mode.
+ * @throws FatalError listing the valid names when unknown.
+ */
+RoutingMode routingModeFromName(const std::string &name);
+
+/** All registered mode names, in enum order (`snoc list routings`). */
+const std::vector<std::string> &routingModeNames();
 
 /**
  * Build the routing algorithm for a topology.

@@ -46,6 +46,8 @@ struct SimConfig
     Cycle measureCycles = 10000;
     Cycle drainCycleLimit = 50000;  //!< extra cycles to wait for drain
     bool drain = false;             //!< run until in-flight == 0
+
+    bool operator==(const SimConfig &) const = default;
 };
 
 /** Drive `source` against `net` and measure. */

@@ -1,6 +1,10 @@
 #include "topo/table4.hh"
 
+#include <functional>
+#include <optional>
+
 #include "common/log.hh"
+#include "common/registry.hh"
 #include "topo/dragonfly.hh"
 #include "topo/folded_clos.hh"
 #include "topo/grid_topologies.hh"
@@ -39,86 +43,152 @@ layoutFromId(const std::string &id)
 
 } // namespace
 
+namespace {
+
+using TopologyFactory = std::function<NocTopology()>;
+
+/** True when `id` is a Slim NoC id with a resolvable size suffix. */
+bool
+hasSnSuffix(const std::string &id)
+{
+    if (id.rfind("sn_", 0) != 0)
+        return false;
+    for (const char *size : {"1296", "1024", "200", "54"})
+        if (id.find(size) != std::string::npos)
+            return true;
+    return false;
+}
+
+/**
+ * Resolve a Slim NoC id with an explicit layout/size suffix
+ * ("sn_subgr_200", "sn_gr_1296", ...); nullopt when `id` is not of
+ * that family.
+ */
+std::optional<NocTopology>
+makeSnFromSuffix(const std::string &id)
+{
+    if (id.rfind("sn_", 0) != 0)
+        return std::nullopt;
+    SnLayout layout = layoutFromId(id);
+    if (id.find("1296") != std::string::npos)
+        return makeSn(id, 9, 8, layout);
+    if (id.find("1024") != std::string::npos)
+        return makeSn(id, 8, 8, layout);
+    if (id.find("200") != std::string::npos)
+        return makeSn(id, 5, 4, layout);
+    if (id.find("54") != std::string::npos)
+        return makeSn(id, 3, 3, layout);
+    return std::nullopt;
+}
+
+/** The enumerable id -> factory registry behind makeNamedTopology. */
+const NamedRegistry<TopologyFactory> &
+topologyRegistry()
+{
+    static const NamedRegistry<TopologyFactory> reg = [] {
+        NamedRegistry<TopologyFactory> r("topology id");
+        auto torus = [&r](const char *id, int x, int y, int p) {
+            r.add(id, [=] { return makeTorus(id, x, y, p); });
+        };
+        auto cmesh = [&r](const char *id, int x, int y, int p) {
+            r.add(id,
+                  [=] { return makeConcentratedMesh(id, x, y, p); });
+        };
+        auto fbf = [&r](const char *id, int x, int y, int p) {
+            r.add(id,
+                  [=] { return makeFlattenedButterfly(id, x, y, p); });
+        };
+        auto pfbf = [&r](const char *id, int x, int y, int p, int px,
+                         int py) {
+            r.add(id, [=] {
+                return makePartitionedFbf(id, x, y, p, px, py);
+            });
+        };
+        auto sn = [&r](const char *id) {
+            r.add(id, [=] { return *makeSnFromSuffix(id); });
+        };
+
+        // --- N in {192, 200} class (Table 4 left half) ---
+        torus("t2d3", 8, 8, 3);
+        torus("t2d4", 10, 5, 4);
+        cmesh("cm3", 8, 8, 3);
+        cmesh("cm4", 10, 5, 4);
+        fbf("fbf3", 8, 8, 3);
+        fbf("fbf4", 10, 5, 4);
+        pfbf("pfbf3", 8, 8, 3, 2, 2);
+        pfbf("pfbf4", 10, 5, 4, 2, 1);
+        for (const char *id : {"sn_basic_200", "sn_subgr_200",
+                               "sn_gr_200", "sn_rand_200"})
+            sn(id);
+
+        // --- N = 1296 class (Table 4 right half) ---
+        torus("t2d9", 12, 12, 9);
+        torus("t2d8", 18, 9, 8);
+        cmesh("cm9", 12, 12, 9);
+        cmesh("cm8", 18, 9, 8);
+        fbf("fbf9", 12, 12, 9);
+        fbf("fbf8", 18, 9, 8);
+        pfbf("pfbf9", 12, 12, 9, 2, 2);
+        pfbf("pfbf8", 18, 9, 8, 2, 1);
+        for (const char *id : {"sn_basic_1296", "sn_subgr_1296",
+                               "sn_gr_1296", "sn_rand_1296"})
+            sn(id);
+
+        // --- N = 54 class (Section 5.6, KNL scale) ---
+        // SN with q = 3, p = 3: Nr = 18, N = 54, die 3 x 6.
+        r.add("sn_54",
+              [] { return makeSn("sn_54", 3, 3, SnLayout::Subgroup); });
+        torus("t2d_54", 6, 3, 3);
+        cmesh("cm_54", 6, 3, 3);
+        fbf("fbf_54", 6, 3, 3);
+        pfbf("pfbf_54", 6, 3, 3, 2, 1);
+
+        // --- Off-chip topologies for the Section 2.2 analysis ---
+        r.add("df_200", [] {
+            // h = 3: a = 6, g = 19, Nr = 114, p = 3, N = 342 is too
+            // big; h = 2: a = 4, g = 9, Nr = 36, p = 2, N = 72 too
+            // small. The paper's Figure 3 uses ~200 cores; h = 3 with
+            // p = 2 would need unbalancing, so we use the balanced
+            // h = 3 network as the closest DF and report per-node
+            // metrics.
+            return makeDragonfly("df_200", 3);
+        });
+        r.add("clos_200",
+              [] { return makeFoldedClos("clos_200", 50, 4, 7); });
+        r.add("clos_1296",
+              [] { return makeFoldedClos("clos_1296", 162, 8, 13); });
+        return r;
+    }();
+    return reg;
+}
+
+} // namespace
+
 NocTopology
 makeNamedTopology(const std::string &id)
 {
-    // --- N in {192, 200} class (Table 4 left half) ---
-    if (id == "t2d3")
-        return makeTorus(id, 8, 8, 3);
-    if (id == "t2d4")
-        return makeTorus(id, 10, 5, 4);
-    if (id == "cm3")
-        return makeConcentratedMesh(id, 8, 8, 3);
-    if (id == "cm4")
-        return makeConcentratedMesh(id, 10, 5, 4);
-    if (id == "fbf3")
-        return makeFlattenedButterfly(id, 8, 8, 3);
-    if (id == "fbf4")
-        return makeFlattenedButterfly(id, 10, 5, 4);
-    if (id == "pfbf3")
-        return makePartitionedFbf(id, 8, 8, 3, 2, 2);
-    if (id == "pfbf4")
-        return makePartitionedFbf(id, 10, 5, 4, 2, 1);
+    if (const TopologyFactory *make = topologyRegistry().find(id))
+        return (*make)();
 
-    // --- N = 1296 class (Table 4 right half) ---
-    if (id == "t2d9")
-        return makeTorus(id, 12, 12, 9);
-    if (id == "t2d8")
-        return makeTorus(id, 18, 9, 8);
-    if (id == "cm9")
-        return makeConcentratedMesh(id, 12, 12, 9);
-    if (id == "cm8")
-        return makeConcentratedMesh(id, 18, 9, 8);
-    if (id == "fbf9")
-        return makeFlattenedButterfly(id, 12, 12, 9);
-    if (id == "fbf8")
-        return makeFlattenedButterfly(id, 18, 9, 8);
-    if (id == "pfbf9")
-        return makePartitionedFbf(id, 12, 12, 9, 2, 2);
-    if (id == "pfbf8")
-        return makePartitionedFbf(id, 18, 9, 8, 2, 1);
+    // Slim NoC ids beyond the registered set (e.g. "sn_gr_1024")
+    // stay resolvable by suffix.
+    if (std::optional<NocTopology> t = makeSnFromSuffix(id))
+        return *std::move(t);
 
-    // --- N = 54 class (Section 5.6, KNL scale) ---
-    // SN with q = 3, p = 3: Nr = 18, N = 54, die 3 x 6.
-    if (id == "sn_54")
-        return makeSn(id, 3, 3, SnLayout::Subgroup);
-    if (id == "t2d_54")
-        return makeTorus(id, 6, 3, 3);
-    if (id == "cm_54")
-        return makeConcentratedMesh(id, 6, 3, 3);
-    if (id == "fbf_54")
-        return makeFlattenedButterfly(id, 6, 3, 3);
-    if (id == "pfbf_54")
-        return makePartitionedFbf(id, 6, 3, 3, 2, 1);
+    fatal("unknown topology id '", id, "' (registered ids: ",
+          topologyRegistry().joinedNames(), ")");
+}
 
-    // --- Slim NoC ids with explicit size suffix ---
-    if (id.rfind("sn_", 0) == 0) {
-        SnLayout layout = layoutFromId(id);
-        if (id.find("1296") != std::string::npos)
-            return makeSn(id, 9, 8, layout);
-        if (id.find("1024") != std::string::npos)
-            return makeSn(id, 8, 8, layout);
-        if (id.find("200") != std::string::npos)
-            return makeSn(id, 5, 4, layout);
-        if (id.find("54") != std::string::npos)
-            return makeSn(id, 3, 3, layout);
-    }
+const std::vector<std::string> &
+namedTopologyIds()
+{
+    return topologyRegistry().names();
+}
 
-    // --- Off-chip topologies for the Section 2.2 analysis ---
-    if (id == "df_200") {
-        // h = 3: a = 6, g = 19, Nr = 114, p = 3, N = 342 is too big;
-        // h = 2: a = 4, g = 9, Nr = 36, p = 2, N = 72 too small. The
-        // paper's Figure 3 uses ~200 cores; h = 3 with p = 2 would
-        // need unbalancing, so we use the balanced h = 3 network as
-        // the closest DF and report per-node metrics.
-        return makeDragonfly(id, 3);
-    }
-    if (id == "clos_200")
-        return makeFoldedClos(id, 50, 4, 7);
-    if (id == "clos_1296")
-        return makeFoldedClos(id, 162, 8, 13);
-
-    fatal("unknown topology id '", id, "'");
+bool
+isNamedTopologyId(const std::string &id)
+{
+    return topologyRegistry().find(id) != nullptr || hasSnSuffix(id);
 }
 
 std::vector<std::string>

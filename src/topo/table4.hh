@@ -30,6 +30,23 @@ NocTopology makeNamedTopology(const std::string &id);
 /** All ids of one size class: 200, 1296 or 54. */
 std::vector<std::string> table4Ids(int sizeClass);
 
+/**
+ * Every registered topology id, enumerable for `snoc list
+ * topologies`: the three Table-4 size classes plus the off-chip
+ * networks (dragonfly, folded Clos) of the Section 2.2 analysis.
+ * Slim NoC ids with explicit layout/size suffixes beyond the
+ * registered set (e.g. "sn_gr_1024") remain resolvable by
+ * makeNamedTopology() but are not listed.
+ */
+const std::vector<std::string> &namedTopologyIds();
+
+/**
+ * True when makeNamedTopology(id) would succeed — registered, or a
+ * Slim NoC id with a resolvable size suffix — without building the
+ * topology (plan parsers use this for cheap validation).
+ */
+bool isNamedTopologyId(const std::string &id);
+
 } // namespace snoc
 
 #endif // SNOC_TOPO_TABLE4_HH

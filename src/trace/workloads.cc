@@ -30,6 +30,18 @@ parsecSplashWorkloads()
     return kWorkloads;
 }
 
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> kNames = [] {
+        std::vector<std::string> names;
+        for (const WorkloadProfile &w : parsecSplashWorkloads())
+            names.push_back(w.name);
+        return names;
+    }();
+    return kNames;
+}
+
 const WorkloadProfile &
 workloadByName(const std::string &name)
 {
@@ -37,7 +49,11 @@ workloadByName(const std::string &name)
         if (w.name == name)
             return w;
     }
-    fatal("unknown workload '", name, "'");
+    std::string known;
+    for (const std::string &n : workloadNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown workload '", name, "' (expected one of: ", known,
+          ")");
 }
 
 } // namespace snoc

@@ -44,6 +44,9 @@ const std::vector<WorkloadProfile> &parsecSplashWorkloads();
 /** Look up one profile by name. @throws FatalError when unknown. */
 const WorkloadProfile &workloadByName(const std::string &name);
 
+/** All registered workload names (`snoc list workloads`). */
+const std::vector<std::string> &workloadNames();
+
 } // namespace snoc
 
 #endif // SNOC_TRACE_WORKLOADS_HH

@@ -1,28 +1,11 @@
 #include "traffic/patterns.hh"
 
+#include <functional>
+
 #include "common/log.hh"
+#include "common/registry.hh"
 
 namespace snoc {
-
-std::string
-to_string(PatternKind kind)
-{
-    switch (kind) {
-      case PatternKind::Random:
-        return "RND";
-      case PatternKind::Shuffle:
-        return "SHF";
-      case PatternKind::BitReversal:
-        return "REV";
-      case PatternKind::Adversarial1:
-        return "ADV1";
-      case PatternKind::Adversarial2:
-        return "ADV2";
-      case PatternKind::Asymmetric:
-        return "ASYM";
-    }
-    return "?";
-}
 
 namespace {
 
@@ -203,28 +186,98 @@ class AsymmetricPattern : public TrafficPattern
     int n_;
 };
 
+/** Registry entry: the kind plus its topology-bound factory. */
+struct PatternEntry
+{
+    PatternKind kind;
+    std::function<std::unique_ptr<TrafficPattern>(const NocTopology &)>
+        make;
+};
+
+/** The name <-> pattern registry behind the lookup functions. */
+const NamedRegistry<PatternEntry> &
+patternRegistry()
+{
+    auto n = [](const NocTopology &t) { return t.numNodes(); };
+    static const NamedRegistry<PatternEntry> reg(
+        "traffic pattern",
+        {
+            {"RND",
+             {PatternKind::Random,
+              [n](const NocTopology &t) {
+                  return std::make_unique<RandomPattern>(n(t));
+              }}},
+            {"SHF",
+             {PatternKind::Shuffle,
+              [n](const NocTopology &t) {
+                  return std::make_unique<BitPermutationPattern>(n(t),
+                                                                 false);
+              }}},
+            {"REV",
+             {PatternKind::BitReversal,
+              [n](const NocTopology &t) {
+                  return std::make_unique<BitPermutationPattern>(n(t),
+                                                                 true);
+              }}},
+            {"ADV1",
+             {PatternKind::Adversarial1,
+              [](const NocTopology &t) {
+                  return std::make_unique<Adversarial1Pattern>(t);
+              }}},
+            {"ADV2",
+             {PatternKind::Adversarial2,
+              [](const NocTopology &t) {
+                  return std::make_unique<Adversarial2Pattern>(t);
+              }}},
+            {"ASYM",
+             {PatternKind::Asymmetric,
+              [n](const NocTopology &t) {
+                  return std::make_unique<AsymmetricPattern>(n(t));
+              }}},
+        });
+    return reg;
+}
+
+const PatternEntry &
+entryOf(PatternKind kind)
+{
+    const NamedRegistry<PatternEntry> &reg = patternRegistry();
+    for (const std::string &name : reg.names())
+        if (reg.find(name)->kind == kind)
+            return *reg.find(name);
+    SNOC_PANIC("unregistered pattern kind ", static_cast<int>(kind));
+}
+
 } // namespace
+
+std::string
+to_string(PatternKind kind)
+{
+    const NamedRegistry<PatternEntry> &reg = patternRegistry();
+    for (const std::string &name : reg.names())
+        if (reg.find(name)->kind == kind)
+            return name;
+    SNOC_PANIC("unregistered pattern kind ", static_cast<int>(kind));
+}
+
+PatternKind
+patternFromName(const std::string &name)
+{
+    return patternRegistry().get(name).kind;
+}
+
+const std::vector<std::string> &
+patternNames()
+{
+    return patternRegistry().names();
+}
 
 std::unique_ptr<TrafficPattern>
 makeTrafficPattern(PatternKind kind, const NocTopology &topo)
 {
-    int n = topo.numNodes();
-    SNOC_ASSERT(n >= 2, "pattern needs at least two nodes");
-    switch (kind) {
-      case PatternKind::Random:
-        return std::make_unique<RandomPattern>(n);
-      case PatternKind::Shuffle:
-        return std::make_unique<BitPermutationPattern>(n, false);
-      case PatternKind::BitReversal:
-        return std::make_unique<BitPermutationPattern>(n, true);
-      case PatternKind::Adversarial1:
-        return std::make_unique<Adversarial1Pattern>(topo);
-      case PatternKind::Adversarial2:
-        return std::make_unique<Adversarial2Pattern>(topo);
-      case PatternKind::Asymmetric:
-        return std::make_unique<AsymmetricPattern>(n);
-    }
-    SNOC_PANIC("unhandled pattern kind");
+    SNOC_ASSERT(topo.numNodes() >= 2,
+                "pattern needs at least two nodes");
+    return entryOf(kind).make(topo);
 }
 
 } // namespace snoc

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 #include "topo/noc_topology.hh"
@@ -41,7 +42,18 @@ enum class PatternKind
     Asymmetric,   //!< Fig. 20: d = (s mod N/2) [+ N/2], coin flip
 };
 
+/** Registry name of a pattern: "RND", "SHF", ... */
 std::string to_string(PatternKind kind);
+
+/**
+ * Resolve a registry name ("RND", "SHF", "REV", "ADV1", "ADV2",
+ * "ASYM") to its kind.
+ * @throws FatalError listing the valid names when unknown.
+ */
+PatternKind patternFromName(const std::string &name);
+
+/** All registered pattern names (`snoc list patterns`). */
+const std::vector<std::string> &patternNames();
 
 /**
  * Build a pattern for a topology.

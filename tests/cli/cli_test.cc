@@ -1,0 +1,175 @@
+/**
+ * @file
+ * In-process tests for the `snoc` CLI driver: `list` must enumerate
+ * exactly the registered set of every scenario axis, `describe` must
+ * resolve committed plan files, and `run` on the committed CI smoke
+ * plan must reproduce the checked-in golden JSON byte-for-byte
+ * (engine determinism makes that well-defined for any worker count)
+ * and write a well-formed run manifest.
+ */
+
+#include "cli/cli.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/json.hh"
+#include "exp/plan_io.hh"
+#include "exp/result_sink.hh"
+#include "sim/router_config.hh"
+#include "sim/routing.hh"
+#include "topo/table4.hh"
+#include "trace/workloads.hh"
+#include "traffic/patterns.hh"
+
+#ifndef SNOC_SOURCE_DIR
+#define SNOC_SOURCE_DIR "."
+#endif
+
+namespace snoc {
+namespace {
+
+/** Run the CLI in-process with a clean knob environment. */
+int
+cli(const std::vector<std::string> &args, std::string *out = nullptr,
+    std::string *err = nullptr)
+{
+    for (const EnvKnob &k : envKnobs())
+        ::unsetenv(k.name);
+    std::ostringstream o, e;
+    int rc = cli::runCli(args, o, e);
+    if (out)
+        *out = o.str();
+    if (err)
+        *err = e.str();
+    return rc;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(Cli, ListEnumeratesExactlyTheRegisteredSets)
+{
+    std::string out;
+    ASSERT_EQ(cli({"list", "topologies"}, &out), 0);
+    EXPECT_EQ(lines(out), namedTopologyIds());
+
+    ASSERT_EQ(cli({"list", "routings"}, &out), 0);
+    EXPECT_EQ(lines(out), routingModeNames());
+
+    ASSERT_EQ(cli({"list", "patterns"}, &out), 0);
+    EXPECT_EQ(lines(out), patternNames());
+
+    ASSERT_EQ(cli({"list", "workloads"}, &out), 0);
+    EXPECT_EQ(lines(out), workloadNames());
+
+    ASSERT_EQ(cli({"list", "configs"}, &out), 0);
+    EXPECT_EQ(lines(out), RouterConfig::names());
+
+    ASSERT_EQ(cli({"list", "formats"}, &out), 0);
+    EXPECT_EQ(lines(out), resultSinkFormats());
+}
+
+TEST(Cli, ListKnobsCoversTheRegistry)
+{
+    std::string out;
+    ASSERT_EQ(cli({"list", "knobs"}, &out), 0);
+    for (const EnvKnob &k : envKnobs())
+        EXPECT_NE(out.find(k.name), std::string::npos) << k.name;
+
+    ASSERT_EQ(cli({"list", "knobs", "--markdown"}, &out), 0);
+    EXPECT_NE(out.find("| knob | default |"), std::string::npos);
+    for (const EnvKnob &k : envKnobs())
+        EXPECT_NE(out.find(std::string("`") + k.name + "`"),
+                  std::string::npos);
+}
+
+TEST(Cli, UsageAndErrors)
+{
+    std::string out, err;
+    EXPECT_EQ(cli({}, &out, &err), 2);
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+    EXPECT_EQ(cli({"list", "nonsense"}, &out, &err), 2);
+    EXPECT_EQ(cli({"bogus-command"}, &out, &err), 2);
+    EXPECT_EQ(cli({"run", "/no/such/plan.json"}, &out, &err), 1);
+    EXPECT_NE(err.find("not found"), std::string::npos);
+
+    // Malformed --threads is a clean error, not a std::stoi abort.
+    EXPECT_EQ(cli({"run", "plans/ci_smoke.json", "--threads", "abc"},
+                  &out, &err),
+              1);
+    EXPECT_NE(err.find("--threads"), std::string::npos);
+    EXPECT_EQ(cli({"run", "plans/ci_smoke.json", "--threads",
+                   "99999999999999999999"},
+                  &out, &err),
+              1);
+
+    EXPECT_EQ(cli({"version"}, &out, &err), 0);
+    EXPECT_NE(out.find("snoc "), std::string::npos);
+}
+
+TEST(Cli, DescribeResolvesCommittedPlans)
+{
+    std::string out;
+    ASSERT_EQ(cli({"describe", "plans/ci_smoke.json"}, &out), 0);
+    EXPECT_NE(out.find("plan     ci-smoke"), std::string::npos);
+    EXPECT_NE(out.find("jobs     4"), std::string::npos);
+    EXPECT_NE(out.find("canonical form:"), std::string::npos);
+
+    // The commented demo plan parses too.
+    ASSERT_EQ(cli({"describe", "plans/custom_campaign.json"}, &out),
+              0);
+    EXPECT_NE(out.find("jobs     19"), std::string::npos);
+}
+
+TEST(Cli, RunMatchesTheCommittedGoldenAndWritesAManifest)
+{
+    std::string manifestPath =
+        ::testing::TempDir() + "/snoc_manifest_test.json";
+    std::string out, err;
+    ASSERT_EQ(cli({"run", "plans/ci_smoke.json", "--format", "json",
+                   "--threads", "2", "--manifest", manifestPath},
+                  &out, &err),
+              0)
+        << err;
+
+    std::string golden = readTextFile(
+        std::string(SNOC_SOURCE_DIR) +
+        "/tests/exp/golden/ci_smoke.expected.json");
+    EXPECT_EQ(out, golden)
+        << "snoc run output drifted from the committed golden; "
+           "regenerate it intentionally if the report or plan "
+           "changed";
+
+    JsonValue manifest = JsonValue::parse(
+        readTextFile(manifestPath), manifestPath);
+    EXPECT_EQ(manifest.find("tool")->asString("$.tool"), "snoc");
+    EXPECT_EQ(manifest.find("planName")->asString("$.planName"),
+              "ci-smoke");
+    EXPECT_EQ(manifest.find("jobs")->asU64("$.jobs"), 4u);
+    EXPECT_EQ(manifest.find("points")->asU64("$.points"), 5u);
+    EXPECT_EQ(manifest.find("threads")->asU64("$.threads"), 2u);
+    ASSERT_NE(manifest.find("version"), nullptr);
+    ASSERT_NE(manifest.find("seeds"), nullptr);
+    EXPECT_EQ(manifest.find("seeds")->items("$.seeds").size(), 4u);
+    // Every declared knob is recorded.
+    for (const EnvKnob &k : envKnobs())
+        EXPECT_NE(manifest.find("knobs")->find(k.name), nullptr)
+            << k.name;
+    std::remove(manifestPath.c_str());
+}
+
+} // namespace
+} // namespace snoc

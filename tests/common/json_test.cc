@@ -1,0 +1,111 @@
+#include "common/json.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace snoc {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    JsonValue v = JsonValue::parse(
+        R"({"s": "hi", "n": 3.5, "i": -7, "b": true, "z": null,
+            "a": [1, 2, 3], "o": {"k": "v"}})");
+    EXPECT_EQ(v.find("s")->asString("$.s"), "hi");
+    EXPECT_DOUBLE_EQ(v.find("n")->asDouble("$.n"), 3.5);
+    EXPECT_EQ(v.find("i")->asInt("$.i"), -7);
+    EXPECT_TRUE(v.find("b")->asBool("$.b"));
+    EXPECT_TRUE(v.find("z")->isNull());
+    EXPECT_EQ(v.find("a")->items("$.a").size(), 3u);
+    EXPECT_EQ(v.find("o")->find("k")->asString("$.o.k"), "v");
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, U64SeedsSurviveExactly)
+{
+    // 2^64 - 6: would be mangled by a double round trip.
+    JsonValue v =
+        JsonValue::parse(R"({"seed": 18446744073709551610})");
+    EXPECT_EQ(v.find("seed")->asU64("$.seed"),
+              18446744073709551610ULL);
+    EXPECT_EQ(v.dump(-1), R"({"seed":18446744073709551610})");
+}
+
+TEST(Json, LineCommentsAreStripped)
+{
+    JsonValue v = JsonValue::parse("// leading comment\n"
+                                   "{\n"
+                                   "  // a knob\n"
+                                   "  \"x\": 1 // trailing\n"
+                                   "}\n");
+    EXPECT_EQ(v.find("x")->asInt("$.x"), 1);
+}
+
+TEST(Json, DumpParseRoundTripIsStable)
+{
+    std::string text = R"({"b": [0.008, 1e-3, 42], "c": {"d": "e"}})";
+    JsonValue v = JsonValue::parse(text);
+    std::string once = v.dump(2);
+    EXPECT_EQ(JsonValue::parse(once).dump(2), once);
+    // Number tokens re-emit verbatim.
+    EXPECT_NE(once.find("0.008"), std::string::npos);
+    EXPECT_NE(once.find("1e-3"), std::string::npos);
+}
+
+TEST(Json, StringEscapes)
+{
+    JsonValue v =
+        JsonValue::parse(R"({"s": "a\"b\\c\ndA"})");
+    EXPECT_EQ(v.find("s")->asString("$.s"), "a\"b\\c\ndA");
+    JsonValue back = JsonValue::parse(v.dump(-1));
+    EXPECT_EQ(back.find("s")->asString("$.s"), "a\"b\\c\ndA");
+}
+
+TEST(Json, SyntaxErrorsCarryLineAndColumn)
+{
+    try {
+        JsonValue::parse("{\n  \"a\": 1,\n  oops\n}", "test.json");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("test.json:3"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"),
+                 FatalError);
+    EXPECT_THROW(JsonValue::parse("{\"a\": 1, \"a\": 2}"),
+                 FatalError);
+    EXPECT_THROW(JsonValue::parse("{\"a\": \"unterminated}"),
+                 FatalError);
+    EXPECT_THROW(JsonValue::parse("[01]"), FatalError);
+}
+
+TEST(Json, TypedAccessErrorsNameThePath)
+{
+    JsonValue v = JsonValue::parse(R"({"a": "text"})");
+    try {
+        v.find("a")->asInt("$.jobs[2].a");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("$.jobs[2].a"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Json, BuildersEmitCanonicalForm)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::string("x"));
+    obj.set("count", JsonValue::number(3));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue::number(0.25));
+    arr.push(JsonValue::boolean(false));
+    obj.set("list", std::move(arr));
+    EXPECT_EQ(obj.dump(-1),
+              R"({"name":"x","count":3,"list":[0.25,false]})");
+}
+
+} // namespace
+} // namespace snoc

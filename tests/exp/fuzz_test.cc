@@ -17,14 +17,15 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/rng.hh"
 #include "exp/runner.hh"
+#include "exp/serialize.hh"
 #include "tests/support/sim_invariants.hh"
 #include "topo/topology_cache.hh"
 #include "traffic/synthetic.hh"
@@ -33,15 +34,6 @@ namespace snoc {
 namespace {
 
 using testsupport::SimInvariantChecker;
-
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v || !v[0])
-        return fallback;
-    return std::strtoull(v, nullptr, 10);
-}
 
 /** Sample one random scenario (with a fault plan) from `rng`. */
 Scenario
@@ -143,8 +135,8 @@ expectBitwiseEqual(const SimResult &a, const SimResult &b)
 TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
 {
     const std::uint64_t baseSeed =
-        envU64("SNOC_FUZZ_SEED", 0xf00dd00dULL);
-    const std::uint64_t iters = envU64("SNOC_FUZZ_ITERS", 6);
+        envU64(kEnvFuzzSeed, 0xf00dd00dULL);
+    const std::uint64_t iters = envU64(kEnvFuzzIters, 6);
 
     std::vector<Scenario> scenarios;
     std::vector<std::uint64_t> seeds;
@@ -153,6 +145,18 @@ TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
         Rng rng(seed);
         scenarios.push_back(sampleScenario(rng));
         seeds.push_back(seed);
+    }
+
+    // 0. JSON round-trip property: every sampled scenario (random
+    //    seeds, loads, windows, fault plans) survives
+    //    parse(serialize(s)) exactly.
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        SCOPED_TRACE("replay with SNOC_FUZZ_SEED=" +
+                     std::to_string(seeds[i]) +
+                     " SNOC_FUZZ_ITERS=1 | " +
+                     describeFully(scenarios[i]));
+        EXPECT_TRUE(parseScenario(serializeScenario(
+                        scenarios[i])) == scenarios[i]);
     }
 
     // 1. Engine determinism: the whole batch, 1 worker vs 4.

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * JSON round-trip tests for the experiment data structures: the
+ * committed golden (every field non-default, armed FaultPlan
+ * included) pins the canonical serialized form byte-for-byte, the
+ * property checks prove parse(serialize(x)) == x, and the error
+ * cases pin the JSON-path diagnostics for malformed input.
+ */
+
+#include "exp/serialize.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "exp/plan_io.hh"
+
+#ifndef SNOC_SOURCE_DIR
+#define SNOC_SOURCE_DIR "."
+#endif
+
+namespace snoc {
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(SNOC_SOURCE_DIR) + "/tests/exp/golden/" +
+           name;
+}
+
+/**
+ * Every serializable field away from its default. Keep in sync with
+ * the committed golden tests/exp/golden/plan_full.json (regenerate
+ * the golden from this builder when the schema changes).
+ */
+ExperimentPlan
+fullFatPlan()
+{
+    ExperimentPlan plan;
+    plan.name = "full-fat";
+
+    Scenario full;
+    full.label = "kitchen-sink";
+    full.topology = "sn_subgr_200";
+    full.routerConfig = "CBR-20";
+    full.link.hopsPerCycle = 9;
+    full.routing = RoutingMode::UgalG;
+    full.traffic = TrafficSpec::synthetic(PatternKind::Adversarial2);
+    full.traffic.packetSizeFlits = 4;
+    full.load = 0.25;
+    full.seed = 12345678901234567890ULL;
+    full.routingSeed = 987654321;
+    full.sim.warmupCycles = 111;
+    full.sim.measureCycles = 2222;
+    full.sim.drainCycleLimit = 3333;
+    full.sim.drain = true;
+    full.faults = FaultPlan::randomLinkFailures(0.125, 400, 77);
+    full.faults.linkDown(1, 2, 100)
+        .linkUp(1, 2, 300)
+        .routerDown(3, 200)
+        .routerUp(3, 350);
+    plan.add(full);
+
+    Scenario sweepBase = full;
+    sweepBase.label = "sweep-base";
+    sweepBase.faults = {};
+    plan.addSweep(sweepBase, {0.01, 0.02, 0.04}, false, 5.5);
+
+    SaturationSpec sat;
+    sat.loLoad = 0.03;
+    sat.hiLoad = 0.9;
+    sat.tolerance = 0.05;
+    sat.maxProbes = 7;
+    Scenario satBase = sweepBase;
+    satBase.label = "saturation-base";
+    plan.addSaturation(satBase, sat);
+
+    plan.add(makeTraceScenario("cm_54", "ocean-c", 1234, 77));
+    return plan;
+}
+
+TEST(Serialize, GoldenBytesArePinned)
+{
+    std::string golden = readTextFile(goldenPath("plan_full.json"));
+    EXPECT_EQ(serializePlan(fullFatPlan()), golden)
+        << "canonical serializer output changed; regenerate the "
+           "golden intentionally if the schema changed";
+}
+
+TEST(Serialize, GoldenParsesBackToTheSamePlan)
+{
+    std::string golden = readTextFile(goldenPath("plan_full.json"));
+    EXPECT_TRUE(parsePlan(golden, "plan_full.json") == fullFatPlan());
+}
+
+TEST(Serialize, RoundTripIsExact)
+{
+    ExperimentPlan plan = fullFatPlan();
+    EXPECT_TRUE(parsePlan(serializePlan(plan)) == plan);
+
+    // A defaults-only scenario round-trips through the minimal form.
+    Scenario plain;
+    plain.topology = "sn_54";
+    EXPECT_EQ(serializeScenario(plain),
+              "{\n  \"topology\": \"sn_54\"\n}\n");
+    EXPECT_TRUE(parseScenario(serializeScenario(plain)) == plain);
+}
+
+TEST(Serialize, DescribeIncludesRoutingAndFaults)
+{
+    Scenario s;
+    s.topology = "sn_54";
+    s.load = 0.06;
+    EXPECT_EQ(s.describe(), "sn_54/EB-Var/minimal/RND@0.06");
+    s.routing = RoutingMode::UgalL;
+    EXPECT_EQ(s.describe(), "sn_54/EB-Var/ugal-l/RND@0.06");
+    Scenario armed = s;
+    armed.faults.armed = true;
+    // Minimal vs ugal-l vs armed runs of the same point must not
+    // collide (the pre-redesign label dropped both axes).
+    EXPECT_NE(armed.describe(), s.describe());
+    EXPECT_EQ(armed.describe(), "sn_54/EB-Var/ugal-l/RND@0.06+faults");
+}
+
+void
+expectErrorContains(const std::string &text,
+                    const std::string &needle)
+{
+    try {
+        parsePlan(text);
+        FAIL() << "expected FatalError for: " << text;
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "message: " << e.what() << "\nwanted: " << needle;
+    }
+}
+
+TEST(Serialize, ErrorsCarryTheJsonPath)
+{
+    // Unknown member (typo protection), with its exact path.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+                                   "laod": 0.1}}]})",
+        "$.jobs[0].scenario: unknown member 'laod'");
+
+    // Unregistered routing mode, with the valid set listed.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+                                   "routing": "ugal"}}]})",
+        "$.jobs[0].scenario.routing");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+                                   "routing": "ugal"}}]})",
+        "ugal-l");
+
+    // Unknown topology / router config / pattern / workload.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "nope"}}]})",
+        "$.jobs[0].scenario.topology");
+    // Slim NoC prefix alone is not enough: the size suffix must
+    // resolve, so typos fail at parse time, not mid-run.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_garbage"}}]})",
+        "$.jobs[0].scenario.topology");
+
+    // Overflowing number literals are rejected with their path
+    // instead of becoming inf.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+                                   "load": 1e999}}]})",
+        "$.jobs[0].scenario.load");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+                                   "routerConfig": "EB-Huge"}}]})",
+        "$.jobs[0].scenario.routerConfig");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "traffic": {"pattern": "XXX"}}}]})",
+        "$.jobs[0].scenario.traffic.pattern");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "traffic": {"workload": "doom"}}}]})",
+        "$.jobs[0].scenario.traffic.workload");
+
+    // Structural mistakes.
+    expectErrorContains(R"({"jobs": [{}]})",
+                        "$.jobs[0]: missing 'scenario'");
+    expectErrorContains(R"({"name": "x"})", "$: missing 'jobs'");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54"},
+                      "sweep": {"loads": []}}]})",
+        "$.jobs[0].sweep.loads: needs at least one load");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "traffic": {"pattern": "RND", "workload": "fft"}}}]})",
+        "'workload' and 'pattern' are exclusive");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "faults": {"events": [{"kind": "link-down",
+                                    "a": 1}]}}}]})",
+        "link events need both endpoints");
+
+    // Type mismatch deep in the tree, with its path.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "sim": {"warmupCycles": "soon"}}}]})",
+        "$.jobs[0].scenario.sim.warmupCycles");
+}
+
+TEST(Serialize, FastModeTransformScalesPlans)
+{
+    ExperimentPlan plan;
+    Scenario s;
+    s.topology = "sn_54";
+    s.sim.warmupCycles = 2000;
+    s.sim.measureCycles = 8000;
+    s.faults = FaultPlan::randomLinkFailures(0.1, 2000, 1);
+    s.faults.linkDown(0, 1, 1000);
+    plan.addSweep(s, {0.008, 0.024, 0.06, 0.16, 0.4}, false);
+    applyFastMode(plan);
+    const Job &job = plan.jobs[0];
+    EXPECT_EQ(job.scenario.sim.warmupCycles, 500u);
+    EXPECT_EQ(job.scenario.sim.measureCycles, 2000u);
+    EXPECT_EQ(job.scenario.faults.randomFailAt, 500u);
+    EXPECT_EQ(job.scenario.faults.events[0].at, 250u);
+    // Grid thins to {first, middle} — the classic fast load grid.
+    EXPECT_EQ(job.loads, (std::vector<double>{0.008, 0.06}));
+
+    // Explicit zeros keep their semantics (shrink, never raise).
+    ExperimentPlan cold;
+    Scenario zero;
+    zero.topology = "sn_54";
+    zero.sim.warmupCycles = 0;
+    zero.faults.armed = true;
+    cold.add(zero);
+    applyFastMode(cold);
+    EXPECT_EQ(cold.jobs[0].scenario.sim.warmupCycles, 0u);
+    EXPECT_EQ(cold.jobs[0].scenario.faults.randomFailAt, 0u);
+}
+
+} // namespace
+} // namespace snoc

@@ -17,6 +17,7 @@
  * shape is identical.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -55,6 +56,7 @@ struct PerfPoint
     double flitHopsPerSec = 0.0;
     double flitsPerSec = 0.0;
     double activeFraction = 0.0;
+    double nsPerCycleRouter = 0.0; //!< wall ns per stepped router
     Cycle cycles = 0;
 };
 
@@ -100,6 +102,11 @@ measure(const std::string &topoId, RoutingMode mode, double load)
         static_cast<double>(activeSum) /
         (static_cast<double>(p.cycles) *
          static_cast<double>(net.topology().numRouters()));
+    // Wall time per router actually visited by the worklist: the
+    // per-router sweep cost, independent of idle-skip savings.
+    p.nsPerCycleRouter =
+        wall * 1e9 / std::max<double>(1.0,
+                                      static_cast<double>(activeSum));
     return p;
 }
 
@@ -120,7 +127,7 @@ main()
             fmt(load, "%.2f") + " flits/node/cycle, EB-Var)",
         {"topology", "routing", "cycles", "cycles_per_sec",
          "flit_hops_per_sec", "flits_delivered_per_sec",
-         "active_router_fraction"});
+         "active_router_fraction", "ns_per_cycle_router"});
     for (const char *t : topologies) {
         for (RoutingMode m : modes) {
             PerfPoint p = measure(t, m, load);
@@ -130,7 +137,8 @@ main()
                  fmt(p.cyclesPerSec, "%.0f"),
                  fmt(p.flitHopsPerSec, "%.0f"),
                  fmt(p.flitsPerSec, "%.0f"),
-                 fmt(p.activeFraction, "%.3f")});
+                 fmt(p.activeFraction, "%.3f"),
+                 fmt(p.nsPerCycleRouter, "%.1f")});
         }
     }
     report.out().endTable();

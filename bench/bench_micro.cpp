@@ -52,6 +52,99 @@ BM_NetworkBuild(benchmark::State &state)
 }
 BENCHMARK(BM_NetworkBuild);
 
+/**
+ * A warmed-up network under load, shared by the occupancy probes so
+ * the counters they read reflect real traffic, not an idle network.
+ */
+Network &
+loadedNetwork()
+{
+    static NocTopology topology = makeNamedTopology("sn_subgr_200");
+    static Network net = [] {
+        Network n(topology, RouterConfig::named("EB-Var"), LinkConfig{},
+                  RoutingMode::UgalL, /*seed=*/7);
+        auto pat = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(PatternKind::Random, topology));
+        SyntheticConfig sc;
+        sc.load = 0.1;
+        TrafficSource src = makeSyntheticSource(pat, sc);
+        for (int c = 0; c < 500; ++c) {
+            src(n, n.now());
+            n.step();
+        }
+        return n;
+    }();
+    return net;
+}
+
+void
+BM_LinkOccupancy(benchmark::State &state)
+{
+    Network &net = loadedNetwork();
+    const Graph &g = net.topology().routers();
+    int router = 0;
+    for (auto _ : state) {
+        // Walk the adjacency so successive probes hit different
+        // (router, neighbor) pairs, like UGAL's injection probes do.
+        int next = g.neighbors(router).front();
+        benchmark::DoNotOptimize(net.linkOccupancy(router, next));
+        router = (router + 1) % g.numVertices();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkOccupancy);
+
+void
+BM_PathOccupancy(benchmark::State &state)
+{
+    Network &net = loadedNetwork();
+    int n = net.topology().numRouters();
+    int src = 0;
+    for (auto _ : state) {
+        int dst = (src + n / 2) % n;
+        benchmark::DoNotOptimize(net.pathOccupancy(src, dst));
+        src = (src + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathOccupancy);
+
+void
+BM_ShortestPathsDistance(benchmark::State &state)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    ShortestPaths paths(topo.routers());
+    int n = paths.numVertices();
+    int src = 0;
+    for (auto _ : state) {
+        // UGAL's triple probe shape: src->dst, src->inter, inter->dst.
+        int dst = (src + n / 2) % n;
+        int inter = (src + n / 3 + 1) % n;
+        int d = paths.distance(src, dst) + paths.distance(src, inter) +
+                paths.distance(inter, dst);
+        benchmark::DoNotOptimize(d);
+        src = (src + 1) % n;
+    }
+    state.SetItemsProcessed(3 * state.iterations());
+}
+BENCHMARK(BM_ShortestPathsDistance);
+
+void
+BM_ShortestPathsNextHop(benchmark::State &state)
+{
+    NocTopology topo = makeNamedTopology("sn_subgr_200");
+    ShortestPaths paths(topo.routers());
+    int n = paths.numVertices();
+    int src = 0;
+    for (auto _ : state) {
+        int dst = (src + n / 2) % n;
+        benchmark::DoNotOptimize(paths.nextHop(src, dst));
+        src = (src + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShortestPathsNextHop);
+
 void
 BM_SimulationCycles(benchmark::State &state)
 {

@@ -4,19 +4,19 @@
 #include <limits>
 #include <queue>
 
-#include "common/log.hh"
-
 namespace snoc {
 
 ShortestPaths::ShortestPaths(const Graph &g)
     : graph_(&g), n_(g.numVertices())
 {
-    dist_.resize(static_cast<std::size_t>(n_));
-    next_.resize(static_cast<std::size_t>(n_));
+    table_.resize(static_cast<std::size_t>(n_) *
+                  static_cast<std::size_t>(n_));
     for (int dst = 0; dst < n_; ++dst) {
         auto d = g.bfsDistances(dst);
-        std::vector<int> nh(static_cast<std::size_t>(n_), -1);
+        Entry *row = &table_[index(0, dst)];
         for (int v = 0; v < n_; ++v) {
+            row[v].dist =
+                static_cast<std::int32_t>(d[static_cast<std::size_t>(v)]);
             if (v == dst || d[static_cast<std::size_t>(v)] < 0)
                 continue;
             int best = -1;
@@ -27,29 +27,9 @@ ShortestPaths::ShortestPaths(const Graph &g)
                         best = w;
                 }
             }
-            nh[static_cast<std::size_t>(v)] = best;
+            row[v].next = static_cast<std::int32_t>(best);
         }
-        dist_[static_cast<std::size_t>(dst)] = std::move(d);
-        next_[static_cast<std::size_t>(dst)] = std::move(nh);
     }
-}
-
-int
-ShortestPaths::distance(int src, int dst) const
-{
-    SNOC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_,
-                "vertex out of range");
-    return dist_[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)];
-}
-
-int
-ShortestPaths::nextHop(int src, int dst) const
-{
-    SNOC_ASSERT(src != dst, "nextHop with src == dst");
-    int nh = next_[static_cast<std::size_t>(dst)]
-                  [static_cast<std::size_t>(src)];
-    SNOC_ASSERT(nh >= 0, "destination ", dst, " unreachable from ", src);
-    return nh;
 }
 
 std::vector<int>
@@ -69,10 +49,9 @@ ShortestPaths::minimalNextHops(int src, int dst,
     out.clear();
     if (src == dst)
         return;
-    const auto &d = dist_[static_cast<std::size_t>(dst)];
+    const Entry *row = &table_[index(0, dst)];
     for (int w : graph_->neighbors(src)) {
-        if (d[static_cast<std::size_t>(w)] ==
-            d[static_cast<std::size_t>(src)] - 1) {
+        if (row[w].dist == row[src].dist - 1) {
             // Parallel edges produce duplicate neighbors; keep one each.
             if (std::find(out.begin(), out.end(), w) == out.end())
                 out.push_back(w);

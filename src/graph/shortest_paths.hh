@@ -9,9 +9,11 @@
 #ifndef SNOC_GRAPH_SHORTEST_PATHS_HH
 #define SNOC_GRAPH_SHORTEST_PATHS_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/log.hh"
 #include "graph/graph.hh"
 
 namespace snoc {
@@ -23,6 +25,12 @@ namespace snoc {
  * the lowest-id neighbor, which keeps the routing static and
  * reproducible (the paper's "static minimum routing").
  *
+ * Storage is one contiguous row-major array of packed
+ * (distance, nextHop) pairs, one row per destination: UGAL's triple
+ * distance probe and the per-hop path walks of pathOccupancy touch a
+ * single cache-resident row instead of chasing per-destination
+ * vectors. Unreachable pairs hold (-1, -1).
+ *
  * The referenced Graph must outlive this object.
  */
 class ShortestPaths
@@ -31,14 +39,28 @@ class ShortestPaths
     /** Precompute tables for g. O(V * (V + E)). */
     explicit ShortestPaths(const Graph &g);
 
-    /** Hop distance between routers. */
-    int distance(int src, int dst) const;
+    /** Hop distance between routers (-1 when unreachable). */
+    int
+    distance(int src, int dst) const
+    {
+        SNOC_ASSERT(src >= 0 && src < n_ && dst >= 0 && dst < n_,
+                    "vertex out of range");
+        return table_[index(src, dst)].dist;
+    }
 
     /**
      * Deterministic next hop from src toward dst.
      * @pre src != dst and dst reachable.
      */
-    int nextHop(int src, int dst) const;
+    int
+    nextHop(int src, int dst) const
+    {
+        SNOC_ASSERT(src != dst, "nextHop with src == dst");
+        int nh = table_[index(src, dst)].next;
+        SNOC_ASSERT(nh >= 0, "destination ", dst,
+                    " unreachable from ", src);
+        return nh;
+    }
 
     /** All neighbors of src that lie on some minimal src->dst path. */
     std::vector<int> minimalNextHops(int src, int dst) const;
@@ -53,10 +75,24 @@ class ShortestPaths
     int numVertices() const { return n_; }
 
   private:
+    /** One (src, dst) table entry: hop distance + next hop. */
+    struct Entry
+    {
+        std::int32_t dist = -1;
+        std::int32_t next = -1;
+    };
+
+    std::size_t
+    index(int src, int dst) const
+    {
+        return static_cast<std::size_t>(dst) *
+                   static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(src);
+    }
+
     const Graph *graph_;
     int n_;
-    std::vector<std::vector<int>> dist_;    // dist_[dst][v]
-    std::vector<std::vector<int>> next_;    // next_[dst][v]
+    std::vector<Entry> table_; //!< row-major by dst: [dst * n_ + src]
 };
 
 /**

@@ -426,6 +426,14 @@ Network::purgeAfterFaults()
             ++counters_->packetsUnroutable;
         pool_->release(h);
     }
+
+    // The sweep rewrote buffers, routing state, and VC ownership
+    // wholesale; rebuild the incremental sweep masks and requester
+    // refcounts from scratch. (The per-neighbor occupancy counters
+    // need no repair: purged credits return over the normal credit
+    // wires, so `depth - credits` accounting never broke.)
+    for (auto &r : routers_)
+        r->rebuildSweepState();
 }
 
 // --- structural invariant audit --------------------------------------------
@@ -504,6 +512,102 @@ Network::auditInvariants(std::string &err) const
                     << rt.cbReserved_ << " / " << rt.cbCapacity_
                     << ")";
                 return fail(oss.str());
+            }
+        }
+
+        // Incremental per-neighbor occupancy counters vs a
+        // from-scratch recount over credits (with the cached
+        // downstream depth cross-checked against the config
+        // formula it memoizes).
+        std::vector<int> occRecount(routers_.size(), 0);
+        for (int p = 0; p < rt.numNetPorts_; ++p) {
+            const Router::OutputPort &op =
+                rt.outputs_[static_cast<std::size_t>(p)];
+            int depth =
+                routerCfg_.inputBufferDepth(op.out->latency()) +
+                routerCfg_.elasticBonus(op.out->latency());
+            if (op.downstreamDepth != depth) {
+                oss << "router " << rt.id_ << " port " << p
+                    << ": cached downstreamDepth "
+                    << op.downstreamDepth << " != config depth "
+                    << depth;
+                return fail(oss.str());
+            }
+            for (const Router::OutputVc &ovc : op.vcs)
+                occRecount[static_cast<std::size_t>(op.neighbor)] +=
+                    depth - ovc.credits;
+        }
+        for (std::size_t v = 0; v < occRecount.size(); ++v) {
+            if (rt.occToward_[v] != occRecount[v]) {
+                oss << "router " << rt.id_ << ": occToward["
+                    << v << "] " << rt.occToward_[v]
+                    << " != recount " << occRecount[v];
+                return fail(oss.str());
+            }
+        }
+
+        // Incremental sweep masks / requester refcounts vs a
+        // from-scratch scan.
+        if (rt.masksEnabled_) {
+            std::vector<std::uint16_t> reqRecount(
+                rt.reqCount_.size(), 0);
+            for (std::size_t p = 0; p < rt.inputs_.size(); ++p) {
+                const Router::InputPort &ip = rt.inputs_[p];
+                std::uint64_t occMask = 0;
+                for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+                    const Router::InputVc &ivc = ip.vcs[v];
+                    if (!ivc.buffer.empty())
+                        occMask |= std::uint64_t{1} << v;
+                    if (ivc.routed && !ivc.viaCb)
+                        ++reqRecount[static_cast<std::size_t>(
+                                         ivc.outPort) *
+                                         static_cast<std::size_t>(
+                                             rt.numVcs_) +
+                                     static_cast<std::size_t>(
+                                         ivc.outVc)];
+                }
+                if (ip.occMask != occMask) {
+                    oss << "router " << rt.id_ << " input port " << p
+                        << ": occMask " << ip.occMask
+                        << " != recount " << occMask;
+                    return fail(oss.str());
+                }
+            }
+            if (rt.reqCount_ != reqRecount) {
+                oss << "router " << rt.id_
+                    << ": requester refcounts diverged from recount";
+                return fail(oss.str());
+            }
+            for (std::size_t p = 0; p < rt.outputs_.size(); ++p) {
+                const Router::OutputPort &op = rt.outputs_[p];
+                std::uint64_t owned = 0;
+                std::uint64_t req = 0;
+                std::uint64_t cb = 0;
+                for (std::size_t v = 0; v < op.vcs.size(); ++v) {
+                    if (op.vcs[v].owner.kind !=
+                        Router::VcOwner::Kind::None)
+                        owned |= std::uint64_t{1} << v;
+                    if (reqRecount[p * static_cast<std::size_t>(
+                                           rt.numVcs_) +
+                                   v] > 0)
+                        req |= std::uint64_t{1} << v;
+                }
+                if (rt.cfg_.arch == RouterArch::CentralBuffer)
+                    for (std::size_t v = 0; v < op.vcs.size(); ++v)
+                        if (!rt.cbQueues_[p * static_cast<std::size_t>(
+                                                  rt.numVcs_) +
+                                          v]
+                                 .flits.empty())
+                            cb |= std::uint64_t{1} << v;
+                if (op.ownedMask != owned || op.reqMask != req ||
+                    op.cbMask != cb) {
+                    oss << "router " << rt.id_ << " output port " << p
+                        << ": sweep masks diverged (owned "
+                        << op.ownedMask << "/" << owned << ", req "
+                        << op.reqMask << "/" << req << ", cb "
+                        << op.cbMask << "/" << cb << ")";
+                    return fail(oss.str());
+                }
             }
         }
 

@@ -101,7 +101,7 @@ Network::build(std::uint64_t seed, RoutingMode mode,
         }
     }
     for (auto &r : routers_)
-        r->finalize();
+        r->finalize(g.numVertices());
 
     deliveredScratch_.reserve(
         static_cast<std::size_t>(topo_.numNodes()));

@@ -1,6 +1,7 @@
 #include "sim/router.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.hh"
 
@@ -15,6 +16,7 @@ Router::Router(int id, const RouterConfig &cfg,
     numVcs_ = cfg_.numVcs > 0 ? cfg_.numVcs : routing.numVcs();
     SNOC_ASSERT(numVcs_ >= routing.numVcs(),
                 "router has fewer VCs than the routing scheme needs");
+    masksEnabled_ = numVcs_ <= 64;
 }
 
 int
@@ -49,11 +51,13 @@ Router::addNetworkPort(FlitChannel *out, FlitChannel *in, int neighbor,
     op.wireLength = wireLength;
     op.vcs.resize(static_cast<std::size_t>(numVcs_));
     // Credits cover the downstream input buffer, whose depth mirrors
-    // ours (same strategy, same link latency both directions).
-    int downstreamDepth = cfg_.inputBufferDepth(out->latency()) +
-                          cfg_.elasticBonus(out->latency());
+    // ours (same strategy, same link latency both directions). The
+    // depth is cached so occupancy bookkeeping never recomputes the
+    // buffer-strategy formula.
+    op.downstreamDepth = cfg_.inputBufferDepth(out->latency()) +
+                         cfg_.elasticBonus(out->latency());
     for (auto &vc : op.vcs)
-        vc.credits = downstreamDepth;
+        vc.credits = op.downstreamDepth;
     outputs_.push_back(std::move(op));
 
     ++numNetPorts_;
@@ -85,7 +89,7 @@ Router::addLocalPort(int node)
 }
 
 void
-Router::finalize()
+Router::finalize(int numRouters)
 {
     SNOC_ASSERT(inputs_.size() == outputs_.size(),
                 "ports are added input/output-paired");
@@ -108,6 +112,35 @@ Router::finalize()
     }
     flitScratch_.reserve(maxPort);
     creditScratch_.reserve(maxPort);
+
+    // Per-neighbor occupancy counters start at zero (credits full).
+    SNOC_ASSERT(numRouters > id_, "numRouters too small");
+    occToward_.assign(static_cast<std::size_t>(numRouters), 0);
+
+    // Neighbor -> ports index (CSR over neighbor id), ports ascending
+    // within each neighbor group: resolveOutPort picks the same port
+    // the old linear scan did, in O(1).
+    nbrFirst_.assign(static_cast<std::size_t>(numRouters), 0);
+    nbrCount_.assign(static_cast<std::size_t>(numRouters), 0);
+    for (int p = 0; p < numNetPorts_; ++p)
+        ++nbrCount_[static_cast<std::size_t>(
+            outputs_[static_cast<std::size_t>(p)].neighbor)];
+    int run = 0;
+    for (int v = 0; v < numRouters; ++v) {
+        nbrFirst_[static_cast<std::size_t>(v)] = run;
+        run += nbrCount_[static_cast<std::size_t>(v)];
+    }
+    nbrPorts_.assign(static_cast<std::size_t>(numNetPorts_), -1);
+    std::vector<int> fill = nbrFirst_;
+    for (int p = 0; p < numNetPorts_; ++p)
+        nbrPorts_[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(
+                outputs_[static_cast<std::size_t>(p)].neighbor)]++)] =
+            p;
+
+    reqCount_.assign(outputs_.size() *
+                         static_cast<std::size_t>(numVcs_),
+                     0);
 }
 
 Router::CbQueue &
@@ -130,10 +163,12 @@ void
 Router::injectFlit(int localIndex, Flit flit)
 {
     int port = localPorts_[static_cast<std::size_t>(localIndex)];
-    InputVc &vc = inputs_[static_cast<std::size_t>(port)].vcs[0];
+    InputPort &ip = inputs_[static_cast<std::size_t>(port)];
+    InputVc &vc = ip.vcs[0];
     SNOC_ASSERT(static_cast<int>(vc.buffer.size()) < vc.capacity,
                 "injection queue overflow");
     vc.buffer.push_back(flit);
+    markVcOccupied(ip, 0);
     ++bufferedFlits_;
     ++counters_->bufferWrites;
 }
@@ -154,6 +189,7 @@ Router::collectArrivals(Cycle now)
                         "credit protocol violated: input VC overflow "
                         "at router ", id_);
             vc.buffer.push_back(flit);
+            markVcOccupied(ip, flit.vc);
             ++bufferedFlits_;
             ++counters_->bufferWrites;
         }
@@ -164,6 +200,8 @@ Router::collectArrivals(Cycle now)
             continue;
         creditScratch_.clear();
         op.out->popArrivedCredits(now, creditScratch_);
+        occToward_[static_cast<std::size_t>(op.neighbor)] -=
+            static_cast<int>(creditScratch_.size());
         for (int vc : creditScratch_)
             ++op.vcs[static_cast<std::size_t>(vc)].credits;
     }
@@ -173,42 +211,53 @@ void
 Router::routeHeads(Cycle now)
 {
     (void)now;
+    auto routeVc = [this](InputPort &ip, std::size_t v) {
+        InputVc &ivc = ip.vcs[v];
+        if (ivc.routed)
+            return;
+        const Flit &head = ivc.buffer.front();
+        if (!head.head)
+            return; // stale body flit; handled by flitsLeft
+        Packet &pkt = pool_->get(head.pkt);
+        RouteDecision rd = routing_->route(id_, pkt);
+        ivc.routed = true;
+        ivc.viaCb = false;
+        ivc.flitsLeft = pkt.sizeFlits;
+        ivc.curPkt = head.pkt;
+        if (rd.nextRouter < 0) {
+            // Eject to the local port of the destination node.
+            int slot = -1;
+            for (std::size_t l = 0; l < localPorts_.size(); ++l) {
+                int port = localPorts_[l];
+                if (outputs_[static_cast<std::size_t>(port)].node ==
+                    pkt.dstNode) {
+                    slot = port;
+                    break;
+                }
+            }
+            SNOC_ASSERT(slot >= 0, "destination node ",
+                        pkt.dstNode, " not on router ", id_);
+            ivc.outPort = slot;
+            ivc.outVc = 0;
+        } else {
+            SNOC_ASSERT(rd.vc >= 0 && rd.vc < numVcs_,
+                        "routing chose invalid VC");
+            ivc.outPort = resolveOutPort(rd.nextRouter, rd.vc);
+            ivc.outVc = rd.vc;
+        }
+        addRequest(ivc.outPort, ivc.outVc);
+    };
+
     for (std::size_t p = 0; p < inputs_.size(); ++p) {
         InputPort &ip = inputs_[p];
-        for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
-            InputVc &ivc = ip.vcs[v];
-            if (ivc.routed || ivc.buffer.empty())
-                continue;
-            const Flit &head = ivc.buffer.front();
-            if (!head.head)
-                continue; // stale body flit; handled by flitsLeft
-            Packet &pkt = pool_->get(head.pkt);
-            RouteDecision rd = routing_->route(id_, pkt);
-            ivc.routed = true;
-            ivc.viaCb = false;
-            ivc.flitsLeft = pkt.sizeFlits;
-            ivc.curPkt = head.pkt;
-            if (rd.nextRouter < 0) {
-                // Eject to the local port of the destination node.
-                int slot = -1;
-                for (std::size_t l = 0; l < localPorts_.size(); ++l) {
-                    int port = localPorts_[l];
-                    if (outputs_[static_cast<std::size_t>(port)].node ==
-                        pkt.dstNode) {
-                        slot = port;
-                        break;
-                    }
-                }
-                SNOC_ASSERT(slot >= 0, "destination node ",
-                            pkt.dstNode, " not on router ", id_);
-                ivc.outPort = slot;
-                ivc.outVc = 0;
-            } else {
-                SNOC_ASSERT(rd.vc >= 0 && rd.vc < numVcs_,
-                            "routing chose invalid VC");
-                ivc.outPort = resolveOutPort(rd.nextRouter, rd.vc);
-                ivc.outVc = rd.vc;
-            }
+        if (masksEnabled_) {
+            for (std::uint64_t m = ip.occMask; m; m &= m - 1)
+                routeVc(ip, static_cast<std::size_t>(
+                                std::countr_zero(m)));
+        } else {
+            for (std::size_t v = 0; v < ip.vcs.size(); ++v)
+                if (!ip.vcs[v].buffer.empty())
+                    routeVc(ip, v);
         }
     }
 }
@@ -217,31 +266,53 @@ int
 Router::resolveOutPort(int nextRouter, int vcForTieBreak) const
 {
     // Parallel links to the same neighbor: spread VCs across them.
-    int first = -1;
-    int count = 0;
-    for (int p = 0; p < numNetPorts_; ++p) {
-        if (outputs_[static_cast<std::size_t>(p)].neighbor ==
-            nextRouter) {
-            if (first < 0)
-                first = p;
-            ++count;
-        }
-    }
-    SNOC_ASSERT(first >= 0, "router ", id_, " has no port toward ",
+    int count = nbrCount_[static_cast<std::size_t>(nextRouter)];
+    SNOC_ASSERT(count > 0, "router ", id_, " has no port toward ",
                 nextRouter);
+    const int *ports =
+        &nbrPorts_[static_cast<std::size_t>(
+            nbrFirst_[static_cast<std::size_t>(nextRouter)])];
     if (count == 1)
-        return first;
-    int pick = vcForTieBreak % count;
-    int seen = 0;
-    for (int p = first; p < numNetPorts_; ++p) {
-        if (outputs_[static_cast<std::size_t>(p)].neighbor ==
-            nextRouter) {
-            if (seen == pick)
-                return p;
-            ++seen;
-        }
+        return ports[0];
+    return ports[vcForTieBreak % count];
+}
+
+bool
+Router::cbIntakeFrom(InputPort &ip, int p, int v, Cycle now)
+{
+    InputVc &ivc = ip.vcs[static_cast<std::size_t>(v)];
+    CbQueue &q = cbQueue(ivc.outPort, ivc.outVc);
+    PacketHandle pkt = ivc.buffer.front().pkt;
+    if (q.appender != kInvalidPacket && q.appender != pkt)
+        return false; // another packet mid-append to this queue
+    Flit flit = ivc.buffer.front();
+    ivc.buffer.pop_front();
+    markVcDrained(ip, v);
+    ++counters_->bufferReads;
+    ++counters_->cbWrites;
+    ++cbOccupied_;
+    // Count down the packet's flits not yet through the CB;
+    // keeps cbReserved_ == cbOccupied_ + sum of viaCb
+    // flitsLeft, the invariant the fault purge and the test
+    // audit rely on. (The bypass path in tryGrantOutputVc
+    // already decrements per flit.)
+    --ivc.flitsLeft;
+    q.appender = flit.tail ? kInvalidPacket : pkt;
+    bool tail = flit.tail;
+    q.flits.push_back(flit);
+    if (masksEnabled_)
+        outputs_[static_cast<std::size_t>(ivc.outPort)].cbMask |=
+            std::uint64_t{1} << ivc.outVc;
+    if (ip.in)
+        ip.in->pushCredit(v, now);
+    inputBusy_[static_cast<std::size_t>(p)] = true;
+    cbInputBusy_ = true;
+    if (tail) {
+        // Input VC is free for the next packet.
+        ivc.routed = false;
+        ivc.flitsLeft = 0;
     }
-    return first;
+    return true;
 }
 
 void
@@ -261,38 +332,24 @@ Router::cbIntake(Cycle now)
         InputPort &ip = inputs_[static_cast<std::size_t>(p)];
         if (inputBusy_[static_cast<std::size_t>(p)])
             continue;
-        for (auto &ivc : ip.vcs) {
-            if (!ivc.routed || !ivc.viaCb || ivc.buffer.empty())
-                continue;
-            CbQueue &q = cbQueue(ivc.outPort, ivc.outVc);
-            PacketHandle pkt = ivc.buffer.front().pkt;
-            if (q.appender != kInvalidPacket && q.appender != pkt)
-                continue; // another packet mid-append to this queue
-            Flit flit = ivc.buffer.front();
-            ivc.buffer.pop_front();
-            ++counters_->bufferReads;
-            ++counters_->cbWrites;
-            ++cbOccupied_;
-            // Count down the packet's flits not yet through the CB;
-            // keeps cbReserved_ == cbOccupied_ + sum of viaCb
-            // flitsLeft, the invariant the fault purge and the test
-            // audit rely on. (The bypass path in tryGrantOutput
-            // already decrements per flit.)
-            --ivc.flitsLeft;
-            q.appender = flit.tail ? kInvalidPacket : pkt;
-            bool tail = flit.tail;
-            q.flits.push_back(flit);
-            if (ip.in)
-                ip.in->pushCredit(static_cast<int>(&ivc - ip.vcs.data()),
-                                  now);
-            inputBusy_[static_cast<std::size_t>(p)] = true;
-            cbInputBusy_ = true;
-            if (tail) {
-                // Input VC is free for the next packet.
-                ivc.routed = false;
-                ivc.flitsLeft = 0;
+        if (masksEnabled_) {
+            for (std::uint64_t m = ip.occMask; m; m &= m - 1) {
+                int v = std::countr_zero(m);
+                const InputVc &ivc =
+                    ip.vcs[static_cast<std::size_t>(v)];
+                if (!ivc.routed || !ivc.viaCb)
+                    continue;
+                if (cbIntakeFrom(ip, p, v, now))
+                    return;
             }
-            return;
+        } else {
+            for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+                const InputVc &ivc = ip.vcs[v];
+                if (!ivc.routed || !ivc.viaCb || ivc.buffer.empty())
+                    continue;
+                if (cbIntakeFrom(ip, p, static_cast<int>(v), now))
+                    return;
+            }
         }
     }
 }
@@ -333,134 +390,184 @@ bool
 Router::tryGrantOutput(int port, Cycle now)
 {
     OutputPort &op = outputs_[static_cast<std::size_t>(port)];
+    if (!masksEnabled_) {
+        for (int kv = 0; kv < numVcs_; ++kv)
+            if (tryGrantOutputVc(port, (op.rrVc + kv) % numVcs_, now))
+                return true;
+        return false;
+    }
+    // A VC can act only if it is owned, requested by a routed input
+    // VC, or backed by buffered CB flits; everything else is a
+    // provable no-op for the dense sweep too. Visit candidates in
+    // the exact round-robin order rrVc, rrVc+1, ..., rrVc-1.
+    std::uint64_t cand = op.ownedMask | op.reqMask | op.cbMask;
+    if (!cand)
+        return false;
+    int r = op.rrVc;
+    for (std::uint64_t m = cand >> r; m; m &= m - 1)
+        if (tryGrantOutputVc(port, r + std::countr_zero(m), now))
+            return true;
+    for (std::uint64_t m = cand & ((std::uint64_t{1} << r) - 1); m;
+         m &= m - 1)
+        if (tryGrantOutputVc(port, std::countr_zero(m), now))
+            return true;
+    return false;
+}
+
+bool
+Router::tryGrantOutputVc(int port, int vc, Cycle now)
+{
+    OutputPort &op = outputs_[static_cast<std::size_t>(port)];
     bool isLocal = op.out == nullptr;
+    OutputVc &ovc = op.vcs[static_cast<std::size_t>(vc)];
 
-    for (int kv = 0; kv < numVcs_; ++kv) {
-        int vc = (op.rrVc + kv) % numVcs_;
-        OutputVc &ovc = op.vcs[static_cast<std::size_t>(vc)];
+    // Shared bookkeeping for every grant path: releasing VC
+    // ownership must clear the owned mask bit, and draining a CB
+    // queue must keep cbMask, the CB counters, and the single-drain
+    // busy flag in step — one copy each so they cannot desync.
+    auto releaseOwner = [&] {
+        ovc.owner = VcOwner();
+        if (masksEnabled_)
+            op.ownedMask &= ~(std::uint64_t{1} << vc);
+    };
+    auto popCbAndSend = [&](CbQueue &q) {
+        Flit flit = q.flits.front();
+        q.flits.pop_front();
+        if (masksEnabled_ && q.flits.empty())
+            op.cbMask &= ~(std::uint64_t{1} << vc);
+        ++counters_->cbReads;
+        --cbOccupied_;
+        --cbReserved_;
+        cbOutputBusy_ = true;
+        bool tail = flit.tail;
+        sendFlit(port, vc, flit, now, true);
+        if (tail)
+            releaseOwner();
+        op.rrVc = (vc + 1) % numVcs_;
+    };
 
-        // Downstream space check.
-        if (isLocal) {
-            if (static_cast<int>(op.ejectionQueue.size()) >=
-                op.ejectionCapacity)
-                continue;
-        } else if (ovc.credits <= 0) {
+    // Downstream space check.
+    if (isLocal) {
+        if (static_cast<int>(op.ejectionQueue.size()) >=
+            op.ejectionCapacity)
+            return false;
+    } else if (ovc.credits <= 0) {
+        return false;
+    }
+
+    // Owned VC: only its owner may send.
+    if (ovc.owner.kind == VcOwner::Kind::Input) {
+        InputPort &ip = inputs_[static_cast<std::size_t>(
+            ovc.owner.inputPort)];
+        if (inputBusy_[static_cast<std::size_t>(
+                ovc.owner.inputPort)])
+            return false;
+        InputVc &ivc = ip.vcs[static_cast<std::size_t>(
+            ovc.owner.inputVc)];
+        if (ivc.buffer.empty() || ivc.flitsLeft <= 0)
+            return false;
+        int ownerVc = ovc.owner.inputVc;
+        int ownerPort = ovc.owner.inputPort;
+        Flit flit = ivc.buffer.front();
+        ivc.buffer.pop_front();
+        markVcDrained(ip, ownerVc);
+        ++counters_->bufferReads;
+        if (ip.in) {
+            ip.in->pushCredit(ownerVc, now);
+        }
+        inputBusy_[static_cast<std::size_t>(ownerPort)] = true;
+        --ivc.flitsLeft;
+        bool tail = flit.tail;
+        sendFlit(port, vc, flit, now, false);
+        if (tail) {
+            releaseOwner();
+            ivc.routed = false;
+            dropRequest(port, vc);
+        }
+        op.rrVc = (vc + 1) % numVcs_;
+        return true;
+    }
+    if (ovc.owner.kind == VcOwner::Kind::Cb) {
+        if (cbOutputBusy_)
+            return false;
+        CbQueue &q = cbQueue(port, vc);
+        if (q.flits.empty())
+            return false;
+        popCbAndSend(q);
+        return true;
+    }
+
+    // Unowned: grant to a requesting head flit. CB queues get
+    // priority (they are "part of the output buffer").
+    if (cfg_.arch == RouterArch::CentralBuffer && !cbOutputBusy_) {
+        CbQueue &q = cbQueue(port, vc);
+        if (!q.flits.empty() && q.flits.front().head) {
+            ovc.owner.kind = VcOwner::Kind::Cb;
+            ovc.owner.pkt = q.flits.front().pkt;
+            if (masksEnabled_)
+                op.ownedMask |= std::uint64_t{1} << vc;
+            popCbAndSend(q);
+            return true;
+        }
+    }
+
+    int numInputs = static_cast<int>(inputs_.size());
+    auto tryRequester = [&](int ipIdx, std::size_t v) -> bool {
+        InputPort &ip = inputs_[static_cast<std::size_t>(ipIdx)];
+        InputVc &ivc = ip.vcs[v];
+        if (!ivc.routed || ivc.viaCb)
+            return false;
+        if (ivc.outPort != port || ivc.outVc != vc)
+            return false;
+        const Flit &front = ivc.buffer.front();
+        if (!front.head)
+            return false;
+
+        // CBR path choice: on an output conflict the packet
+        // is diverted into the CB if space allows.
+        // (Reaching here means the VC is free, so this is
+        // the bypass path.)
+        Flit flit = ivc.buffer.front();
+        ivc.buffer.pop_front();
+        markVcDrained(ip, static_cast<int>(v));
+        ++counters_->bufferReads;
+        if (ip.in)
+            ip.in->pushCredit(static_cast<int>(v), now);
+        inputBusy_[static_cast<std::size_t>(ipIdx)] = true;
+        --ivc.flitsLeft;
+        ovc.owner.kind = VcOwner::Kind::Input;
+        ovc.owner.inputPort = ipIdx;
+        ovc.owner.inputVc = static_cast<int>(v);
+        ovc.owner.pkt = flit.pkt;
+        if (masksEnabled_)
+            op.ownedMask |= std::uint64_t{1} << vc;
+        ++pool_->get(flit.pkt).hops;
+        bool tail = flit.tail;
+        sendFlit(port, vc, flit, now, false);
+        if (tail) {
+            releaseOwner();
+            ivc.routed = false;
+            dropRequest(port, vc);
+        }
+        op.rrInput = (ipIdx + 1) % numInputs;
+        op.rrVc = (vc + 1) % numVcs_;
+        return true;
+    };
+
+    for (int ki = 0; ki < numInputs; ++ki) {
+        int ipIdx = (op.rrInput + ki) % numInputs;
+        if (inputBusy_[static_cast<std::size_t>(ipIdx)])
             continue;
-        }
-
-        // Owned VC: only its owner may send.
-        if (ovc.owner.kind == VcOwner::Kind::Input) {
-            InputPort &ip = inputs_[static_cast<std::size_t>(
-                ovc.owner.inputPort)];
-            if (inputBusy_[static_cast<std::size_t>(
-                    ovc.owner.inputPort)])
-                continue;
-            InputVc &ivc = ip.vcs[static_cast<std::size_t>(
-                ovc.owner.inputVc)];
-            if (ivc.buffer.empty() || ivc.flitsLeft <= 0)
-                continue;
-            Flit flit = ivc.buffer.front();
-            ivc.buffer.pop_front();
-            ++counters_->bufferReads;
-            if (ip.in) {
-                ip.in->pushCredit(ovc.owner.inputVc, now);
-            }
-            inputBusy_[static_cast<std::size_t>(ovc.owner.inputPort)] =
-                true;
-            --ivc.flitsLeft;
-            bool tail = flit.tail;
-            sendFlit(port, vc, flit, now, false);
-            if (tail) {
-                ovc.owner = VcOwner();
-                ivc.routed = false;
-            }
-            op.rrVc = (vc + 1) % numVcs_;
-            return true;
-        }
-        if (ovc.owner.kind == VcOwner::Kind::Cb) {
-            if (cbOutputBusy_)
-                continue;
-            CbQueue &q = cbQueue(port, vc);
-            if (q.flits.empty())
-                continue;
-            Flit flit = q.flits.front();
-            q.flits.pop_front();
-            ++counters_->cbReads;
-            --cbOccupied_;
-            --cbReserved_;
-            cbOutputBusy_ = true;
-            bool tail = flit.tail;
-            sendFlit(port, vc, flit, now, true);
-            if (tail)
-                ovc.owner = VcOwner();
-            op.rrVc = (vc + 1) % numVcs_;
-            return true;
-        }
-
-        // Unowned: grant to a requesting head flit. CB queues get
-        // priority (they are "part of the output buffer").
-        if (cfg_.arch == RouterArch::CentralBuffer && !cbOutputBusy_) {
-            CbQueue &q = cbQueue(port, vc);
-            if (!q.flits.empty() && q.flits.front().head) {
-                ovc.owner.kind = VcOwner::Kind::Cb;
-                ovc.owner.pkt = q.flits.front().pkt;
-                Flit flit = q.flits.front();
-                q.flits.pop_front();
-                ++counters_->cbReads;
-                --cbOccupied_;
-                --cbReserved_;
-                cbOutputBusy_ = true;
-                bool tail = flit.tail;
-                sendFlit(port, vc, flit, now, true);
-                if (tail)
-                    ovc.owner = VcOwner();
-                op.rrVc = (vc + 1) % numVcs_;
-                return true;
-            }
-        }
-
-        int numInputs = static_cast<int>(inputs_.size());
-        for (int ki = 0; ki < numInputs; ++ki) {
-            int ipIdx = (op.rrInput + ki) % numInputs;
-            if (inputBusy_[static_cast<std::size_t>(ipIdx)])
-                continue;
-            InputPort &ip = inputs_[static_cast<std::size_t>(ipIdx)];
-            for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
-                InputVc &ivc = ip.vcs[v];
-                if (!ivc.routed || ivc.viaCb || ivc.buffer.empty())
-                    continue;
-                if (ivc.outPort != port || ivc.outVc != vc)
-                    continue;
-                const Flit &front = ivc.buffer.front();
-                if (!front.head)
-                    continue;
-
-                // CBR path choice: on an output conflict the packet
-                // is diverted into the CB if space allows.
-                // (Reaching here means the VC is free, so this is
-                // the bypass path.)
-                Flit flit = ivc.buffer.front();
-                ivc.buffer.pop_front();
-                ++counters_->bufferReads;
-                if (ip.in)
-                    ip.in->pushCredit(static_cast<int>(v), now);
-                inputBusy_[static_cast<std::size_t>(ipIdx)] = true;
-                --ivc.flitsLeft;
-                ovc.owner.kind = VcOwner::Kind::Input;
-                ovc.owner.inputPort = ipIdx;
-                ovc.owner.inputVc = static_cast<int>(v);
-                ovc.owner.pkt = flit.pkt;
-                ++pool_->get(flit.pkt).hops;
-                bool tail = flit.tail;
-                sendFlit(port, vc, flit, now, false);
-                if (tail) {
-                    ovc.owner = VcOwner();
-                    ivc.routed = false;
-                }
-                op.rrInput = (ipIdx + 1) % numInputs;
-                op.rrVc = (vc + 1) % numVcs_;
-                return true;
-            }
+        InputPort &ip = inputs_[static_cast<std::size_t>(ipIdx)];
+        if (masksEnabled_) {
+            for (std::uint64_t m = ip.occMask; m; m &= m - 1)
+                if (tryRequester(ipIdx, static_cast<std::size_t>(
+                                            std::countr_zero(m))))
+                    return true;
+        } else {
+            for (std::size_t v = 0; v < ip.vcs.size(); ++v)
+                if (!ip.vcs[v].buffer.empty() && tryRequester(ipIdx, v))
+                    return true;
         }
     }
 
@@ -476,37 +583,50 @@ Router::cbDivert(Cycle now)
     // is owned by another packet or has no downstream space; a free
     // VC that merely lost this cycle's arbitration keeps trying the
     // bypass.
+    auto considerVc = [this](InputPort &ip, std::size_t ipIdx,
+                             std::size_t v) {
+        InputVc &ivc = ip.vcs[v];
+        if (!ivc.routed || ivc.viaCb)
+            return;
+        if (!ivc.buffer.front().head)
+            return;
+        OutputPort &op =
+            outputs_[static_cast<std::size_t>(ivc.outPort)];
+        OutputVc &ovc =
+            op.vcs[static_cast<std::size_t>(ivc.outVc)];
+        bool downstreamSpace =
+            op.out ? ovc.credits > 0
+                   : static_cast<int>(op.ejectionQueue.size()) <
+                         op.ejectionCapacity;
+        bool ownedByMe =
+            ovc.owner.kind == VcOwner::Kind::Input &&
+            ovc.owner.inputPort == static_cast<int>(ipIdx) &&
+            &ip.vcs[static_cast<std::size_t>(
+                ovc.owner.inputVc)] == &ivc;
+        if (ownedByMe ||
+            (ovc.owner.kind == VcOwner::Kind::None &&
+             downstreamSpace)) {
+            return; // bypass is (still) available
+        }
+        Packet &pkt = pool_->get(ivc.buffer.front().pkt);
+        if (cbReserved_ + pkt.sizeFlits > cbCapacity_)
+            return; // CB full; wait
+        cbReserved_ += pkt.sizeFlits;
+        ivc.viaCb = true;
+        dropRequest(ivc.outPort, ivc.outVc);
+        ++pkt.hops;
+    };
+
     for (std::size_t ipIdx = 0; ipIdx < inputs_.size(); ++ipIdx) {
         InputPort &ip = inputs_[ipIdx];
-        for (auto &ivc : ip.vcs) {
-            if (!ivc.routed || ivc.viaCb || ivc.buffer.empty())
-                continue;
-            if (!ivc.buffer.front().head)
-                continue;
-            OutputPort &op =
-                outputs_[static_cast<std::size_t>(ivc.outPort)];
-            OutputVc &ovc =
-                op.vcs[static_cast<std::size_t>(ivc.outVc)];
-            bool downstreamSpace =
-                op.out ? ovc.credits > 0
-                       : static_cast<int>(op.ejectionQueue.size()) <
-                             op.ejectionCapacity;
-            bool ownedByMe =
-                ovc.owner.kind == VcOwner::Kind::Input &&
-                ovc.owner.inputPort == static_cast<int>(ipIdx) &&
-                &ip.vcs[static_cast<std::size_t>(
-                    ovc.owner.inputVc)] == &ivc;
-            if (ownedByMe ||
-                (ovc.owner.kind == VcOwner::Kind::None &&
-                 downstreamSpace)) {
-                continue; // bypass is (still) available
-            }
-            Packet &pkt = pool_->get(ivc.buffer.front().pkt);
-            if (cbReserved_ + pkt.sizeFlits > cbCapacity_)
-                continue; // CB full; wait
-            cbReserved_ += pkt.sizeFlits;
-            ivc.viaCb = true;
-            ++pkt.hops;
+        if (masksEnabled_) {
+            for (std::uint64_t m = ip.occMask; m; m &= m - 1)
+                considerVc(ip, ipIdx, static_cast<std::size_t>(
+                                          std::countr_zero(m)));
+        } else {
+            for (std::size_t v = 0; v < ip.vcs.size(); ++v)
+                if (!ip.vcs[v].buffer.empty())
+                    considerVc(ip, ipIdx, v);
         }
     }
 }
@@ -520,6 +640,7 @@ Router::sendFlit(int port, int vc, Flit flit, Cycle now, bool fromCb)
     flit.vc = vc;
     if (op.out) {
         --op.vcs[static_cast<std::size_t>(vc)].credits;
+        ++occToward_[static_cast<std::size_t>(op.neighbor)];
         --bufferedFlits_; // leaves this router for the wire
         counters_->linkFlitHops +=
             static_cast<std::uint64_t>(op.wireLength);
@@ -552,22 +673,39 @@ Router::drainEjection(Cycle now, std::vector<PacketHandle> &delivered)
     }
 }
 
-int
-Router::linkOccupancyToward(int neighbor) const
+void
+Router::rebuildSweepState()
 {
-    // Occupied downstream slots = capacity - credits, summed over VCs
-    // and parallel ports.
-    int occ = 0;
-    for (int p = 0; p < numNetPorts_; ++p) {
-        const OutputPort &op = outputs_[static_cast<std::size_t>(p)];
-        if (op.neighbor != neighbor)
-            continue;
-        int depth = cfg_.inputBufferDepth(op.out->latency()) +
-                    cfg_.elasticBonus(op.out->latency());
-        for (const auto &vc : op.vcs)
-            occ += depth - vc.credits;
+    if (!masksEnabled_)
+        return;
+    std::fill(reqCount_.begin(), reqCount_.end(), 0);
+    for (OutputPort &op : outputs_) {
+        op.ownedMask = 0;
+        op.reqMask = 0;
+        op.cbMask = 0;
+        for (std::size_t v = 0; v < op.vcs.size(); ++v)
+            if (op.vcs[v].owner.kind != VcOwner::Kind::None)
+                op.ownedMask |= std::uint64_t{1} << v;
     }
-    return occ;
+    for (InputPort &ip : inputs_) {
+        ip.occMask = 0;
+        for (std::size_t v = 0; v < ip.vcs.size(); ++v) {
+            const InputVc &ivc = ip.vcs[v];
+            if (!ivc.buffer.empty())
+                ip.occMask |= std::uint64_t{1} << v;
+            if (ivc.routed && !ivc.viaCb)
+                addRequest(ivc.outPort, ivc.outVc);
+        }
+    }
+    if (cfg_.arch == RouterArch::CentralBuffer) {
+        for (std::size_t qi = 0; qi < cbQueues_.size(); ++qi) {
+            if (cbQueues_[qi].flits.empty())
+                continue;
+            std::size_t port = qi / static_cast<std::size_t>(numVcs_);
+            std::size_t vc = qi % static_cast<std::size_t>(numVcs_);
+            outputs_[port].cbMask |= std::uint64_t{1} << vc;
+        }
+    }
 }
 
 std::uint64_t

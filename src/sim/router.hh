@@ -26,11 +26,33 @@
  * derived from `now` (so idle routers can be skipped bit-exactly by
  * the Network's active worklist), and steady-state operation performs
  * zero heap allocations.
+ *
+ * Occupancy and sweep bookkeeping is incremental, never recomputed:
+ *
+ *  - linkOccupancyToward() reads a per-neighbor counter updated at
+ *    the exact two points credits change (consumed in sendFlit,
+ *    returned in collectArrivals), making UGAL's queue probes O(1)
+ *    instead of a port x VC scan with per-call depth recomputation;
+ *  - a neighbor -> port index built at finalize() replaces the
+ *    linear port scans of resolveOutPort();
+ *  - per-port active-VC bitmasks (occupied input VCs; owned /
+ *    requested / CB-backed output VCs) let routeHeads, the switch
+ *    allocator, and the CB stages visit only VCs that can act, which
+ *    matters most under UGAL's numVcs = 2 * diameter where almost
+ *    every VC is empty at any instant. Mask iteration preserves the
+ *    exact round-robin visit order, so arbitration is bit-identical
+ *    to the dense sweep (enforced by the hotpath goldens); routers
+ *    with more than 64 VCs fall back to the dense sweep.
+ *
+ * The fault purge rewrites router state wholesale and then calls
+ * rebuildSweepState(); Network::auditInvariants() recounts every
+ * incremental counter and mask against a from-scratch scan.
  */
 
 #ifndef SNOC_SIM_ROUTER_HH
 #define SNOC_SIM_ROUTER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ring_buffer.hh"
@@ -72,8 +94,12 @@ class Router
     /** Attach a local node (injection + ejection). Returns port. */
     int addLocalPort(int node);
 
-    /** Finish construction once all ports exist. */
-    void finalize();
+    /**
+     * Finish construction once all ports exist.
+     * @param numRouters routers in the network (sizes the
+     *        per-neighbor occupancy counters and port index)
+     */
+    void finalize(int numRouters);
 
     int id() const { return id_; }
     int numVcs() const { return numVcs_; }
@@ -94,8 +120,14 @@ class Router
      *  packets are appended to `delivered`. */
     void drainEjection(Cycle now, std::vector<PacketHandle> &delivered);
 
-    /** Downstream buffer occupancy toward a neighbor (for UGAL). */
-    int linkOccupancyToward(int neighbor) const;
+    /** Downstream buffer occupancy toward a neighbor (for UGAL).
+     *  O(1): reads the incrementally-maintained per-neighbor
+     *  counter. */
+    int
+    linkOccupancyToward(int neighbor) const
+    {
+        return occToward_[static_cast<std::size_t>(neighbor)];
+    }
 
     /** Total flits buffered in this router, maintained incrementally
      *  (drain checks and the Network's active-router worklist). */
@@ -142,6 +174,7 @@ class Router
         int node = -1;             //!< local port's node id
         std::vector<InputVc> vcs;  //!< single pseudo-VC for local
         int rrVc = 0;              //!< round-robin pointer
+        std::uint64_t occMask = 0; //!< bit v: vcs[v].buffer non-empty
     };
 
     /** Ownership marker for an output VC. */
@@ -170,9 +203,16 @@ class Router
         int neighbor = -1;
         int node = -1;
         int wireLength = 0;
+        int downstreamDepth = 0; //!< cached inputBufferDepth +
+                                 //!< elasticBonus of the link
         std::vector<OutputVc> vcs;
         int rrInput = 0; //!< round-robin over requesters
         int rrVc = 0;
+        // Sweep masks: a VC can act this cycle only if one is set.
+        std::uint64_t ownedMask = 0; //!< bit v: vcs[v].owner != None
+        std::uint64_t reqMask = 0;   //!< bit v: reqCount_(port, v) > 0
+        std::uint64_t cbMask = 0;    //!< bit v: cbQueue(port, v)
+                                     //!< non-empty
         // Local ejection queue (flits), drained 1/cycle.
         RingBuffer<Flit> ejectionQueue;
         int ejectionCapacity = 0;
@@ -195,10 +235,34 @@ class Router
     SimCounters *counters_;
     int numVcs_;
     int numNetPorts_ = 0;
+    bool masksEnabled_ = true; //!< numVcs_ fits one mask word
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
     std::vector<int> localPorts_; //!< port index per local node slot
+
+    // Per-neighbor occupancy: occupied downstream slots (depth -
+    // credits summed over VCs and parallel ports), updated wherever
+    // credits are consumed or returned. Indexed by neighbor router
+    // id; zero for non-neighbors. Dense-by-router-id is a deliberate
+    // space-for-time trade: UGAL probes this on every injection, so
+    // the lookup must be a single array read. Cost is O(numRouters)
+    // ints per router (~0.5 MB total at today's <= ~340-router
+    // topologies); revisit with a compact neighbor-slot layout if
+    // multi-thousand-router graphs become a target.
+    std::vector<int> occToward_;
+
+    // Neighbor -> ports index (built in finalize): ports toward
+    // neighbor v are nbrPorts_[nbrFirst_[v] .. +nbrCount_[v]), in
+    // ascending port order, matching the old linear-scan pick.
+    std::vector<int> nbrFirst_;
+    std::vector<int> nbrCount_;
+    std::vector<int> nbrPorts_;
+
+    // Requester refcounts per (output port, VC): input VCs currently
+    // routed (bypass path, not via the CB) toward that output VC.
+    // reqMask mirrors count > 0.
+    std::vector<std::uint16_t> reqCount_;
 
     // Central buffer state.
     int cbCapacity_ = 0;
@@ -222,12 +286,64 @@ class Router
     void routeHeads(Cycle now);
     void cbDivert(Cycle now);
     void cbIntake(Cycle now);
+    bool cbIntakeFrom(InputPort &ip, int p, int v, Cycle now);
     void switchAllocate(Cycle now);
     bool tryGrantOutput(int port, Cycle now);
+    bool tryGrantOutputVc(int port, int vc, Cycle now);
     void sendFlit(int port, int vc, Flit flit, Cycle now,
                   bool fromCb);
     int resolveOutPort(int nextRouter, int vcForTieBreak) const;
     CbQueue &cbQueue(int port, int vc);
+
+    /** Recompute every sweep mask and requester refcount from
+     *  scratch (rare path: the fault purge rewrites queues and
+     *  routing state wholesale). occToward_ needs no rebuild — the
+     *  purge returns credits over the normal credit wires. */
+    void rebuildSweepState();
+
+    // --- incremental mask maintenance (no-ops when masks are
+    //     disabled by a > 64-VC configuration) ---
+
+    void
+    markVcOccupied(InputPort &ip, int vc)
+    {
+        if (masksEnabled_)
+            ip.occMask |= std::uint64_t{1} << vc;
+    }
+
+    void
+    markVcDrained(InputPort &ip, int vc)
+    {
+        if (masksEnabled_ &&
+            ip.vcs[static_cast<std::size_t>(vc)].buffer.empty())
+            ip.occMask &= ~(std::uint64_t{1} << vc);
+    }
+
+    void
+    addRequest(int port, int vc)
+    {
+        if (!masksEnabled_)
+            return;
+        std::size_t i = static_cast<std::size_t>(port) *
+                            static_cast<std::size_t>(numVcs_) +
+                        static_cast<std::size_t>(vc);
+        if (reqCount_[i]++ == 0)
+            outputs_[static_cast<std::size_t>(port)].reqMask |=
+                std::uint64_t{1} << vc;
+    }
+
+    void
+    dropRequest(int port, int vc)
+    {
+        if (!masksEnabled_)
+            return;
+        std::size_t i = static_cast<std::size_t>(port) *
+                            static_cast<std::size_t>(numVcs_) +
+                        static_cast<std::size_t>(vc);
+        if (--reqCount_[i] == 0)
+            outputs_[static_cast<std::size_t>(port)].reqMask &=
+                ~(std::uint64_t{1} << vc);
+    }
 };
 
 } // namespace snoc

@@ -378,27 +378,38 @@ class UgalRouting : public RoutingAlgorithm
         int dst = packet.dstRouter;
         if (src == dst || graph_.numVertices() < 3)
             return;
-        // Candidate intermediate (re-draw if it degenerates).
+        // One candidate intermediate per packet; a degenerate draw
+        // (src or dst itself) falls back to minimal routing for this
+        // packet — there is no re-draw, keeping the per-packet rng
+        // cost at exactly one draw.
         int inter = static_cast<int>(
             rng_.nextUint(static_cast<std::uint64_t>(
                 graph_.numVertices())));
         if (inter == src || inter == dst)
             return; // degenerate detour: stay minimal this time
 
-        int hMin = paths_->distance(src, dst);
         int hLeg1 = paths_->distance(src, inter);
         int hLeg2 = paths_->distance(inter, dst);
         if (hLeg1 < 0 || hLeg2 < 0)
             return; // detour crosses a disconnected region (faults)
-        int hVal = hLeg1 + hLeg2;
         double costMin;
         double costVal;
         if (global_) {
+            // The paper's queue x hops product needs no explicit
+            // hop-count factor here: summing per-link occupancy over
+            // every hop of the candidate path already integrates
+            // queueing over its length, so the global cost is the
+            // path-occupancy sum alone.
             costMin = static_cast<double>(state.pathOccupancy(src, dst));
             costVal = static_cast<double>(
                 state.pathOccupancy(src, inter) +
                 state.pathOccupancy(inter, dst));
         } else {
+            // UGAL-L sees only the source router's queues, so the
+            // hop counts supply the path-length factor explicitly:
+            // cost = local queue x total hops.
+            int hMin = paths_->distance(src, dst);
+            int hVal = hLeg1 + hLeg2;
             int qMin = state.linkOccupancy(
                 src, paths_->nextHop(src, dst));
             int qVal = state.linkOccupancy(

@@ -3,12 +3,25 @@
  * Hot-path throughput benchmark: raw cycle-loop speed of the
  * flit-level simulator, recorded as the repo's perf trajectory.
  *
- * For each topology x routing mode it warms a network up under
- * random Bernoulli traffic, then times a fixed window of
+ * For each topology x routing mode x load it warms a network up
+ * under random Bernoulli traffic, then times a fixed window of
  * Network::step() calls and reports simulated cycles/sec,
  * flit-hops/sec (link work actually performed), delivered
  * flits/sec, and the mean active-router fraction (how much of the
- * network the worklist actually visits per cycle).
+ * network the worklist actually visits per cycle). Only the step()
+ * calls are timed: the Bernoulli source draw is O(nodes) per cycle
+ * in every mode, so including it would flood the simulator-core
+ * signal exactly in the sparse regime the sweep optimizations
+ * target.
+ *
+ * Each unbatched reference row is followed by a batched
+ * co-simulation grid (src/sim/batch.hh) at N = 1/4/8 lanes: N
+ * same-topology scenarios (per-lane traffic and routing seeds)
+ * advancing through one BatchedNetwork sweep. Batched rows report
+ * *aggregate* lane-cycles/sec plus the per-lane rate, and
+ * speedup_vs_unbatched = aggregate / the matching unbatched row —
+ * i.e. the wall-clock win over running the same N scenarios
+ * sequentially.
  *
  * Results stream to stdout like every bench and are also written to
  * BENCH_hotpath.json (see SNOC_BENCH_OUT), giving successive commits
@@ -22,7 +35,9 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "sim/batch.hh"
 #include "sim/simulation.hh"
+#include "topo/topology_cache.hh"
 
 namespace {
 
@@ -52,7 +67,8 @@ fmt(double v, const char *spec = "%.3g")
 
 struct PerfPoint
 {
-    double cyclesPerSec = 0.0;
+    double cyclesPerSec = 0.0; //!< aggregate lane-cycles per second
+    double perLaneCyclesPerSec = 0.0;
     double flitHopsPerSec = 0.0;
     double flitsPerSec = 0.0;
     double activeFraction = 0.0;
@@ -83,19 +99,20 @@ measure(const std::string &topoId, RoutingMode mode, double load)
 
     SimCounters before = net.counters();
     std::uint64_t activeSum = 0;
-    auto t0 = std::chrono::steady_clock::now();
+    double wall = 0.0;
     for (Cycle c = 0; c < p.cycles; ++c) {
         src(net, net.now());
+        auto t0 = std::chrono::steady_clock::now();
         net.step();
+        auto t1 = std::chrono::steady_clock::now();
+        wall += std::chrono::duration<double>(t1 - t0).count();
         activeSum += net.lastActiveRouters();
     }
-    auto t1 = std::chrono::steady_clock::now();
-    double wall =
-        std::chrono::duration<double>(t1 - t0).count();
     wall = wall > 0.0 ? wall : 1e-9;
     SimCounters delta = net.counters() - before;
 
     p.cyclesPerSec = static_cast<double>(p.cycles) / wall;
+    p.perLaneCyclesPerSec = p.cyclesPerSec;
     p.flitHopsPerSec = static_cast<double>(delta.linkFlitHops) / wall;
     p.flitsPerSec = static_cast<double>(delta.flitsDelivered) / wall;
     p.activeFraction =
@@ -110,6 +127,90 @@ measure(const std::string &topoId, RoutingMode mode, double load)
     return p;
 }
 
+/**
+ * N same-topology lanes through one BatchedNetwork sweep. Lanes get
+ * distinct traffic and routing seeds (the campaign case: same
+ * structure, different scenario state), so the per-lane work matches
+ * the unbatched reference above while the sweep overhead is shared.
+ */
+PerfPoint
+measureBatched(const std::string &topoId, RoutingMode mode,
+               double load, int lanes)
+{
+    auto topoPtr = TopologyCache::instance().getShared(topoId);
+    std::vector<BatchedNetwork::LaneSpec> specs(
+        static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l)
+        specs[static_cast<std::size_t>(l)].routingSeed =
+            7 + static_cast<std::uint64_t>(l);
+    BatchedNetwork bn(topoPtr, RouterConfig::named("EB-Var"),
+                      LinkConfig{}, mode, specs);
+    bn.reservePackets(1u << 14);
+
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, bn.lane(0).topology()));
+    std::vector<TrafficSource> srcs;
+    for (int l = 0; l < lanes; ++l) {
+        SyntheticConfig sc;
+        sc.load = load;
+        sc.seed += static_cast<std::uint64_t>(l);
+        srcs.push_back(makeSyntheticSource(pattern, sc));
+    }
+
+    PerfPoint p;
+    Cycle warmup = fastMode() ? 300 : 2000;
+    p.cycles = fastMode() ? 1500 : 20000;
+    const std::uint64_t mask = bn.allLanes();
+
+    auto offerAll = [&] {
+        for (int l = 0; l < lanes; ++l)
+            srcs[static_cast<std::size_t>(l)](bn.lane(l),
+                                              bn.lane(l).now());
+    };
+    for (Cycle c = 0; c < warmup; ++c) {
+        offerAll();
+        bn.step(mask);
+    }
+
+    std::vector<SimCounters> before;
+    for (int l = 0; l < lanes; ++l)
+        before.push_back(bn.lane(l).counters());
+    std::uint64_t visitSum = 0;
+    double wall = 0.0;
+    for (Cycle c = 0; c < p.cycles; ++c) {
+        offerAll();
+        auto t0 = std::chrono::steady_clock::now();
+        bn.step(mask);
+        auto t1 = std::chrono::steady_clock::now();
+        wall += std::chrono::duration<double>(t1 - t0).count();
+        visitSum += bn.lastVisited();
+    }
+    wall = wall > 0.0 ? wall : 1e-9;
+
+    std::uint64_t hops = 0, delivered = 0;
+    for (int l = 0; l < lanes; ++l) {
+        SimCounters delta = bn.lane(l).counters() -
+                            before[static_cast<std::size_t>(l)];
+        hops += delta.linkFlitHops;
+        delivered += delta.flitsDelivered;
+    }
+
+    double laneCycles =
+        static_cast<double>(p.cycles) * static_cast<double>(lanes);
+    p.cyclesPerSec = laneCycles / wall;
+    p.perLaneCyclesPerSec = static_cast<double>(p.cycles) / wall;
+    p.flitHopsPerSec = static_cast<double>(hops) / wall;
+    p.flitsPerSec = static_cast<double>(delivered) / wall;
+    p.activeFraction =
+        static_cast<double>(visitSum) /
+        (laneCycles *
+         static_cast<double>(bn.lane(0).topology().numRouters()));
+    p.nsPerCycleRouter =
+        wall * 1e9 / std::max<double>(1.0,
+                                      static_cast<double>(visitSum));
+    return p;
+}
+
 } // namespace
 
 int
@@ -119,26 +220,52 @@ main()
     const RoutingMode modes[] = {RoutingMode::Minimal,
                                  RoutingMode::UgalL,
                                  RoutingMode::UgalG};
-    const double load = 0.10;
+    // Three regimes: 0.10 saturates the sweep (nearly every router
+    // is active, so batching is bounded by raw per-router cost and
+    // the lockstep working set), 0.01 is moderately sparse, and
+    // 0.001 is the near-idle regime — latency points at the bottom
+    // of every load sweep — where the batch's exact wake calendar
+    // skips the per-cycle O(routers + channels) worklist scan the
+    // unbatched loop always pays.
+    const double loads[] = {0.10, 0.01, 0.001};
+
+    const int laneGrid[] = {1, 4, 8};
 
     PerfReport report("hotpath");
     report.out().beginTable(
-        "hot-path cycle-loop throughput (random traffic, load " +
-            fmt(load, "%.2f") + " flits/node/cycle, EB-Var)",
-        {"topology", "routing", "cycles", "cycles_per_sec",
+        "hot-path cycle-loop throughput (random traffic, EB-Var; "
+        "batched rows report aggregate lane-cycles/sec)",
+        {"topology", "routing", "load", "mode", "lanes", "cycles",
+         "cycles_per_sec", "per_lane_cycles_per_sec",
          "flit_hops_per_sec", "flits_delivered_per_sec",
-         "active_router_fraction", "ns_per_cycle_router"});
+         "active_router_fraction", "ns_per_cycle_router",
+         "speedup_vs_unbatched"});
+    auto addRow = [&](const char *t, RoutingMode m, double load,
+                      const char *kind, int lanes, const PerfPoint &p,
+                      double speedup) {
+        report.out().addRow(
+            {t, modeName(m), fmt(load, "%.3g"), kind,
+             std::to_string(lanes),
+             std::to_string(static_cast<std::uint64_t>(p.cycles)),
+             fmt(p.cyclesPerSec, "%.0f"),
+             fmt(p.perLaneCyclesPerSec, "%.0f"),
+             fmt(p.flitHopsPerSec, "%.0f"),
+             fmt(p.flitsPerSec, "%.0f"),
+             fmt(p.activeFraction, "%.3f"),
+             fmt(p.nsPerCycleRouter, "%.1f"),
+             fmt(speedup, "%.2f")});
+    };
     for (const char *t : topologies) {
         for (RoutingMode m : modes) {
-            PerfPoint p = measure(t, m, load);
-            report.out().addRow(
-                {t, modeName(m),
-                 std::to_string(static_cast<std::uint64_t>(p.cycles)),
-                 fmt(p.cyclesPerSec, "%.0f"),
-                 fmt(p.flitHopsPerSec, "%.0f"),
-                 fmt(p.flitsPerSec, "%.0f"),
-                 fmt(p.activeFraction, "%.3f"),
-                 fmt(p.nsPerCycleRouter, "%.1f")});
+            for (double load : loads) {
+                PerfPoint ref = measure(t, m, load);
+                addRow(t, m, load, "unbatched", 1, ref, 1.0);
+                for (int lanes : laneGrid) {
+                    PerfPoint p = measureBatched(t, m, load, lanes);
+                    addRow(t, m, load, "batched", lanes, p,
+                           p.cyclesPerSec / ref.cyclesPerSec);
+                }
+            }
         }
     }
     report.out().endTable();

@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_hotpath.json against the committed baseline.
 
-Rows are matched by (topology, routing); the guarded metric is
-cycles_per_sec. A row regresses when
+Rows are matched by (topology, routing, load, mode, lanes) — older
+artifacts without the batched-co-simulation columns default to
+load 0.1, mode "unbatched", lanes 1. The guarded metric is
+cycles_per_sec (aggregate lane-cycles/sec on batched rows); a
+per_lane_throughput column shows each row's per-lane rate so batched
+rows can be read against their unbatched reference at a glance.
+
+Only unbatched rows are gated: a row regresses when
 
     fresh < baseline * (1 - threshold)
 
 with threshold 30% by default — wide enough that genuine optimizations
 and deoptimizations dominate run-to-run noise on a quiet machine.
-Shared CI runners sit inside a jitter band wider than that, so CI
-invokes this with --warn-only: the delta table is still printed and
-uploaded as an artifact, but regressions exit 0.
+Batched rows are reported (and their deltas printed) but never fail
+the gate: lane-count scaling is machine-shape-dependent in a way the
+single-network rows are not. Shared CI runners sit inside a jitter
+band wider than the gate, so CI invokes this with --warn-only: the
+delta table is still printed and uploaded as an artifact, but
+regressions exit 0.
 
 Usage:
     scripts/bench_compare.py BASELINE FRESH [--threshold 0.30]
                              [--warn-only] [--out REPORT]
 
-Exit status: 0 when no row regresses (or --warn-only), 1 otherwise,
-2 on malformed input.
+Exit status: 0 when no gated row regresses (or --warn-only), 1
+otherwise, 2 on malformed input.
 """
 
 import argparse
@@ -25,14 +34,22 @@ import json
 import sys
 
 
+def row_key(row):
+    """Identity of a bench row; defaults cover pre-batching artifacts."""
+    return (str(row.get("topology")), str(row.get("routing")),
+            str(row.get("load", "0.1")),
+            str(row.get("mode", "unbatched")),
+            str(row.get("lanes", "1")))
+
+
 def load_rows(path, metric):
-    """Flatten every table in a bench artifact into {(topo, routing): row}."""
+    """Flatten every table in a bench artifact into {key: row}."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     rows = {}
     for table in doc:
         for row in table.get("rows", []):
-            key = (str(row.get("topology")), str(row.get("routing")))
+            key = row_key(row)
             # A silently-defaulted metric would make every comparison
             # 0.0 vs 0.0 and neuter the gate; schema drift must fail.
             if metric not in row:
@@ -42,6 +59,13 @@ def load_rows(path, metric):
     if not rows:
         raise ValueError(f"{path}: no benchmark rows found")
     return rows
+
+
+def per_lane(row, metric):
+    """Per-lane rate: the dedicated column when present, else the
+    metric itself (unbatched rows and pre-batching artifacts)."""
+    return float(row.get("per_lane_cycles_per_sec",
+                         row.get(metric, 0.0)))
 
 
 def main():
@@ -66,37 +90,50 @@ def main():
         return 2
 
     lines = []
-    header = (f"{'topology':<14} {'routing':<10} {'baseline':>10} "
-              f"{'fresh':>10} {'delta':>8}  verdict")
+    header = (f"{'topology':<14} {'routing':<10} {'load':<6} "
+              f"{'mode':<10} {'lanes':<5} {'baseline':>10} "
+              f"{'fresh':>10} {'delta':>8} {'per_lane_throughput':>20}"
+              f"  verdict")
     lines.append(header)
     lines.append("-" * len(header))
 
     regressions = []
     for key in sorted(base):
-        topo, routing = key
+        topo, routing, load, mode, lanes = key
+        gated = mode == "unbatched"
         b = float(base[key].get(args.metric, 0.0))
         row = fresh.get(key)
         if row is None:
-            lines.append(f"{topo:<14} {routing:<10} {b:>10.0f} "
-                         f"{'missing':>10} {'':>8}  REGRESSED (row gone)")
-            regressions.append(key)
+            verdict = ("REGRESSED (row gone)" if gated
+                       else "batched row gone (not gated)")
+            lines.append(f"{topo:<14} {routing:<10} {load:<6} "
+                         f"{mode:<10} {lanes:<5} {b:>10.0f} "
+                         f"{'missing':>10} {'':>8} {'':>20}  {verdict}")
+            if gated:
+                regressions.append(key)
             continue
         f = float(row.get(args.metric, 0.0))
         delta = (f - b) / b if b > 0 else 0.0
-        if b > 0 and f < b * (1.0 - args.threshold):
+        if gated and b > 0 and f < b * (1.0 - args.threshold):
             verdict = f"REGRESSED (>{args.threshold:.0%})"
             regressions.append(key)
+        elif not gated:
+            verdict = "batched (not gated)"
         elif delta >= 0:
             verdict = "ok (faster)" if delta > 0.02 else "ok"
         else:
             verdict = "ok (within band)"
-        lines.append(f"{topo:<14} {routing:<10} {b:>10.0f} {f:>10.0f} "
-                     f"{delta:>+7.1%}  {verdict}")
+        lines.append(f"{topo:<14} {routing:<10} {load:<6} {mode:<10} "
+                     f"{lanes:<5} {b:>10.0f} {f:>10.0f} {delta:>+7.1%} "
+                     f"{per_lane(row, args.metric):>20.0f}  {verdict}")
 
     for key in sorted(set(fresh) - set(base)):
-        lines.append(f"{key[0]:<14} {key[1]:<10} {'new':>10} "
+        lines.append(f"{key[0]:<14} {key[1]:<10} {key[2]:<6} "
+                     f"{key[3]:<10} {key[4]:<5} {'new':>10} "
                      f"{float(fresh[key].get(args.metric, 0.0)):>10.0f} "
-                     f"{'':>8}  new row")
+                     f"{'':>8} "
+                     f"{per_lane(fresh[key], args.metric):>20.0f}"
+                     f"  new row")
 
     report = "\n".join(lines)
     print(report)
@@ -105,8 +142,9 @@ def main():
             f.write(report + "\n")
 
     if regressions:
-        msg = (f"bench_compare: {len(regressions)} row(s) regressed "
-               f"more than {args.threshold:.0%} on {args.metric}")
+        msg = (f"bench_compare: {len(regressions)} unbatched row(s) "
+               f"regressed more than {args.threshold:.0%} on "
+               f"{args.metric}")
         print(msg, file=sys.stderr)
         if not args.warn_only:
             return 1

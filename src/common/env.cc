@@ -20,6 +20,12 @@ envKnobs()
         {kEnvBenchOut, ".", "directory path",
          "where perf-mode benches write BENCH_*.json artifacts and "
          "`snoc run` writes its default run manifest"},
+        {kEnvExpBatch, "8", "off, 0, 1, or lane count 2-64",
+         "same-topology co-simulation in the experiment engine: "
+         "compatible plan jobs share one batched router sweep "
+         "(results stay bitwise identical to unbatched runs); "
+         "off or 0 disables, 1 enables the default 8 lanes, 2-64 "
+         "caps lanes per batch (RunnerOptions::batchLanes overrides)"},
         {kEnvExpThreads, "hardware concurrency", "positive integer",
          "experiment-engine worker threads (RunnerOptions::threads "
          "and `snoc run --threads` override)"},

@@ -51,6 +51,7 @@ std::string envString(const char *name, const std::string &fallback);
 inline constexpr const char *kEnvBenchFast = "SNOC_BENCH_FAST";
 inline constexpr const char *kEnvBenchFormat = "SNOC_BENCH_FORMAT";
 inline constexpr const char *kEnvBenchOut = "SNOC_BENCH_OUT";
+inline constexpr const char *kEnvExpBatch = "SNOC_EXP_BATCH";
 inline constexpr const char *kEnvExpThreads = "SNOC_EXP_THREADS";
 inline constexpr const char *kEnvFuzzIters = "SNOC_FUZZ_ITERS";
 inline constexpr const char *kEnvFuzzSeed = "SNOC_FUZZ_SEED";

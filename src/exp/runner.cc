@@ -1,12 +1,16 @@
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "sim/batch.hh"
 #include "topo/topology_cache.hh"
 #include "trace/trace.hh"
 #include "traffic/synthetic.hh"
@@ -26,10 +30,32 @@ resolveThreads(int requested)
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int
+resolveBatchLanes(int requested)
+{
+    int lanes = requested;
+    if (lanes < 0) {
+        std::string raw = envRaw(kEnvExpBatch);
+        if (raw.empty() || raw == "1")
+            lanes = 8; // on by default: results are identical
+        else if (raw == "off" || raw == "0")
+            lanes = 0;
+        else {
+            int n = std::atoi(raw.c_str());
+            lanes = n >= 2 ? n : 8;
+        }
+    }
+    if (lanes <= 1)
+        return 0;
+    return std::min(lanes, BatchedNetwork::kMaxLanes);
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
-    : threads_(resolveThreads(opts.threads)), opts_(std::move(opts))
+    : threads_(resolveThreads(opts.threads)),
+      batchLanes_(resolveBatchLanes(opts.batchLanes)),
+      opts_(std::move(opts))
 {
 }
 
@@ -96,12 +122,239 @@ ExperimentRunner::runJob(const Job &job) const
     return out;
 }
 
+// --- batched execution ------------------------------------------------------
+
+namespace {
+
+/** One batchable evaluation point: (job, point slot, scenario). */
+struct BatchUnit
+{
+    std::size_t job = 0;
+    std::size_t point = 0;
+    Scenario scenario;
+};
+
+/**
+ * A job is batchable when its evaluation points are known up front
+ * and independent: Single jobs, and Sweeps that evaluate every load
+ * unconditionally. Saturation searches pick each probe from the
+ * previous result, stop-at-saturation sweeps abort mid-grid, and
+ * workload traffic drives reply-dependent sources — those keep the
+ * sequential path.
+ */
+bool
+batchableJob(const Job &job)
+{
+    if (job.scenario.traffic.kind == TrafficSpec::Kind::Workload)
+        return false;
+    switch (job.kind) {
+    case Job::Kind::Single:
+        return true;
+    case Job::Kind::Sweep:
+        return !job.stopAtSaturation && !job.loads.empty();
+    case Job::Kind::Saturation:
+        return false;
+    }
+    return false;
+}
+
+/** Scenarios may share a BatchedNetwork iff they build identical
+ *  immutable structure: same topology, router microarchitecture,
+ *  link config, and routing mode. (Seeds, loads, patterns, fault
+ *  plans, and sim windows are per-lane state.) */
+std::string
+batchKey(const Scenario &s)
+{
+    std::string k = s.topology;
+    k += '\x1f';
+    k += s.routerConfig;
+    k += '\x1f';
+    k += std::to_string(s.link.hopsPerCycle);
+    k += '\x1f';
+    k += std::to_string(static_cast<int>(s.routing));
+    return k;
+}
+
+/** Run one chunk of same-structure units as BatchedNetwork lanes. */
+void
+runBatchChunk(const std::vector<const BatchUnit *> &chunk,
+              std::vector<JobResult> &results)
+{
+    const Scenario &s0 = chunk.front()->scenario;
+    auto topo = TopologyCache::instance().getShared(s0.topology);
+    RouterConfig rc = RouterConfig::named(s0.routerConfig);
+
+    std::vector<BatchedNetwork::LaneSpec> specs;
+    specs.reserve(chunk.size());
+    for (const BatchUnit *u : chunk)
+        specs.push_back({u->scenario.routingSeed, u->scenario.faults});
+    BatchedNetwork bn(topo, rc, s0.link, s0.routing, specs);
+
+    std::vector<BatchLaneSim> lanes;
+    lanes.reserve(chunk.size());
+    for (const BatchUnit *u : chunk) {
+        const Scenario &s = u->scenario;
+        auto pattern = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(s.traffic.pattern, *topo));
+        SyntheticConfig sc;
+        sc.load = s.load;
+        sc.packetSizeFlits = s.traffic.packetSizeFlits;
+        sc.seed = s.seed;
+        lanes.push_back({makeSyntheticSource(pattern, sc), s.sim});
+    }
+
+    std::vector<SimResult> res = runBatchedSimulation(bn, lanes);
+    for (std::size_t l = 0; l < chunk.size(); ++l) {
+        const BatchUnit &u = *chunk[l];
+        results[u.job].points[u.point] = {u.scenario, res[l]};
+    }
+}
+
+} // namespace
+
+std::vector<JobResult>
+ExperimentRunner::runBatched(const ExperimentPlan &plan) const
+{
+    std::size_t total = plan.jobs.size();
+    std::vector<JobResult> results(total);
+
+    // Classify jobs and expand batchable ones into evaluation points
+    // with pre-sized result slots (a non-stopping sweep evaluates
+    // every load, so the point count is known here).
+    std::vector<BatchUnit> units;
+    std::vector<std::size_t> fallbackJobs;
+    std::vector<std::size_t> remaining(total, 0);
+    for (std::size_t i = 0; i < total; ++i) {
+        const Job &job = plan.jobs[i];
+        if (!batchableJob(job)) {
+            fallbackJobs.push_back(i);
+            remaining[i] = 1;
+            continue;
+        }
+        results[i].kind = job.kind;
+        if (job.kind == Job::Kind::Single) {
+            results[i].points.resize(1);
+            units.push_back({i, 0, job.scenario});
+            remaining[i] = 1;
+        } else {
+            results[i].points.resize(job.loads.size());
+            for (std::size_t k = 0; k < job.loads.size(); ++k) {
+                Scenario s = job.scenario;
+                s.load = job.loads[k];
+                units.push_back({i, k, std::move(s)});
+            }
+            remaining[i] = job.loads.size();
+        }
+    }
+
+    // Group compatible units (std::map: deterministic group order),
+    // then cut each group into lane-capped chunks. Units stay in
+    // plan order within a group; chunk composition is therefore a
+    // pure function of the plan, independent of thread count —
+    // and lane membership cannot change a result anyway (the
+    // determinism contract batch_test enforces).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t u = 0; u < units.size(); ++u)
+        groups[batchKey(units[u].scenario)].push_back(u);
+
+    struct Task
+    {
+        std::vector<const BatchUnit *> chunk; //!< empty => fallback
+        std::size_t fallbackJob = 0;
+    };
+    std::vector<Task> tasks;
+    std::size_t cap = static_cast<std::size_t>(batchLanes_);
+    for (const auto &[key, g] : groups) {
+        for (std::size_t off = 0; off < g.size(); off += cap) {
+            Task t;
+            std::size_t end = std::min(g.size(), off + cap);
+            for (std::size_t u = off; u < end; ++u)
+                t.chunk.push_back(&units[g[u]]);
+            tasks.push_back(std::move(t));
+        }
+    }
+    for (std::size_t j : fallbackJobs)
+        tasks.push_back(Task{{}, j});
+
+    // Progress fires when a job's last evaluation point lands, so
+    // callers still see (jobs done, jobs total) exactly `total`
+    // times, batched or not.
+    std::mutex reportMutex;
+    std::size_t jobsDone = 0;
+    auto noteUnitsDone = [&](const Task &t) {
+        if (!opts_.progress)
+            return;
+        std::lock_guard<std::mutex> lock(reportMutex);
+        auto noteJob = [&](std::size_t job) {
+            if (--remaining[job] == 0)
+                opts_.progress(++jobsDone, total);
+        };
+        if (t.chunk.empty())
+            noteJob(t.fallbackJob);
+        else
+            for (const BatchUnit *u : t.chunk)
+                noteJob(u->job);
+    };
+    auto runTask = [&](const Task &t) {
+        if (t.chunk.empty())
+            results[t.fallbackJob] = runJob(plan.jobs[t.fallbackJob]);
+        else if (t.chunk.size() == 1)
+            // One lane amortizes nothing; take the plain path.
+            results[t.chunk[0]->job].points[t.chunk[0]->point] = {
+                t.chunk[0]->scenario,
+                runScenario(t.chunk[0]->scenario)};
+        else
+            runBatchChunk(t.chunk, results);
+        noteUnitsDone(t);
+    };
+
+    int workers =
+        std::min<int>(threads_, static_cast<int>(tasks.size()));
+    if (workers <= 1) {
+        for (const Task &t : tasks)
+            runTask(t);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= tasks.size())
+                return;
+            try {
+                runTask(tasks[i]);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
 std::vector<JobResult>
 ExperimentRunner::run(const ExperimentPlan &plan) const
 {
     std::vector<JobResult> results(plan.jobs.size());
     if (plan.jobs.empty())
         return results;
+
+    if (batchLanes_ >= 2)
+        return runBatched(plan);
 
     std::size_t total = plan.jobs.size();
     int workers =

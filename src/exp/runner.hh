@@ -33,6 +33,22 @@ struct RunnerOptions
 
     /** Optional progress callback: (jobs done, jobs total). */
     std::function<void(std::size_t, std::size_t)> progress;
+
+    /**
+     * Same-topology co-simulation (src/sim/batch.hh): compatible
+     * synthetic-traffic evaluation points — Single jobs and the
+     * points of non-stopping Sweeps that share (topology, router
+     * config, link, routing mode) — run as lanes of one
+     * BatchedNetwork instead of N sequential Networks. Results are
+     * bitwise identical either way; this is purely an execution
+     * knob, like `threads`. Saturation searches, saturation-stopping
+     * sweeps, and workload traffic always run unbatched.
+     *
+     * -1 resolves SNOC_EXP_BATCH (unset = 8 lanes; "off"/"0"
+     * disables; 2-64 caps). 0 or 1 disables batching; >= 2 caps the
+     * lanes per batch directly.
+     */
+    int batchLanes = -1;
 };
 
 /** Plan executor; stateless between run() calls. */
@@ -54,11 +70,16 @@ class ExperimentRunner
     /** The resolved worker count run() will use. */
     int threadCount() const { return threads_; }
 
+    /** The resolved lanes-per-batch cap (0 = batching disabled). */
+    int batchLaneCount() const { return batchLanes_; }
+
   private:
     int threads_;
+    int batchLanes_;
     RunnerOptions opts_;
 
     JobResult runJob(const Job &job) const;
+    std::vector<JobResult> runBatched(const ExperimentPlan &plan) const;
 };
 
 } // namespace snoc

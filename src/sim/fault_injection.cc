@@ -64,9 +64,9 @@ void
 Network::armFaults(const FaultPlan &faults)
 {
     faultsArmed_ = true;
-    faultEvents_ = faults.resolve(topo_.routers());
+    faultEvents_ = faults.resolve(topo_->routers());
 
-    const Graph &g = topo_.routers();
+    const Graph &g = topo_->routers();
     for (const FaultEvent &e : faultEvents_) {
         SNOC_ASSERT(e.a >= 0 && e.a < g.numVertices(),
                     "fault event router out of range");
@@ -76,7 +76,7 @@ Network::armFaults(const FaultPlan &faults)
                         "fault event router out of range");
             if (!g.hasEdge(e.a, e.b))
                 fatal("fault plan names link ", e.a, "--", e.b,
-                      " which does not exist in ", topo_.name());
+                      " which does not exist in ", topo_->name());
         }
     }
 
@@ -89,7 +89,7 @@ Network::armFaults(const FaultPlan &faults)
     // Re-anchor the path tables on the live graph so every later
     // rebuild (and the offer-time reachability guard) sees the
     // degraded topology.
-    paths_ = std::make_unique<ShortestPaths>(*liveGraph_);
+    paths_ = std::make_shared<const ShortestPaths>(*liveGraph_);
 }
 
 bool
@@ -104,7 +104,7 @@ Network::channelAlive(std::size_t chan) const
 const Graph &
 Network::liveTopology() const
 {
-    return faultsArmed_ ? *liveGraph_ : topo_.routers();
+    return faultsArmed_ ? *liveGraph_ : topo_->routers();
 }
 
 bool
@@ -130,7 +130,7 @@ void
 Network::rebuildLiveGraph()
 {
     liveGraph_ =
-        std::make_unique<Graph>(topo_.routers().numVertices());
+        std::make_unique<Graph>(topo_->routers().numVertices());
     // Every channel is one directed adjacency entry; taking the
     // u < v direction of each pair restores the undirected edge set
     // (parallel edges die together with their pair, so multiplicity
@@ -197,7 +197,7 @@ Network::applyPendingFaults()
         return;
 
     rebuildLiveGraph();
-    paths_ = std::make_unique<ShortestPaths>(*liveGraph_);
+    paths_ = std::make_shared<const ShortestPaths>(*liveGraph_);
     routing_->onTopologyChange(*liveGraph_);
     if (anyDown)
         purgeAfterFaults();
@@ -397,11 +397,11 @@ Network::purgeAfterFaults()
 
     // -- source queues: refuse what can no longer be injected --
     std::vector<PacketHandle> queued;
-    for (int node = 0; node < topo_.numNodes(); ++node) {
+    for (int node = 0; node < topo_->numNodes(); ++node) {
         auto &q = sourceQueues_[static_cast<std::size_t>(node)];
         if (q.empty())
             continue;
-        int r = topo_.routerOfNode(node);
+        int r = topo_->routerOfNode(node);
         queued.clear();
         while (!q.empty()) {
             queued.push_back(q.front());

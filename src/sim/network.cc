@@ -3,16 +3,30 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "sim/batch.hh"
 
 namespace snoc {
 
 Network::Network(const NocTopology &topo, const RouterConfig &router,
                  const LinkConfig &link, RoutingMode mode,
                  std::uint64_t seed, const FaultPlan &faults)
-    : topo_(topo), routerCfg_(router), linkCfg_(link)
+    : topo_(std::make_shared<const NocTopology>(topo)),
+      routerCfg_(router), linkCfg_(link)
 {
     SNOC_ASSERT(linkCfg_.hopsPerCycle >= 1, "H must be >= 1");
     build(seed, mode, faults);
+}
+
+Network::Network(std::shared_ptr<const NocTopology> topo,
+                 const RouterConfig &router, const LinkConfig &link,
+                 RoutingMode mode, std::uint64_t seed,
+                 const FaultPlan &faults,
+                 std::shared_ptr<const ShortestPaths> sharedPaths)
+    : topo_(std::move(topo)), routerCfg_(router), linkCfg_(link)
+{
+    SNOC_ASSERT(topo_ != nullptr, "null shared topology");
+    SNOC_ASSERT(linkCfg_.hopsPerCycle >= 1, "H must be >= 1");
+    build(seed, mode, faults, std::move(sharedPaths));
 }
 
 int
@@ -24,12 +38,15 @@ Network::linkLatencyFor(int distance) const
 
 void
 Network::build(std::uint64_t seed, RoutingMode mode,
-               const FaultPlan &faults)
+               const FaultPlan &faults,
+               std::shared_ptr<const ShortestPaths> sharedPaths)
 {
-    routing_ = makeRouting(topo_, mode, seed, faults.active());
-    paths_ = std::make_unique<ShortestPaths>(topo_.routers());
+    routing_ = makeRouting(*topo_, mode, seed, faults.active());
+    paths_ = sharedPaths
+                 ? std::move(sharedPaths)
+                 : std::make_shared<const ShortestPaths>(topo_->routers());
 
-    const Graph &g = topo_.routers();
+    const Graph &g = topo_->routers();
     routers_.reserve(static_cast<std::size_t>(g.numVertices()));
     for (int r = 0; r < g.numVertices(); ++r) {
         routers_.push_back(std::make_unique<Router>(
@@ -47,7 +64,7 @@ Network::build(std::uint64_t seed, RoutingMode mode,
         channelTo[static_cast<std::size_t>(u)].resize(nb.size());
         for (std::size_t k = 0; k < nb.size(); ++k) {
             int lat = linkLatencyFor(
-                topo_.placement().distance(u, nb[k]));
+                topo_->placement().distance(u, nb[k]));
             channels_.push_back(std::make_unique<FlitChannel>(lat));
             channelTo[static_cast<std::size_t>(u)][k] =
                 channels_.back().get();
@@ -85,16 +102,16 @@ Network::build(std::uint64_t seed, RoutingMode mode,
             FlitChannel *in = channelTo[static_cast<std::size_t>(v)]
                                        [static_cast<std::size_t>(found)];
             routers_[static_cast<std::size_t>(u)]->addNetworkPort(
-                out, in, v, topo_.placement().distance(u, v));
+                out, in, v, topo_->placement().distance(u, v));
         }
     }
 
     // Local ports.
-    localSlot_.resize(static_cast<std::size_t>(topo_.numNodes()));
-    sourceQueues_.resize(static_cast<std::size_t>(topo_.numNodes()));
+    localSlot_.resize(static_cast<std::size_t>(topo_->numNodes()));
+    sourceQueues_.resize(static_cast<std::size_t>(topo_->numNodes()));
     for (int r = 0; r < g.numVertices(); ++r) {
-        int first = topo_.firstNodeOfRouter(r);
-        for (int i = 0; i < topo_.concentrationOf(r); ++i) {
+        int first = topo_->firstNodeOfRouter(r);
+        for (int i = 0; i < topo_->concentrationOf(r); ++i) {
             routers_[static_cast<std::size_t>(r)]->addLocalPort(
                 first + i);
             localSlot_[static_cast<std::size_t>(first + i)] = i;
@@ -104,7 +121,7 @@ Network::build(std::uint64_t seed, RoutingMode mode,
         r->finalize(g.numVertices());
 
     deliveredScratch_.reserve(
-        static_cast<std::size_t>(topo_.numNodes()));
+        static_cast<std::size_t>(topo_->numNodes()));
     routerActive_.resize(routers_.size());
     activeScratch_.reserve(static_cast<std::size_t>(g.numVertices()));
 
@@ -132,60 +149,70 @@ void
 Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
                      MsgClass msgClass)
 {
-    SNOC_ASSERT(srcNode >= 0 && srcNode < topo_.numNodes() &&
-                    dstNode >= 0 && dstNode < topo_.numNodes(),
+    SNOC_ASSERT(srcNode >= 0 && srcNode < topo_->numNodes() &&
+                    dstNode >= 0 && dstNode < topo_->numNodes(),
                 "node out of range");
     SNOC_ASSERT(srcNode != dstNode, "self-addressed packet");
     SNOC_ASSERT(sizeFlits >= 1, "empty packet");
     if (faultsArmed_ &&
-        offerBlockedByFaults(topo_.routerOfNode(srcNode),
-                             topo_.routerOfNode(dstNode)))
+        offerBlockedByFaults(topo_->routerOfNode(srcNode),
+                             topo_->routerOfNode(dstNode)))
         return;
     PacketHandle h = pool_->alloc();
     Packet &pkt = pool_->get(h);
     pkt.id = nextPacketId_++;
     pkt.srcNode = srcNode;
     pkt.dstNode = dstNode;
-    pkt.srcRouter = topo_.routerOfNode(srcNode);
-    pkt.dstRouter = topo_.routerOfNode(dstNode);
+    pkt.srcRouter = topo_->routerOfNode(srcNode);
+    pkt.dstRouter = topo_->routerOfNode(dstNode);
     pkt.sizeFlits = sizeFlits;
     pkt.msgClass = msgClass;
     pkt.createdAt = now_;
     routing_->onInject(pkt, *this);
     sourceQueues_[static_cast<std::size_t>(srcNode)].push_back(h);
+    if (batchObs_)
+        batchObs_->noteOffer(batchLane_, srcNode);
+}
+
+int
+Network::pumpNode(int node)
+{
+    auto &q = sourceQueues_[static_cast<std::size_t>(node)];
+    if (q.empty())
+        return 0;
+    Router &r = *routers_[static_cast<std::size_t>(
+        topo_->routerOfNode(node))];
+    int slot = localSlot_[static_cast<std::size_t>(node)];
+    int injected = 0;
+    // Move whole packets only, keeping flits contiguous.
+    while (!q.empty()) {
+        Packet &pkt = pool_->get(q.front());
+        if (r.injectionSpace(slot) < pkt.sizeFlits)
+            break;
+        PacketHandle h = q.front();
+        q.pop_front();
+        pkt.injectedAt = now_;
+        for (int f = 0; f < pkt.sizeFlits; ++f) {
+            Flit flit;
+            flit.pkt = h;
+            flit.head = f == 0;
+            flit.tail = f == pkt.sizeFlits - 1;
+            flit.vc = 0;
+            r.injectFlit(slot, flit);
+        }
+        counters_->flitsInjected +=
+            static_cast<std::uint64_t>(pkt.sizeFlits);
+        ++counters_->packetsInjected;
+        injected += pkt.sizeFlits;
+    }
+    return injected;
 }
 
 void
 Network::pumpInjection()
 {
-    for (int node = 0; node < topo_.numNodes(); ++node) {
-        auto &q = sourceQueues_[static_cast<std::size_t>(node)];
-        if (q.empty())
-            continue;
-        Router &r = *routers_[static_cast<std::size_t>(
-            topo_.routerOfNode(node))];
-        int slot = localSlot_[static_cast<std::size_t>(node)];
-        // Move whole packets only, keeping flits contiguous.
-        while (!q.empty()) {
-            Packet &pkt = pool_->get(q.front());
-            if (r.injectionSpace(slot) < pkt.sizeFlits)
-                break;
-            PacketHandle h = q.front();
-            q.pop_front();
-            pkt.injectedAt = now_;
-            for (int f = 0; f < pkt.sizeFlits; ++f) {
-                Flit flit;
-                flit.pkt = h;
-                flit.head = f == 0;
-                flit.tail = f == pkt.sizeFlits - 1;
-                flit.vc = 0;
-                r.injectFlit(slot, flit);
-            }
-            counters_->flitsInjected +=
-                static_cast<std::uint64_t>(pkt.sizeFlits);
-            ++counters_->packetsInjected;
-        }
-    }
+    for (int node = 0; node < topo_->numNodes(); ++node)
+        pumpNode(node);
 }
 
 void
@@ -238,6 +265,13 @@ Network::step()
     for (int r : activeScratch_)
         routers_[static_cast<std::size_t>(r)]->drainEjection(
             now_, deliveredScratch_);
+    processDelivered();
+    ++now_;
+}
+
+void
+Network::processDelivered()
+{
     for (PacketHandle h : deliveredScratch_) {
         const Packet &pkt = pool_->get(h);
         latency_.add(static_cast<double>(pkt.ejectedAt -
@@ -250,7 +284,6 @@ Network::step()
             onDeliver_(pkt);
         pool_->release(h);
     }
-    ++now_;
 }
 
 std::uint64_t
@@ -293,7 +326,7 @@ Network::linkUtilization() const
             lu.routerA = r->id();
             lu.routerB = r->portNeighbor(p);
             lu.wireLength =
-                topo_.placement().distance(lu.routerA, lu.routerB);
+                topo_->placement().distance(lu.routerA, lu.routerB);
             lu.flitsPerCycle =
                 static_cast<double>(r->portFlitsSent(p)) / cycles;
             out.push_back(lu);

@@ -36,6 +36,8 @@
 
 namespace snoc {
 
+class BatchedNetwork;
+
 /** Wire / SMART configuration. */
 struct LinkConfig
 {
@@ -71,7 +73,22 @@ class Network : public NetworkState
             RoutingMode mode = RoutingMode::Minimal,
             std::uint64_t seed = 7, const FaultPlan &faults = {});
 
-    const NocTopology &topology() const { return topo_; }
+    /**
+     * Shared-structure constructor: the topology (and optionally the
+     * fault-free ShortestPaths table) is shared read-only instead of
+     * copied, so N same-topology instances — TopologyCache users and
+     * BatchedNetwork lanes — pay for one copy total. Behavior is
+     * bit-identical to the copying constructor; a fault event that
+     * rewrites paths replaces this instance's pointer only
+     * (copy-on-write), leaving the shared table untouched.
+     */
+    Network(std::shared_ptr<const NocTopology> topo,
+            const RouterConfig &router, const LinkConfig &link = {},
+            RoutingMode mode = RoutingMode::Minimal,
+            std::uint64_t seed = 7, const FaultPlan &faults = {},
+            std::shared_ptr<const ShortestPaths> sharedPaths = nullptr);
+
+    const NocTopology &topology() const { return *topo_; }
     Cycle now() const { return now_; }
 
     /**
@@ -178,11 +195,16 @@ class Network : public NetworkState
     int pathOccupancy(int srcRouter, int dstRouter) const override;
 
   private:
-    NocTopology topo_;
+    // BatchedNetwork drives lanes through the same per-cycle phases
+    // as step(), via a leaner visit schedule; it needs the same
+    // internal access the Network itself has.
+    friend class BatchedNetwork;
+
+    std::shared_ptr<const NocTopology> topo_;
     RouterConfig routerCfg_;
     LinkConfig linkCfg_;
     std::unique_ptr<RoutingAlgorithm> routing_;
-    std::unique_ptr<ShortestPaths> paths_; //!< for pathOccupancy
+    std::shared_ptr<const ShortestPaths> paths_; //!< for pathOccupancy
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<FlitChannel>> channels_;
     // Router woken by each channel's in-flight flits / credits.
@@ -198,6 +220,11 @@ class Network : public NetworkState
     Cycle now_ = 0;
     bool stateAttached_ = false;
     std::uint64_t nextPacketId_ = 1;
+    // Set when this Network is a lane of a BatchedNetwork: offers are
+    // reported so the batch sweep can pump only nodes with queued
+    // packets. Null (one predicted-not-taken branch) when unbatched.
+    BatchedNetwork *batchObs_ = nullptr;
+    int batchLane_ = 0;
     // Heap-allocated so routers' pointers stay valid if the Network
     // is moved (factories return Network by value).
     std::unique_ptr<PacketPool> pool_ = std::make_unique<PacketPool>();
@@ -224,8 +251,11 @@ class Network : public NetworkState
         chanIndexByPtr_; //!< purge: router port -> channel index
 
     void build(std::uint64_t seed, RoutingMode mode,
-               const FaultPlan &faults);
+               const FaultPlan &faults,
+               std::shared_ptr<const ShortestPaths> sharedPaths = nullptr);
     void pumpInjection();
+    int pumpNode(int node);
+    void processDelivered();
     void buildWorklist();
     int linkLatencyFor(int distance) const;
 

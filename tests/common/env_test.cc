@@ -32,9 +32,9 @@ TEST(Env, RegistryDeclaresEveryKnob)
     EXPECT_EQ(names,
               (std::vector<std::string>{
                   "SNOC_BENCH_FAST", "SNOC_BENCH_FORMAT",
-                  "SNOC_BENCH_OUT", "SNOC_EXP_THREADS",
-                  "SNOC_FUZZ_ITERS", "SNOC_FUZZ_SEED",
-                  "SNOC_PLAN_DIR"}));
+                  "SNOC_BENCH_OUT", "SNOC_EXP_BATCH",
+                  "SNOC_EXP_THREADS", "SNOC_FUZZ_ITERS",
+                  "SNOC_FUZZ_SEED", "SNOC_PLAN_DIR"}));
     for (const EnvKnob &k : envKnobs()) {
         EXPECT_STRNE(k.fallback, "");
         EXPECT_STRNE(k.values, "");

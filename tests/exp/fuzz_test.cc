@@ -159,20 +159,33 @@ TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
                         scenarios[i])) == scenarios[i]);
     }
 
-    // 1. Engine determinism: the whole batch, 1 worker vs 4.
+    // 1. Engine determinism: the whole batch, 1 worker vs 4, with
+    //    batched co-simulation disabled (the pure sequential
+    //    reference), then the batched planner against that reference
+    //    — random scenario mixes exercise group/chunk composition
+    //    (shared topologies land in shared BatchedNetworks, workload
+    //    and saturation jobs fall back).
     ExperimentPlan plan;
     for (const Scenario &s : scenarios)
         plan.add(s);
     RunnerOptions serialOpts;
     serialOpts.threads = 1;
+    serialOpts.batchLanes = 0;
     RunnerOptions parallelOpts;
     parallelOpts.threads = 4;
+    parallelOpts.batchLanes = 0;
+    RunnerOptions batchedOpts;
+    batchedOpts.threads = 2;
+    batchedOpts.batchLanes = 4;
     std::vector<JobResult> serial =
         ExperimentRunner(serialOpts).run(plan);
     std::vector<JobResult> parallel =
         ExperimentRunner(parallelOpts).run(plan);
+    std::vector<JobResult> batched =
+        ExperimentRunner(batchedOpts).run(plan);
     ASSERT_EQ(serial.size(), scenarios.size());
     ASSERT_EQ(parallel.size(), scenarios.size());
+    ASSERT_EQ(batched.size(), scenarios.size());
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         SCOPED_TRACE("replay with SNOC_FUZZ_SEED=" +
                      std::to_string(seeds[i]) +
@@ -180,6 +193,8 @@ TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
                      describeFully(scenarios[i]));
         expectBitwiseEqual(serial[i].points[0].sim,
                            parallel[i].points[0].sim);
+        expectBitwiseEqual(serial[i].points[0].sim,
+                           batched[i].points[0].sim);
     }
 
     // 2. Invariant cleanliness of every sampled scenario.

@@ -172,6 +172,84 @@ TEST(ExperimentRunner, JobErrorsPropagateFromWorkers)
     EXPECT_THROW(ExperimentRunner(opts).run(plan), FatalError);
 }
 
+TEST(ExperimentRunner, BatchedPlannerMatchesUnbatchedBitwise)
+{
+    // A mixed plan: four Singles sharing two topologies (grouped into
+    // BatchedNetwork lanes), a non-stopping sweep (batchable
+    // per-load), a saturation-stopping sweep and a saturation search
+    // (both fall back to the sequential path).
+    ExperimentPlan plan = mixedSyntheticPlan();
+    Scenario base = makeSyntheticScenario(
+        "t2d4", "EB-Var", PatternKind::Random, 0.0, 1,
+        RoutingMode::Minimal, quickSim());
+    plan.addSweep(base, {0.05, 0.1, 0.15}, false);
+    plan.addSweep(base, {0.05, 0.1}, true);
+    SaturationSpec spec;
+    spec.tolerance = 0.1;
+    spec.maxProbes = 4;
+    plan.addSaturation(base, spec);
+
+    RunnerOptions off;
+    off.threads = 1;
+    off.batchLanes = 0;
+    RunnerOptions on;
+    on.threads = 2;
+    on.batchLanes = 4;
+    EXPECT_EQ(ExperimentRunner(off).batchLaneCount(), 0);
+    EXPECT_EQ(ExperimentRunner(on).batchLaneCount(), 4);
+
+    std::vector<JobResult> plain = ExperimentRunner(off).run(plan);
+    std::vector<JobResult> batched = ExperimentRunner(on).run(plan);
+    ASSERT_EQ(plain.size(), batched.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].kind, batched[i].kind);
+        ASSERT_EQ(plain[i].points.size(), batched[i].points.size())
+            << "job " << i;
+        EXPECT_EQ(plain[i].saturationLoad, batched[i].saturationLoad);
+        EXPECT_EQ(plain[i].bestThroughput, batched[i].bestThroughput);
+        for (std::size_t p = 0; p < plain[i].points.size(); ++p) {
+            EXPECT_TRUE(plain[i].points[p].scenario ==
+                        batched[i].points[p].scenario)
+                << "job " << i << " point " << p;
+            expectIdentical(plain[i].points[p].sim,
+                            batched[i].points[p].sim);
+        }
+    }
+}
+
+TEST(ExperimentRunner, BatchedJobErrorsPropagate)
+{
+    ExperimentPlan plan = mixedSyntheticPlan();
+    Scenario bad;
+    bad.topology = "no_such_topology";
+    plan.add(bad);
+    RunnerOptions opts;
+    opts.threads = 2;
+    opts.batchLanes = 4;
+    EXPECT_THROW(ExperimentRunner(opts).run(plan), FatalError);
+}
+
+TEST(ExperimentRunner, BatchedProgressStillCountsJobs)
+{
+    ExperimentPlan plan = mixedSyntheticPlan();
+    Scenario base = makeSyntheticScenario(
+        "t2d4", "EB-Var", PatternKind::Random, 0.0, 1,
+        RoutingMode::Minimal, quickSim());
+    plan.addSweep(base, {0.05, 0.1}, false);
+    std::size_t calls = 0;
+    std::size_t lastTotal = 0;
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.batchLanes = 4;
+    opts.progress = [&](std::size_t, std::size_t total) {
+        ++calls;
+        lastTotal = total;
+    };
+    ExperimentRunner(opts).run(plan);
+    EXPECT_EQ(calls, plan.size());
+    EXPECT_EQ(lastTotal, plan.size());
+}
+
 TEST(ExperimentRunner, ProgressCallbackCountsJobs)
 {
     ExperimentPlan plan = mixedSyntheticPlan();

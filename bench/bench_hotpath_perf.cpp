@@ -23,6 +23,17 @@
  * i.e. the wall-clock win over running the same N scenarios
  * sequentially.
  *
+ * A final space-sharded grid (src/sim/shard.hh) steps ONE large
+ * topology (sn_subgr_1296, the biggest committed instance) with
+ * 1/2/4 worker threads; those rows carry shards > 1 and
+ * speedup_vs_unbatched = sharded / the 1-shard reference. Sharding
+ * splits a single simulation across cores (latency), batching packs
+ * many simulations onto one core (throughput) — the two grids answer
+ * different questions and the `shards` column keeps them apart.
+ * Shard scaling is core-count-bound: on a single-core host the
+ * barrier overhead makes shards > 1 a slowdown, which the artifact
+ * records honestly.
+ *
  * Results stream to stdout like every bench and are also written to
  * BENCH_hotpath.json (see SNOC_BENCH_OUT), giving successive commits
  * comparable perf points. SNOC_BENCH_FAST=1 shrinks the windows for
@@ -36,6 +47,7 @@
 
 #include "bench/bench_util.hh"
 #include "sim/batch.hh"
+#include "sim/shard.hh"
 #include "sim/simulation.hh"
 #include "topo/topology_cache.hh"
 
@@ -211,6 +223,66 @@ measureBatched(const std::string &topoId, RoutingMode mode,
     return p;
 }
 
+/**
+ * One network stepped by `shards` worker threads through the
+ * space-sharded cycle loop. Bitwise identical to measure() on the
+ * same scenario (sim/shard.hh's contract), so the delta against the
+ * 1-shard row is pure parallel-stepping overhead/speedup. Uses a
+ * shorter window than the single-network grid: the topology is ~6x
+ * larger than sn_subgr_200 and the point is scaling shape, not
+ * absolute rate.
+ */
+PerfPoint
+measureSharded(const std::string &topoId, RoutingMode mode,
+               double load, int shards)
+{
+    Network net(topo(topoId), RouterConfig::named("EB-Var"),
+                LinkConfig{}, mode, /*seed=*/7);
+    net.reservePackets(1u << 14);
+    ShardedNetwork sn(net, shards);
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, net.topology()));
+    SyntheticConfig sc;
+    sc.load = load;
+    TrafficSource src = makeSyntheticSource(pattern, sc);
+
+    PerfPoint p;
+    Cycle warmup = fastMode() ? 150 : 1000;
+    p.cycles = fastMode() ? 600 : 5000;
+
+    for (Cycle c = 0; c < warmup; ++c) {
+        src(net, net.now());
+        sn.step();
+    }
+
+    SimCounters before = net.counters();
+    std::uint64_t activeSum = 0;
+    double wall = 0.0;
+    for (Cycle c = 0; c < p.cycles; ++c) {
+        src(net, net.now());
+        auto t0 = std::chrono::steady_clock::now();
+        sn.step();
+        auto t1 = std::chrono::steady_clock::now();
+        wall += std::chrono::duration<double>(t1 - t0).count();
+        activeSum += sn.lastActiveRouters();
+    }
+    wall = wall > 0.0 ? wall : 1e-9;
+    SimCounters delta = net.counters() - before;
+
+    p.cyclesPerSec = static_cast<double>(p.cycles) / wall;
+    p.perLaneCyclesPerSec = p.cyclesPerSec;
+    p.flitHopsPerSec = static_cast<double>(delta.linkFlitHops) / wall;
+    p.flitsPerSec = static_cast<double>(delta.flitsDelivered) / wall;
+    p.activeFraction =
+        static_cast<double>(activeSum) /
+        (static_cast<double>(p.cycles) *
+         static_cast<double>(net.topology().numRouters()));
+    p.nsPerCycleRouter =
+        wall * 1e9 / std::max<double>(1.0,
+                                      static_cast<double>(activeSum));
+    return p;
+}
+
 } // namespace
 
 int
@@ -235,17 +307,17 @@ main()
     report.out().beginTable(
         "hot-path cycle-loop throughput (random traffic, EB-Var; "
         "batched rows report aggregate lane-cycles/sec)",
-        {"topology", "routing", "load", "mode", "lanes", "cycles",
-         "cycles_per_sec", "per_lane_cycles_per_sec",
+        {"topology", "routing", "load", "mode", "lanes", "shards",
+         "cycles", "cycles_per_sec", "per_lane_cycles_per_sec",
          "flit_hops_per_sec", "flits_delivered_per_sec",
          "active_router_fraction", "ns_per_cycle_router",
          "speedup_vs_unbatched"});
     auto addRow = [&](const char *t, RoutingMode m, double load,
-                      const char *kind, int lanes, const PerfPoint &p,
-                      double speedup) {
+                      const char *kind, int lanes, int shards,
+                      const PerfPoint &p, double speedup) {
         report.out().addRow(
             {t, modeName(m), fmt(load, "%.3g"), kind,
-             std::to_string(lanes),
+             std::to_string(lanes), std::to_string(shards),
              std::to_string(static_cast<std::uint64_t>(p.cycles)),
              fmt(p.cyclesPerSec, "%.0f"),
              fmt(p.perLaneCyclesPerSec, "%.0f"),
@@ -259,13 +331,31 @@ main()
         for (RoutingMode m : modes) {
             for (double load : loads) {
                 PerfPoint ref = measure(t, m, load);
-                addRow(t, m, load, "unbatched", 1, ref, 1.0);
+                addRow(t, m, load, "unbatched", 1, 1, ref, 1.0);
                 for (int lanes : laneGrid) {
                     PerfPoint p = measureBatched(t, m, load, lanes);
-                    addRow(t, m, load, "batched", lanes, p,
+                    addRow(t, m, load, "batched", lanes, 1, p,
                            p.cyclesPerSec / ref.cyclesPerSec);
                 }
             }
+        }
+    }
+
+    // Space-sharded scaling grid: one big topology, 1/2/4 worker
+    // threads over the same cycle loop. The 1-shard row is the
+    // speedup denominator (it pays the partition/ownership plumbing
+    // but no barriers or extra threads).
+    const int shardGrid[] = {1, 2, 4};
+    for (RoutingMode m : {RoutingMode::Minimal, RoutingMode::UgalL}) {
+        double load = 0.10;
+        PerfPoint ref;
+        for (int shards : shardGrid) {
+            PerfPoint p =
+                measureSharded("sn_subgr_1296", m, load, shards);
+            if (shards == 1)
+                ref = p;
+            addRow("sn_subgr_1296", m, load, "sharded", 1, shards, p,
+                   p.cyclesPerSec / ref.cyclesPerSec);
         }
     }
     report.out().endTable();

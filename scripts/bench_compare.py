@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_hotpath.json against the committed baseline.
 
-Rows are matched by (topology, routing, load, mode, lanes) — older
-artifacts without the batched-co-simulation columns default to
-load 0.1, mode "unbatched", lanes 1. The guarded metric is
-cycles_per_sec (aggregate lane-cycles/sec on batched rows); a
-per_lane_throughput column shows each row's per-lane rate so batched
-rows can be read against their unbatched reference at a glance.
+Rows are matched by (topology, routing, load, mode, lanes, shards) —
+older artifacts without the batched-co-simulation or space-sharding
+columns default to load 0.1, mode "unbatched", lanes 1, shards 1.
+The guarded metric is cycles_per_sec (aggregate lane-cycles/sec on
+batched rows); a per_lane_throughput column shows each row's per-lane
+rate so batched rows can be read against their unbatched reference at
+a glance.
 
 Only unbatched rows are gated: a row regresses when
 
@@ -14,12 +15,12 @@ Only unbatched rows are gated: a row regresses when
 
 with threshold 30% by default — wide enough that genuine optimizations
 and deoptimizations dominate run-to-run noise on a quiet machine.
-Batched rows are reported (and their deltas printed) but never fail
-the gate: lane-count scaling is machine-shape-dependent in a way the
-single-network rows are not. Shared CI runners sit inside a jitter
-band wider than the gate, so CI invokes this with --warn-only: the
-delta table is still printed and uploaded as an artifact, but
-regressions exit 0.
+Batched and sharded rows are reported (and their deltas printed) but
+never fail the gate: lane-count and shard-count scaling are
+machine-shape-dependent in a way the single-network serial rows are
+not. Shared CI runners sit inside a jitter band wider than the gate,
+so CI invokes this with --warn-only: the delta table is still printed
+and uploaded as an artifact, but regressions exit 0.
 
 Usage:
     scripts/bench_compare.py BASELINE FRESH [--threshold 0.30]
@@ -35,11 +36,13 @@ import sys
 
 
 def row_key(row):
-    """Identity of a bench row; defaults cover pre-batching artifacts."""
+    """Identity of a bench row; defaults cover pre-batching and
+    pre-sharding artifacts."""
     return (str(row.get("topology")), str(row.get("routing")),
             str(row.get("load", "0.1")),
             str(row.get("mode", "unbatched")),
-            str(row.get("lanes", "1")))
+            str(row.get("lanes", "1")),
+            str(row.get("shards", "1")))
 
 
 def load_rows(path, metric):
@@ -91,7 +94,8 @@ def main():
 
     lines = []
     header = (f"{'topology':<14} {'routing':<10} {'load':<6} "
-              f"{'mode':<10} {'lanes':<5} {'baseline':>10} "
+              f"{'mode':<10} {'lanes':<5} {'shards':<6} "
+              f"{'baseline':>10} "
               f"{'fresh':>10} {'delta':>8} {'per_lane_throughput':>20}"
               f"  verdict")
     lines.append(header)
@@ -99,15 +103,16 @@ def main():
 
     regressions = []
     for key in sorted(base):
-        topo, routing, load, mode, lanes = key
+        topo, routing, load, mode, lanes, shards = key
         gated = mode == "unbatched"
         b = float(base[key].get(args.metric, 0.0))
         row = fresh.get(key)
         if row is None:
             verdict = ("REGRESSED (row gone)" if gated
-                       else "batched row gone (not gated)")
+                       else f"{mode} row gone (not gated)")
             lines.append(f"{topo:<14} {routing:<10} {load:<6} "
-                         f"{mode:<10} {lanes:<5} {b:>10.0f} "
+                         f"{mode:<10} {lanes:<5} {shards:<6} "
+                         f"{b:>10.0f} "
                          f"{'missing':>10} {'':>8} {'':>20}  {verdict}")
             if gated:
                 regressions.append(key)
@@ -118,18 +123,20 @@ def main():
             verdict = f"REGRESSED (>{args.threshold:.0%})"
             regressions.append(key)
         elif not gated:
-            verdict = "batched (not gated)"
+            verdict = f"{mode} (not gated)"
         elif delta >= 0:
             verdict = "ok (faster)" if delta > 0.02 else "ok"
         else:
             verdict = "ok (within band)"
         lines.append(f"{topo:<14} {routing:<10} {load:<6} {mode:<10} "
-                     f"{lanes:<5} {b:>10.0f} {f:>10.0f} {delta:>+7.1%} "
+                     f"{lanes:<5} {shards:<6} "
+                     f"{b:>10.0f} {f:>10.0f} {delta:>+7.1%} "
                      f"{per_lane(row, args.metric):>20.0f}  {verdict}")
 
     for key in sorted(set(fresh) - set(base)):
         lines.append(f"{key[0]:<14} {key[1]:<10} {key[2]:<6} "
-                     f"{key[3]:<10} {key[4]:<5} {'new':>10} "
+                     f"{key[3]:<10} {key[4]:<5} {key[5]:<6} "
+                     f"{'new':>10} "
                      f"{float(fresh[key].get(args.metric, 0.0)):>10.0f} "
                      f"{'':>8} "
                      f"{per_lane(fresh[key], args.metric):>20.0f}"

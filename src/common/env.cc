@@ -39,6 +39,12 @@ envKnobs()
         {kEnvPlanDir, "plans", "directory path",
          "extra search directory for plan files named on the `snoc` "
          "command line and in the ported bench binaries"},
+        {kEnvSimShards, "1", "off, 0, 1, or shard count 2-64",
+         "space-sharded cycle loop: step each big-topology synthetic "
+         "simulation with N threads (bitwise identical to serial; "
+         "see sim/shard.hh); off/0/1 keeps the serial loop, 2-64 "
+         "sets the shard count and disables lane batching "
+         "(RunnerOptions::simShards overrides)"},
     };
     return kKnobs;
 }

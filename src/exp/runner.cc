@@ -11,6 +11,7 @@
 #include "common/env.hh"
 #include "common/log.hh"
 #include "sim/batch.hh"
+#include "sim/shard.hh"
 #include "topo/topology_cache.hh"
 #include "trace/trace.hh"
 #include "traffic/synthetic.hh"
@@ -50,23 +51,57 @@ resolveBatchLanes(int requested)
     return std::min(lanes, BatchedNetwork::kMaxLanes);
 }
 
+constexpr int kMaxShards = 64;
+
+int
+resolveSimShards(int requested)
+{
+    int shards = requested;
+    if (shards < 0) {
+        std::string raw = envRaw(kEnvSimShards);
+        if (raw.empty() || raw == "off" || raw == "0" || raw == "1")
+            shards = 1; // serial loop by default
+        else {
+            int n = std::atoi(raw.c_str());
+            shards = n >= 2 ? n : 1;
+        }
+    }
+    if (shards <= 1)
+        return 1;
+    return std::min(shards, kMaxShards);
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
     : threads_(resolveThreads(opts.threads)),
       batchLanes_(resolveBatchLanes(opts.batchLanes)),
+      simShards_(resolveSimShards(opts.simShards)),
       opts_(std::move(opts))
 {
+    // Sharding (one big simulation across threads) and lane batching
+    // (many small simulations on one thread) pull the execution in
+    // opposite directions; shards win when both are requested.
+    if (simShards_ >= 2)
+        batchLanes_ = 0;
 }
 
 SimResult
 ExperimentRunner::runScenario(const Scenario &s)
+{
+    return runScenario(s, 1);
+}
+
+SimResult
+ExperimentRunner::runScenario(const Scenario &s, int simShards)
 {
     const NocTopology &topo = TopologyCache::instance().get(s.topology);
     RouterConfig rc = RouterConfig::named(s.routerConfig);
     Network net(topo, rc, s.link, s.routing, s.routingSeed, s.faults);
 
     if (s.traffic.kind == TrafficSpec::Kind::Workload) {
+        // Workload runs step the network inside runWorkload's
+        // reply-dependent loop; they always take the serial path.
         const WorkloadProfile &w = workloadByName(s.traffic.workload);
         return runWorkload(net, w, s.traffic.workloadCycles, s.seed);
     }
@@ -77,6 +112,11 @@ ExperimentRunner::runScenario(const Scenario &s)
     sc.load = s.load;
     sc.packetSizeFlits = s.traffic.packetSizeFlits;
     sc.seed = s.seed;
+    if (simShards >= 2 && topo.numRouters() >= 2) {
+        ShardedNetwork sn(net, simShards);
+        return runShardedSimulation(sn, makeSyntheticSource(pattern, sc),
+                                    s.sim);
+    }
     return runSimulation(net, makeSyntheticSource(pattern, sc), s.sim);
 }
 
@@ -89,10 +129,10 @@ ExperimentRunner::runJob(const Job &job) const
     // Every point of a sweep/search reuses the base Scenario with
     // only the load replaced, so point results match what a Single
     // job at that load would produce.
-    auto evalAt = [&job](double load) {
+    auto evalAt = [this, &job](double load) {
         Scenario point = job.scenario;
         point.load = load;
-        return runScenario(point);
+        return runScenario(point, simShards_);
     };
     auto record = [&job, &out](const LoadPoint &p) {
         Scenario s = job.scenario;
@@ -102,7 +142,8 @@ ExperimentRunner::runJob(const Job &job) const
 
     switch (job.kind) {
     case Job::Kind::Single:
-        out.points.push_back({job.scenario, runScenario(job.scenario)});
+        out.points.push_back(
+            {job.scenario, runScenario(job.scenario, simShards_)});
         break;
     case Job::Kind::Sweep:
         for (const LoadPoint &p :
@@ -357,8 +398,11 @@ ExperimentRunner::run(const ExperimentPlan &plan) const
         return runBatched(plan);
 
     std::size_t total = plan.jobs.size();
-    int workers =
-        std::min<int>(threads_, static_cast<int>(total));
+    // Shard-aware planning: each sharded job claims simShards_
+    // threads of its own, so the job-level pool shrinks to keep the
+    // total at ~threads_.
+    int workers = std::min<int>(
+        std::max(1, threads_ / simShards_), static_cast<int>(total));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < total; ++i) {

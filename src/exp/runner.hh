@@ -49,6 +49,24 @@ struct RunnerOptions
      * lanes per batch directly.
      */
     int batchLanes = -1;
+
+    /**
+     * Space-sharded cycle loop (src/sim/shard.hh): step each
+     * synthetic-traffic simulation with N threads over a partition
+     * of its router graph. Results are bitwise identical to serial;
+     * like `threads` and `batchLanes` this is purely an execution
+     * knob. Sharding targets one *big* topology where batching
+     * targets many small scenarios, so shards >= 2 disables lane
+     * batching, and the worker pool is divided by the shard count so
+     * a plan claims ~`threads` cores in total. Workload traffic
+     * (internally stepped reply loops) always runs serial.
+     *
+     * -1 resolves SNOC_SIM_SHARDS (unset/"off"/"0"/"1" = serial;
+     * 2-64 sets the shard count). 0 or 1 keeps the serial loop;
+     * >= 2 sets the shard count directly (clamped to 64, and to the
+     * topology's router count at attach time).
+     */
+    int simShards = -1;
 };
 
 /** Plan executor; stateless between run() calls. */
@@ -67,15 +85,26 @@ class ExperimentRunner
     /** Execute one scenario on the calling thread. */
     static SimResult runScenario(const Scenario &s);
 
+    /**
+     * Execute one scenario, stepping it with `simShards` threads
+     * when it is synthetic-traffic (workloads run serial). Bitwise
+     * identical to runScenario(s) for any shard count.
+     */
+    static SimResult runScenario(const Scenario &s, int simShards);
+
     /** The resolved worker count run() will use. */
     int threadCount() const { return threads_; }
 
     /** The resolved lanes-per-batch cap (0 = batching disabled). */
     int batchLaneCount() const { return batchLanes_; }
 
+    /** The resolved per-simulation shard count (1 = serial loop). */
+    int simShardCount() const { return simShards_; }
+
   private:
     int threads_;
     int batchLanes_;
+    int simShards_;
     RunnerOptions opts_;
 
     JobResult runJob(const Job &job) const;

@@ -1,0 +1,123 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snoc {
+
+namespace {
+
+/**
+ * Slim NoC (MMS) subgroup block size, or 0 when the topology is not
+ * an MMS graph. MMS router index is i = G q^2 + (a-1) q + b, so each
+ * of the 2q subgroups occupies a contiguous block of q ids.
+ */
+int slimNocBlockSize(const NocTopology &topo)
+{
+    if (topo.routingHint().kind != RoutingHint::Kind::SlimNoc)
+        return 0;
+    const int routers = topo.numRouters();
+    const int q =
+        static_cast<int>(std::lround(std::sqrt(routers / 2.0)));
+    if (q < 1 || 2 * q * q != routers)
+        return 0;
+    return q;
+}
+
+/** Deal `numBlocks` contiguous blocks of `blockSize` routers to
+ *  shards in order, each shard getting a balanced run of blocks. */
+void assignByBlocks(Partition &p, int numBlocks, int blockSize,
+                    int numShards)
+{
+    for (int b = 0; b < numBlocks; ++b) {
+        // Balanced within one block: shard s owns blocks
+        // [s*numBlocks/S, (s+1)*numBlocks/S).
+        const int shard =
+            static_cast<int>(static_cast<long long>(b) * numShards /
+                             numBlocks);
+        for (int r = b * blockSize; r < (b + 1) * blockSize; ++r)
+            p.shardOf[r] = shard;
+    }
+}
+
+/** Greedy deterministic edge-cut growth over the router graph. */
+void assignGreedy(Partition &p, const Graph &g, int numShards)
+{
+    const int n = g.numVertices();
+    std::vector<int> affinity(n, 0); // edges into the growing shard
+    int remaining = n;
+    int nextSeed = 0;
+    for (int shard = 0; shard < numShards; ++shard) {
+        const int shardsLeft = numShards - shard;
+        const int target = (remaining + shardsLeft - 1) / shardsLeft;
+        // Seed: smallest unassigned router id.
+        while (p.shardOf[nextSeed] >= 0)
+            ++nextSeed;
+        int frontier = nextSeed;
+        std::fill(affinity.begin(), affinity.end(), 0);
+        for (int taken = 0; taken < target; ++taken) {
+            p.shardOf[frontier] = shard;
+            --remaining;
+            for (int nb : g.neighbors(frontier))
+                if (p.shardOf[nb] < 0)
+                    ++affinity[nb];
+            if (taken + 1 == target)
+                break;
+            // Next vertex: max affinity, ties to smallest id.
+            int best = -1;
+            for (int v = 0; v < n; ++v) {
+                if (p.shardOf[v] >= 0)
+                    continue;
+                if (best < 0 || affinity[v] > affinity[best])
+                    best = v;
+            }
+            frontier = best;
+        }
+    }
+}
+
+} // namespace
+
+Partition partitionTopology(const NocTopology &topo, int numShards)
+{
+    const Graph &g = topo.routers();
+    const int n = g.numVertices();
+    Partition p;
+    p.numShards = std::max(1, std::min(numShards, n));
+    p.shardOf.assign(n, -1);
+
+    const int q = slimNocBlockSize(topo);
+    if (p.numShards == 1) {
+        std::fill(p.shardOf.begin(), p.shardOf.end(), 0);
+    } else if (q > 0 && p.numShards <= 2 * q) {
+        // SN cut: deal whole subgroup blocks, never splitting one.
+        assignByBlocks(p, 2 * q, q, p.numShards);
+    } else {
+        assignGreedy(p, g, p.numShards);
+    }
+
+    p.routersOf.assign(p.numShards, {});
+    for (int r = 0; r < n; ++r)
+        p.routersOf[p.shardOf[r]].push_back(r);
+
+    p.minShardSize = n;
+    p.maxShardSize = 0;
+    for (const auto &rs : p.routersOf) {
+        p.minShardSize =
+            std::min(p.minShardSize, static_cast<int>(rs.size()));
+        p.maxShardSize =
+            std::max(p.maxShardSize, static_cast<int>(rs.size()));
+    }
+
+    // Each undirected edge appears twice in the adjacency lists;
+    // counting only u < v entries counts each parallel edge once.
+    p.boundaryEdges = 0;
+    for (int u = 0; u < n; ++u)
+        for (int v : g.neighbors(u))
+            if (u < v && p.shardOf[u] != p.shardOf[v])
+                ++p.boundaryEdges;
+
+    return p;
+}
+
+} // namespace snoc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic topology-aware router-graph partitioning for the
+ * space-sharded cycle loop (src/sim/shard.hh).
+ *
+ * The partitioner assigns every router to exactly one shard. Two
+ * strategies, picked automatically:
+ *
+ *  - Slim NoC (MMS) graphs: routers are labeled [G|a,b] with index
+ *    i = G q^2 + (a-1) q + b, so each of the 2q subgroups is a
+ *    contiguous block of q router ids. Subgroups are the paper's
+ *    natural locality unit (dense intra-subgroup links, sparse
+ *    inter-subgroup links), so whole contiguous blocks are dealt to
+ *    shards in order — no subgroup is ever split while the shard
+ *    count allows it.
+ *
+ *  - Everything else (grids, tori, FBF, irregular graphs): a greedy
+ *    edge-cut growth. Each shard is seeded at the smallest unassigned
+ *    router id and grown one vertex at a time, always taking the
+ *    unassigned vertex with the most edges into the growing shard
+ *    (ties to the smallest id), until the shard reaches its exact
+ *    target size ceil(remaining / shardsLeft).
+ *
+ * Both strategies are pure functions of (topology, shard count):
+ * same inputs produce the identical assignment on every run and
+ * platform — a precondition for the sharded loop's bitwise
+ * determinism contract.
+ */
+
+#ifndef SNOC_GRAPH_PARTITION_HH
+#define SNOC_GRAPH_PARTITION_HH
+
+#include <vector>
+
+#include "topo/noc_topology.hh"
+
+namespace snoc {
+
+/** A router-to-shard assignment plus its quality statistics. */
+struct Partition
+{
+    int numShards = 1;
+
+    /** Shard owning each router (router id -> shard index). */
+    std::vector<int> shardOf;
+
+    /** Routers of each shard, in ascending router-id order. The
+     *  sharded loop visits routers in this order, so ascending ids
+     *  reproduce the serial sweep order within each shard. */
+    std::vector<std::vector<int>> routersOf;
+
+    /** Undirected router-graph edges whose endpoints live in
+     *  different shards (each parallel edge counted once). These are
+     *  the channels that cross threads at runtime. */
+    int boundaryEdges = 0;
+
+    int minShardSize = 0; //!< routers in the smallest shard
+    int maxShardSize = 0; //!< routers in the largest shard
+};
+
+/**
+ * Partition a topology's router graph into `numShards` shards.
+ *
+ * `numShards` is clamped to [1, numRouters]; every shard is
+ * non-empty. Deterministic: the result is a pure function of the
+ * topology and the (clamped) shard count.
+ */
+Partition partitionTopology(const NocTopology &topo, int numShards);
+
+} // namespace snoc
+
+#endif // SNOC_GRAPH_PARTITION_HH

@@ -226,7 +226,7 @@ BatchedNetwork::step(std::uint64_t laneMask)
         while (pend) {
             int l = popLowest(pend);
             Network &n = *lanes_[static_cast<std::size_t>(l)];
-            if (n.pumpNode(node) > 0)
+            if (n.pumpNode(node, *n.counters_) > 0)
                 setQueued(l,
                           nodeRouter_[static_cast<std::size_t>(node)]);
             if (n.sourceQueues_[static_cast<std::size_t>(node)].empty())

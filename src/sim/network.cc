@@ -175,7 +175,7 @@ Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
 }
 
 int
-Network::pumpNode(int node)
+Network::pumpNode(int node, SimCounters &counters)
 {
     auto &q = sourceQueues_[static_cast<std::size_t>(node)];
     if (q.empty())
@@ -200,9 +200,9 @@ Network::pumpNode(int node)
             flit.vc = 0;
             r.injectFlit(slot, flit);
         }
-        counters_->flitsInjected +=
+        counters.flitsInjected +=
             static_cast<std::uint64_t>(pkt.sizeFlits);
-        ++counters_->packetsInjected;
+        ++counters.packetsInjected;
         injected += pkt.sizeFlits;
     }
     return injected;
@@ -212,7 +212,7 @@ void
 Network::pumpInjection()
 {
     for (int node = 0; node < topo_->numNodes(); ++node)
-        pumpNode(node);
+        pumpNode(node, *counters_);
 }
 
 void

@@ -37,6 +37,7 @@
 namespace snoc {
 
 class BatchedNetwork;
+class ShardedNetwork;
 
 /** Wire / SMART configuration. */
 struct LinkConfig
@@ -199,6 +200,11 @@ class Network : public NetworkState
     // as step(), via a leaner visit schedule; it needs the same
     // internal access the Network itself has.
     friend class BatchedNetwork;
+    // ShardedNetwork (src/sim/shard.hh) runs the same phases on
+    // partition-owned router subsets across threads, with barriers
+    // between phases; it drives pumpNode/collectArrivals/step/drain
+    // and the delivery merge directly over these internals.
+    friend class ShardedNetwork;
 
     std::shared_ptr<const NocTopology> topo_;
     RouterConfig routerCfg_;
@@ -254,7 +260,10 @@ class Network : public NetworkState
                const FaultPlan &faults,
                std::shared_ptr<const ShortestPaths> sharedPaths = nullptr);
     void pumpInjection();
-    int pumpNode(int node);
+    // Injection counters go through the parameter so sharded callers
+    // can direct them into per-shard counters (serial callers pass
+    // *counters_).
+    int pumpNode(int node, SimCounters &counters);
     void processDelivered();
     void buildWorklist();
     int linkLatencyFor(int distance) const;

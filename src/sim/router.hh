@@ -160,6 +160,10 @@ class Router
     // through an arrival-exact wake calendar and needs the port
     // tables to schedule wakes from channel fronts.
     friend class BatchedNetwork;
+    // The sharded loop (src/sim/shard.cc) repoints counters_ at
+    // per-shard counters so worker threads never share a counter
+    // cache line; everything else it drives is public phase API.
+    friend class ShardedNetwork;
 
     /** Per-input-VC state. */
     struct InputVc

@@ -310,16 +310,20 @@ class MinAdaptiveRouting : public RoutingAlgorithm
             return {-1, 0};
         // Reused scratch: route() runs once per head flit per hop,
         // so a fresh vector here would be a per-cycle allocation.
-        paths_->minimalNextHops(router, packet.dstRouter, candidates_);
-        SNOC_ASSERT(!candidates_.empty(), "no minimal next hop");
-        int best = candidates_.front();
+        // thread_local (not a member) because one routing instance is
+        // shared by every router, and the sharded loop calls route()
+        // from several shard threads at once.
+        static thread_local std::vector<int> candidates;
+        paths_->minimalNextHops(router, packet.dstRouter, candidates);
+        SNOC_ASSERT(!candidates.empty(), "no minimal next hop");
+        int best = candidates.front();
         if (state_) {
             int bestOcc = state_->linkOccupancy(router, best);
-            for (std::size_t i = 1; i < candidates_.size(); ++i) {
+            for (std::size_t i = 1; i < candidates.size(); ++i) {
                 int occ = state_->linkOccupancy(router,
-                                                candidates_[i]);
+                                                candidates[i]);
                 if (occ < bestOcc) {
-                    best = candidates_[i];
+                    best = candidates[i];
                     bestOcc = occ;
                 }
             }
@@ -344,7 +348,6 @@ class MinAdaptiveRouting : public RoutingAlgorithm
     Graph graph_;
     std::unique_ptr<ShortestPaths> paths_;
     const NetworkState *state_ = nullptr;
-    std::vector<int> candidates_; //!< reused minimal-next-hop scratch
     int numVcs_;
     int maxHops_;
 };

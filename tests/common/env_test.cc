@@ -34,7 +34,8 @@ TEST(Env, RegistryDeclaresEveryKnob)
                   "SNOC_BENCH_FAST", "SNOC_BENCH_FORMAT",
                   "SNOC_BENCH_OUT", "SNOC_EXP_BATCH",
                   "SNOC_EXP_THREADS", "SNOC_FUZZ_ITERS",
-                  "SNOC_FUZZ_SEED", "SNOC_PLAN_DIR"}));
+                  "SNOC_FUZZ_SEED", "SNOC_PLAN_DIR",
+                  "SNOC_SIM_SHARDS"}));
     for (const EnvKnob &k : envKnobs()) {
         EXPECT_STRNE(k.fallback, "");
         EXPECT_STRNE(k.values, "");

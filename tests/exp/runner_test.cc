@@ -229,6 +229,49 @@ TEST(ExperimentRunner, BatchedJobErrorsPropagate)
     EXPECT_THROW(ExperimentRunner(opts).run(plan), FatalError);
 }
 
+TEST(ExperimentRunner, SimShardResolutionAndEquivalence)
+{
+    // Explicit option values win: off/1 keep the serial loop, >=2
+    // selects space-sharded stepping and forces lane batching off.
+    RunnerOptions off;
+    off.simShards = 0;
+    EXPECT_EQ(ExperimentRunner(off).simShardCount(), 1);
+    RunnerOptions one;
+    one.simShards = 1;
+    EXPECT_EQ(ExperimentRunner(one).simShardCount(), 1);
+    RunnerOptions four;
+    four.simShards = 4;
+    four.batchLanes = 8;
+    ExperimentRunner sharded(four);
+    EXPECT_EQ(sharded.simShardCount(), 4);
+    EXPECT_EQ(sharded.batchLaneCount(), 0);
+
+    // A full mixed plan through the sharded runner must be bitwise
+    // identical to the serial reference (workload and saturation jobs
+    // fall back to the serial loop internally).
+    ExperimentPlan plan = mixedSyntheticPlan();
+    RunnerOptions serialOpts;
+    serialOpts.threads = 1;
+    serialOpts.batchLanes = 0;
+    RunnerOptions shardedOpts;
+    shardedOpts.threads = 2;
+    shardedOpts.batchLanes = 0;
+    shardedOpts.simShards = 3;
+    std::vector<JobResult> plain =
+        ExperimentRunner(serialOpts).run(plan);
+    std::vector<JobResult> shardedRes =
+        ExperimentRunner(shardedOpts).run(plan);
+    ASSERT_EQ(plain.size(), shardedRes.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_EQ(plain[i].points.size(),
+                  shardedRes[i].points.size())
+            << "job " << i;
+        for (std::size_t p = 0; p < plain[i].points.size(); ++p)
+            expectIdentical(plain[i].points[p].sim,
+                            shardedRes[i].points[p].sim);
+    }
+}
+
 TEST(ExperimentRunner, BatchedProgressStillCountsJobs)
 {
     ExperimentPlan plan = mixedSyntheticPlan();

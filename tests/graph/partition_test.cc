@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic router-graph partitioner (src/graph/partition.hh):
+ * determinism, structural consistency, balance bounds, an
+ * independent brute-force boundary-edge recount, and the Slim NoC
+ * cut keeping every MMS subgroup whole in one shard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/partition.hh"
+#include "topo/table4.hh"
+
+namespace snoc {
+namespace {
+
+const char *kTopos[] = {"sn_54", "cm4", "t2d4", "pfbf4"};
+
+/** Independent boundary recount: per shard pair, via multiplicity. */
+int
+bruteForceBoundary(const NocTopology &topo, const Partition &p)
+{
+    const Graph &g = topo.routers();
+    int cut = 0;
+    for (int u = 0; u < g.numVertices(); ++u)
+        for (int v = u + 1; v < g.numVertices(); ++v)
+            if (p.shardOf[static_cast<std::size_t>(u)] !=
+                p.shardOf[static_cast<std::size_t>(v)])
+                cut += g.multiplicity(u, v);
+    return cut;
+}
+
+void
+expectConsistent(const NocTopology &topo, const Partition &p,
+                 int requested)
+{
+    const int n = topo.numRouters();
+    ASSERT_EQ(p.numShards, std::max(1, std::min(requested, n)));
+    ASSERT_EQ(static_cast<int>(p.shardOf.size()), n);
+    ASSERT_EQ(static_cast<int>(p.routersOf.size()), p.numShards);
+
+    // routersOf and shardOf agree; lists ascending; every shard
+    // non-empty; every router owned exactly once.
+    std::vector<int> seen(static_cast<std::size_t>(n), 0);
+    int minSize = n;
+    int maxSize = 0;
+    for (int s = 0; s < p.numShards; ++s) {
+        const auto &rs = p.routersOf[static_cast<std::size_t>(s)];
+        EXPECT_FALSE(rs.empty()) << "empty shard " << s;
+        minSize = std::min(minSize, static_cast<int>(rs.size()));
+        maxSize = std::max(maxSize, static_cast<int>(rs.size()));
+        for (std::size_t k = 0; k < rs.size(); ++k) {
+            EXPECT_EQ(p.shardOf[static_cast<std::size_t>(rs[k])], s);
+            ++seen[static_cast<std::size_t>(rs[k])];
+            if (k > 0) {
+                EXPECT_LT(rs[k - 1], rs[k]);
+            }
+        }
+    }
+    for (int r = 0; r < n; ++r)
+        EXPECT_EQ(seen[static_cast<std::size_t>(r)], 1)
+            << "router " << r;
+    EXPECT_EQ(p.minShardSize, minSize);
+    EXPECT_EQ(p.maxShardSize, maxSize);
+    EXPECT_EQ(p.boundaryEdges, bruteForceBoundary(topo, p));
+}
+
+TEST(Partition, DeterministicAndConsistent)
+{
+    for (const char *id : kTopos) {
+        NocTopology topo = makeNamedTopology(id);
+        for (int shards : {-3, 0, 1, 2, 3, 4, 7, 1000}) {
+            Partition a = partitionTopology(topo, shards);
+            Partition b = partitionTopology(topo, shards);
+            EXPECT_EQ(a.shardOf, b.shardOf)
+                << id << " shards=" << shards;
+            EXPECT_EQ(a.boundaryEdges, b.boundaryEdges);
+            expectConsistent(topo, a, shards);
+        }
+    }
+}
+
+TEST(Partition, BalanceBounds)
+{
+    for (const char *id : kTopos) {
+        NocTopology topo = makeNamedTopology(id);
+        for (int shards : {2, 3, 4, 6}) {
+            if (shards > topo.numRouters())
+                continue;
+            Partition p = partitionTopology(topo, shards);
+            // Greedy growth targets ceil(remaining / shardsLeft), so
+            // shard sizes differ by at most 1; the SN block cut deals
+            // whole q-router subgroup blocks, so sizes differ by at
+            // most one block.
+            int slack = 1;
+            if (topo.routingHint().kind == RoutingHint::Kind::SlimNoc) {
+                int q = static_cast<int>(std::lround(
+                    std::sqrt(topo.numRouters() / 2.0)));
+                slack = q;
+            }
+            EXPECT_LE(p.maxShardSize - p.minShardSize, slack)
+                << id << " shards=" << shards;
+        }
+    }
+}
+
+TEST(Partition, SlimNocSubgroupsStayWhole)
+{
+    // sn_54: 18 routers = 2q^2 with q = 3 -> six contiguous
+    // subgroup blocks of 3 routers each.
+    NocTopology topo = makeNamedTopology("sn_54");
+    ASSERT_EQ(topo.routingHint().kind, RoutingHint::Kind::SlimNoc);
+    const int n = topo.numRouters();
+    const int q = static_cast<int>(std::lround(std::sqrt(n / 2.0)));
+    ASSERT_EQ(2 * q * q, n);
+    for (int shards : {2, 3, 4, 6}) {
+        Partition p = partitionTopology(topo, shards);
+        for (int b = 0; b < 2 * q; ++b) {
+            int shard = p.shardOf[static_cast<std::size_t>(b * q)];
+            for (int r = b * q; r < (b + 1) * q; ++r)
+                EXPECT_EQ(p.shardOf[static_cast<std::size_t>(r)],
+                          shard)
+                    << "subgroup " << b << " split at router " << r
+                    << " (shards=" << shards << ")";
+        }
+    }
+}
+
+TEST(Partition, SingleShardOwnsEverything)
+{
+    NocTopology topo = makeNamedTopology("cm4");
+    Partition p = partitionTopology(topo, 1);
+    EXPECT_EQ(p.numShards, 1);
+    EXPECT_EQ(p.boundaryEdges, 0);
+    EXPECT_EQ(p.minShardSize, topo.numRouters());
+    EXPECT_EQ(p.maxShardSize, topo.numRouters());
+}
+
+TEST(Partition, GreedyCutBeatsWorstCaseOnGrid)
+{
+    // The greedy growth on a 4x4 mesh must produce a real cut, not a
+    // striped pathology: a 2-shard cut can't cross more than half the
+    // edges (the paper's reference point is the ~8-edge bisection).
+    NocTopology topo = makeNamedTopology("cm4");
+    Partition p = partitionTopology(topo, 2);
+    EXPECT_GT(p.boundaryEdges, 0);
+    EXPECT_LE(p.boundaryEdges, topo.routers().numEdges() / 2);
+}
+
+} // namespace
+} // namespace snoc

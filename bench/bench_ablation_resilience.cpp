@@ -26,6 +26,9 @@
  * runs its regular table routing either way.
  */
 
+#include <map>
+#include <tuple>
+
 #include "bench/bench_util.hh"
 #include "common/table.hh"
 #include "exp/plan_io.hh"
@@ -43,12 +46,59 @@ dynamicDegradation(ResultSink &out)
     ExperimentPlan plan = loadPlanFile("plans/resilience.json");
     if (fastMode())
         applyFastMode(plan);
-    runPlanReport(plan, out);
+    std::vector<JobResult> results = runPlanReport(plan, out);
     out.note("Expected: SN's expander structure keeps delivered "
              "throughput close to the intact baseline while the "
              "grid baselines degrade faster; drops spike only in "
              "the fault transient (cut packets), refusals stay 0 "
              "while the graph remains connected.");
+
+    // Energy cost of adaptivity: the plan fans each grid point out
+    // over minimal and ugal-l, so pair them up and price UGAL's
+    // latency win in flits/J (its probe traffic and longer
+    // non-minimal paths burn crossbar and link energy).
+    std::map<std::tuple<std::string, double, double>,
+             const ScenarioResult *>
+        minimalPts, ugalPts;
+    for (const JobResult &job : results) {
+        for (const ScenarioResult &p : job.points) {
+            auto key = std::make_tuple(
+                p.scenario.topology,
+                p.scenario.faults.randomLinkFraction,
+                p.scenario.load);
+            (p.scenario.routing == RoutingMode::UgalL
+                 ? ugalPts
+                 : minimalPts)[key] = &p;
+        }
+    }
+    sink().beginTable(
+        "Energy cost of adaptivity under faults (minimal vs ugal-l)",
+        {"topology", "fail [%]", "load", "min lat [cyc]",
+         "ugal lat [cyc]", "min [flits/J]", "ugal [flits/J]",
+         "ugal energy cost [%]"});
+    for (const auto &[key, minPt] : minimalPts) {
+        auto it = ugalPts.find(key);
+        if (it == ugalPts.end())
+            continue;
+        const ScenarioResult &ugal = *it->second;
+        double minFpj = minPt->energy.flitsPerJoule;
+        double ugalFpj = ugal.energy.flitsPerJoule;
+        sink().addRow(
+            {std::get<0>(key),
+             TextTable::fmt(100.0 * std::get<1>(key), 0),
+             TextTable::fmt(std::get<2>(key), 3),
+             TextTable::fmt(minPt->sim.avgPacketLatency, 2),
+             TextTable::fmt(ugal.sim.avgPacketLatency, 2),
+             TextTable::fmt(minFpj, 0), TextTable::fmt(ugalFpj, 0),
+             TextTable::fmt(
+                 ugalFpj > 0.0 ? 100.0 * (minFpj / ugalFpj - 1.0)
+                               : 0.0,
+                 1)});
+    }
+    sink().endTable();
+    sink().note("Expected: ugal-l's fault-time latency win is not "
+                "free — adaptive detours deliver fewer flits per "
+                "joule than minimal routing at the same point.");
 }
 
 void

@@ -7,6 +7,11 @@
  *  (b) total area per network with the i-routers / a-routers /
  *      RRg-wires / RNg-wires breakdown;
  *  (c) total static power per network.
+ *
+ * Purely analytical (no simulation), so unlike the ported simulation
+ * benches there is no plan file to commit — the PowerModel is
+ * evaluated directly and the tables stream through the standard
+ * ResultSink (SNOC_BENCH_FORMAT).
  */
 
 #include "bench/bench_util.hh"
@@ -21,71 +26,66 @@ main()
     TechParams tech = TechParams::nm45();
     RouterConfig rc = RouterConfig::named("EB-Var");
 
-    banner("Figure 15a: total area per SN layout [cm^2], no SMART");
-    {
-        TextTable t({"layout", "total area"});
-        for (const char *id : {"sn_rand_200", "sn_basic_200",
-                               "sn_gr_200", "sn_subgr_200"}) {
-            NocTopology topo = makeNamedTopology(id);
-            PowerModel pm(topo, rc, tech, 1);
-            t.addRow({topo.name(),
-                      TextTable::fmt(pm.area().total(), 3)});
-        }
-        t.print(std::cout);
-        std::cout << "Paper shape: sn_subgr smallest.\n";
+    sink().beginTable(
+        "Figure 15a: total area per SN layout [cm^2], no SMART",
+        {"layout", "total area"});
+    for (const char *id : {"sn_rand_200", "sn_basic_200", "sn_gr_200",
+                           "sn_subgr_200"}) {
+        NocTopology topo = makeNamedTopology(id);
+        PowerModel pm(topo, rc, tech, 1);
+        sink().addRow({topo.name(),
+                       TextTable::fmt(pm.area().total(), 3)});
     }
+    sink().endTable();
+    sink().note("Paper shape: sn_subgr smallest.");
 
-    banner("Figure 15b: total area per network [cm^2], no SMART, "
-           "N = 200");
-    {
-        TextTable t({"network", "total", "i-routers", "a-routers",
-                     "RR-wires", "RN-wires"});
-        double fbf = 0.0;
-        double sn = 0.0;
-        for (const char *id :
-             {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
-            NocTopology topo = makeNamedTopology(id);
-            PowerModel pm(topo, rc, tech, 1);
-            AreaReport a = pm.area();
-            t.addRow({topo.name(), TextTable::fmt(a.total(), 3),
-                      TextTable::fmt(a.iRouters, 3),
-                      TextTable::fmt(a.aRouters, 3),
-                      TextTable::fmt(a.rrWires, 3),
-                      TextTable::fmt(a.rnWires, 3)});
-            if (std::string(id) == "fbf4")
-                fbf = a.total();
-            if (std::string(id) == "sn_subgr_200")
-                sn = a.total();
-        }
-        t.print(std::cout);
-        std::cout << "SN area vs FBF: "
-                  << TextTable::fmt(100.0 * (1.0 - sn / fbf), 0)
-                  << "% smaller (paper: ~34%)\n";
+    sink().beginTable("Figure 15b: total area per network [cm^2], "
+                      "no SMART, N = 200",
+                      {"network", "total", "i-routers", "a-routers",
+                       "RR-wires", "RN-wires"});
+    double fbfArea = 0.0;
+    double snArea = 0.0;
+    for (const char *id :
+         {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
+        NocTopology topo = makeNamedTopology(id);
+        PowerModel pm(topo, rc, tech, 1);
+        AreaReport a = pm.area();
+        sink().addRow({topo.name(), TextTable::fmt(a.total(), 3),
+                       TextTable::fmt(a.iRouters, 3),
+                       TextTable::fmt(a.aRouters, 3),
+                       TextTable::fmt(a.rrWires, 3),
+                       TextTable::fmt(a.rnWires, 3)});
+        if (std::string(id) == "fbf4")
+            fbfArea = a.total();
+        if (std::string(id) == "sn_subgr_200")
+            snArea = a.total();
     }
+    sink().endTable();
+    sink().note("SN area vs FBF: " +
+                TextTable::fmt(100.0 * (1.0 - snArea / fbfArea), 0) +
+                "% smaller (paper: ~34%)");
 
-    banner("Figure 15c: total static power [W], no SMART, N = 200");
-    {
-        TextTable t({"network", "total", "routers+crossbars",
-                     "wires"});
-        double fbf = 0.0;
-        double sn = 0.0;
-        for (const char *id :
-             {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
-            NocTopology topo = makeNamedTopology(id);
-            PowerModel pm(topo, rc, tech, 1);
-            StaticPowerReport s = pm.staticPower();
-            t.addRow({topo.name(), TextTable::fmt(s.total(), 3),
-                      TextTable::fmt(s.routers, 3),
-                      TextTable::fmt(s.wires, 3)});
-            if (std::string(id) == "fbf4")
-                fbf = s.total();
-            if (std::string(id) == "sn_subgr_200")
-                sn = s.total();
-        }
-        t.print(std::cout);
-        std::cout << "SN static power vs FBF: "
-                  << TextTable::fmt(100.0 * (1.0 - sn / fbf), 0)
-                  << "% lower (paper: ~43%)\n";
+    sink().beginTable(
+        "Figure 15c: total static power [W], no SMART, N = 200",
+        {"network", "total", "routers+crossbars", "wires"});
+    double fbfPower = 0.0;
+    double snPower = 0.0;
+    for (const char *id :
+         {"fbf4", "pfbf4", "sn_subgr_200", "t2d4", "cm4"}) {
+        NocTopology topo = makeNamedTopology(id);
+        PowerModel pm(topo, rc, tech, 1);
+        StaticPowerReport s = pm.staticPower();
+        sink().addRow({topo.name(), TextTable::fmt(s.total(), 3),
+                       TextTable::fmt(s.routers, 3),
+                       TextTable::fmt(s.wires, 3)});
+        if (std::string(id) == "fbf4")
+            fbfPower = s.total();
+        if (std::string(id) == "sn_subgr_200")
+            snPower = s.total();
     }
+    sink().endTable();
+    sink().note("SN static power vs FBF: " +
+                TextTable::fmt(100.0 * (1.0 - snPower / fbfPower), 0) +
+                "% lower (paper: ~43%)");
     return 0;
 }

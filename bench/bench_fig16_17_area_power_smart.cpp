@@ -4,10 +4,19 @@
  * dynamic power with SMART links, at 45 nm and 22 nm, for the small
  * (N in {192, 200}) and large (N = 1296) size classes. Dynamic power
  * is measured from a RND simulation at a moderate load.
+ *
+ * The campaign lives in the committed plan file plans/fig16_17.json
+ * (every network at both corners) and executes through the same
+ * load/execute/render path as `snoc run plans/fig16_17.json`; the
+ * per-node breakdowns below divide those network-wide results by the
+ * node count and add the analytical area split. Edit the plan file,
+ * not this file, to change the network set.
  */
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/plan_io.hh"
+#include "exp/report.hh"
 
 using namespace snoc;
 using namespace snoc::bench;
@@ -15,37 +24,36 @@ using namespace snoc::bench;
 namespace {
 
 void
-sizeClassReport(const std::vector<std::string> &ids, int figure)
+sizeClassReport(const std::vector<JobResult> &results, bool big,
+                int figure)
 {
-    for (const TechParams &tech :
-         {TechParams::nm45(), TechParams::nm22()}) {
-        banner("Figure " + std::to_string(figure) + " (" + tech.name +
-               "): per-node area/static/dynamic with SMART");
-        RouterConfig rc = RouterConfig::named("EB-Var");
-        TextTable t({"network", "area/node [cm^2]",
-                     "static/node [W]", "dynamic/node [W]",
-                     "i-routers", "RR-wires"});
-        for (const std::string &id : ids) {
-            NocTopology topo = makeNamedTopology(id);
-            PowerModel pm(topo, rc, tech, 9);
-            bool big = topo.numNodes() > 1000;
-            SimResult r = runSynthetic(
-                id, "EB-Var", PatternKind::Random, 0.06, 9,
-                RoutingMode::Minimal,
-                big ? simConfig(1000, 2500) : simConfig());
-            double n = topo.numNodes();
-            AreaReport a = pm.area();
-            t.addRow(
-                {topo.name(), TextTable::fmt(a.total() / n, 5),
-                 TextTable::fmt(pm.staticPower().total() / n, 4),
-                 TextTable::fmt(
-                     pm.dynamicPower(r.counters, r.cyclesRun).total() /
-                         n,
-                     4),
-                 TextTable::fmt(a.iRouters / n, 5),
-                 TextTable::fmt(a.rrWires / n, 5)});
+    for (const char *tech : {"45nm", "22nm"}) {
+        sink().beginTable(
+            "Figure " + std::to_string(figure) + " (" + tech +
+                "): per-node area/static/dynamic with SMART",
+            {"network", "area/node [cm^2]", "static/node [W]",
+             "dynamic/node [W]", "i-routers", "RR-wires"});
+        for (const JobResult &job : results) {
+            for (const ScenarioResult &point : job.points) {
+                const Scenario &s = point.scenario;
+                const NocTopology &t = topo(s.topology);
+                if ((t.numNodes() > 1000) != big ||
+                    s.energy.tech != tech)
+                    continue;
+                PowerModel pm(t, RouterConfig::named(s.routerConfig),
+                              techCornerByName(tech),
+                              s.link.hopsPerCycle, s.energy.flitBits);
+                double n = t.numNodes();
+                AreaReport a = pm.area();
+                sink().addRow(
+                    {t.name(), TextTable::fmt(a.total() / n, 5),
+                     TextTable::fmt(point.energy.staticW / n, 4),
+                     TextTable::fmt(point.energy.dynamicW / n, 4),
+                     TextTable::fmt(a.iRouters / n, 5),
+                     TextTable::fmt(a.rrWires / n, 5)});
+            }
         }
-        t.print(std::cout);
+        sink().endTable();
     }
 }
 
@@ -54,15 +62,18 @@ sizeClassReport(const std::vector<std::string> &ids, int figure)
 int
 main()
 {
-    sizeClassReport(
-        {"fbf3", "fbf4", "pfbf3", "sn_subgr_200", "t2d4", "cm4"}, 16);
-    std::cout << "\nPaper shape (Fig 16): SN cuts area ~40-50% and "
-                 "static power ~45-60% vs FBF; low-radix nets are "
-                 "smallest but pay in performance.\n";
-    sizeClassReport(
-        {"fbf8", "fbf9", "pfbf9", "sn_subgr_1296", "t2d9", "cm9"}, 17);
-    std::cout << "\nPaper shape (Fig 17): at N = 1296 SN keeps ~33% "
-                 "area and ~41-44% static power advantages over FBF; "
-                 "wires take a larger share at 22 nm.\n";
+    ExperimentPlan plan = loadPlanFile("plans/fig16_17.json");
+    if (fastMode())
+        applyFastMode(plan);
+    std::vector<JobResult> results = runPlanReport(plan, sink());
+
+    sizeClassReport(results, false, 16);
+    sink().note("Paper shape (Fig 16): SN cuts area ~40-50% and "
+                "static power ~45-60% vs FBF; low-radix nets are "
+                "smallest but pay in performance.");
+    sizeClassReport(results, true, 17);
+    sink().note("Paper shape (Fig 17): at N = 1296 SN keeps ~33% "
+                "area and ~41-44% static power advantages over FBF; "
+                "wires take a larger share at 22 nm.");
     return 0;
 }

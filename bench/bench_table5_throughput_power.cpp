@@ -6,76 +6,62 @@
  * highest stable point of a load ramp; power combines static and
  * measured dynamic power at that point.
  *
- * The load ramps for every topology of a size class are submitted as
- * one ExperimentPlan. Since the technology corner only enters the
- * analytical power model, each (topology, load) point simulates once
- * and both corners are evaluated on the same SimResult — halving the
- * simulation work of the legacy per-tech loop without changing any
- * reported number.
+ * The load ramps live in the committed plan file plans/table5.json
+ * (one non-stopping sweep per topology, 45nm energy spec) and run
+ * through the same load/execute/render code path as
+ * `snoc run plans/table5.json` — CI diffs the JSON outputs. The ramp
+ * table streams to stdout and to the BENCH_energy.json perf artifact
+ * (SNOC_BENCH_OUT), whose flits_per_joule column is the regression-
+ * gated energy baseline (scripts/bench_compare.py). Since the
+ * technology corner only enters the analytical power model, each
+ * (topology, load) point simulates once and the 22nm advantage table
+ * is evaluated on the same SimResults.
  */
 
+#include <algorithm>
 #include <map>
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+#include "exp/plan_io.hh"
+#include "exp/report.hh"
 
 using namespace snoc;
 using namespace snoc::bench;
 
 namespace {
 
-std::vector<double>
-rampLoads()
-{
-    return fastMode() ? std::vector<double>{0.2}
-                      : std::vector<double>{0.1, 0.3, 0.6, 0.9};
-}
-
 /** Delivered flits/J at the best stable load of a ramp. */
 double
-bestThroughputPerPower(const std::vector<SimResult> &ramp,
-                       const std::string &id, const TechParams &tech)
+bestThroughputPerPower(const std::vector<ScenarioResult> &ramp,
+                       const TechParams &tech)
 {
-    RouterConfig rc = RouterConfig::named("EB-Var");
-    PowerModel pm(topo(id), rc, tech, 9);
     double best = 0.0;
-    for (const SimResult &r : ramp) {
-        best = std::max(
-            best, pm.throughputPerPower(r.counters, r.cyclesRun));
-        if (!r.stable)
+    for (const ScenarioResult &point : ramp) {
+        const Scenario &s = point.scenario;
+        PowerModel pm(topo(s.topology),
+                      RouterConfig::named(s.routerConfig), tech,
+                      s.link.hopsPerCycle, s.energy.flitBits);
+        best = std::max(best,
+                        pm.throughputPerPower(point.sim.counters,
+                                              point.sim.cyclesRun));
+        if (!point.sim.stable)
             break;
     }
     return best;
 }
 
 void
-report(int sizeClass, const std::vector<std::string> &baselines,
-       const std::string &snId)
+advantageReport(const std::vector<std::string> &baselines,
+                const std::string &snId,
+                const std::map<std::string,
+                               const std::vector<ScenarioResult> *>
+                    &ramps,
+                int sizeClass)
 {
-    std::vector<std::string> ids = baselines;
-    ids.push_back(snId);
-
-    std::vector<Scenario> scenarios;
-    for (const std::string &id : ids) {
-        bool big = topo(id).numNodes() > 1000;
-        SimConfig cfg =
-            big ? simConfig(800, 2000) : simConfig(1500, 4000);
-        for (double load : rampLoads())
-            scenarios.push_back(syntheticScenario(
-                id, "EB-Var", PatternKind::Random, load, 9,
-                RoutingMode::Minimal, cfg));
-    }
-    std::vector<SimResult> results = runScenarios(scenarios);
-
-    std::map<std::string, std::vector<SimResult>> ramps;
-    std::size_t k = 0;
-    for (const std::string &id : ids)
-        for (std::size_t j = 0; j < rampLoads().size(); ++j)
-            ramps[id].push_back(results[k++]);
-
     for (const TechParams &tech :
          {TechParams::nm45(), TechParams::nm22()}) {
-        double sn = bestThroughputPerPower(ramps[snId], snId, tech);
+        double sn = bestThroughputPerPower(*ramps.at(snId), tech);
         sink().beginTable(
             "Table 5 (" + tech.name + ", N class " +
                 std::to_string(sizeClass) +
@@ -83,7 +69,7 @@ report(int sizeClass, const std::vector<std::string> &baselines,
             {"baseline", "baseline [flits/J]", "SN [flits/J]",
              "SN advantage [%]"});
         for (const std::string &id : baselines) {
-            double base = bestThroughputPerPower(ramps[id], id, tech);
+            double base = bestThroughputPerPower(*ramps.at(id), tech);
             sink().addRow({id, TextTable::fmt(base, 0),
                            TextTable::fmt(sn, 0),
                            TextTable::fmt(100.0 * (sn / base - 1.0),
@@ -98,12 +84,33 @@ report(int sizeClass, const std::vector<std::string> &baselines,
 int
 main()
 {
-    report(200, {"t2d4", "cm4", "pfbf3", "fbf3", "fbf4"},
-           "sn_subgr_200");
-    report(1296, {"t2d9", "cm9", "pfbf9", "fbf8", "fbf9"},
-           "sn_subgr_1296");
-    sink().note("\nPaper shape (45nm): +96/97% over t2d4/cm4, "
+    ExperimentPlan plan = loadPlanFile("plans/table5.json");
+    if (fastMode())
+        applyFastMode(plan);
+
+    PerfReport report("energy");
+    std::vector<JobResult> results = runPlanReport(plan, report.out());
+
+    // Partition the per-topology ramps into the two size classes; SN
+    // is the one non-baseline of each class.
+    std::map<std::string, const std::vector<ScenarioResult> *> ramps;
+    std::map<bool, std::vector<std::string>> baselines;
+    std::map<bool, std::string> snIds;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::string &id = plan.jobs[i].scenario.topology;
+        ramps[id] = &results[i].points;
+        bool big = topo(id).numNodes() > 1000;
+        if (id.rfind("sn_", 0) == 0)
+            snIds[big] = id;
+        else
+            baselines[big].push_back(id);
+    }
+    advantageReport(baselines[false], snIds[false], ramps, 200);
+    advantageReport(baselines[true], snIds[true], ramps, 1296);
+
+    sink().note("Paper shape (45nm): +96/97% over t2d4/cm4, "
                 "+17/12/6% over pfbf3/fbf3/fbf4; N=1296: "
                 "+155/235/38/54/52%.");
+    std::cout << "\nperf artifact: " << report.path() << "\n";
     return 0;
 }

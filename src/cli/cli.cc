@@ -12,6 +12,7 @@
 #include "exp/plan_io.hh"
 #include "exp/report.hh"
 #include "exp/serialize.hh"
+#include "power/tech_params.hh"
 #include "sim/router_config.hh"
 #include "topo/table4.hh"
 #include "trace/workloads.hh"
@@ -27,7 +28,7 @@ usage(std::ostream &err)
            "  run <plan.json> [--format table|csv|json] [--threads N]\n"
            "      [--fast] [--manifest PATH | --no-manifest]\n"
            "  list <topologies|routings|patterns|workloads|configs|"
-           "formats|knobs>\n"
+           "techs|formats|knobs>\n"
            "      [--markdown]\n"
            "  describe <scenario.json | plan.json>\n"
            "  version\n";
@@ -86,6 +87,8 @@ cmdList(const std::vector<std::string> &args, std::ostream &out,
         return plain(workloadNames());
     if (axis == "configs")
         return plain(RouterConfig::names());
+    if (axis == "techs")
+        return plain(techCornerNames());
     if (axis == "formats")
         return plain(resultSinkFormats());
     if (axis == "knobs") {
@@ -94,7 +97,7 @@ cmdList(const std::vector<std::string> &args, std::ostream &out,
     }
     err << "error: unknown axis '" << axis
         << "' (expected topologies, routings, patterns, workloads, "
-           "configs, formats or knobs)\n";
+           "configs, techs, formats or knobs)\n";
     return 2;
 }
 
@@ -125,6 +128,9 @@ describeScenario(const Scenario &s, std::ostream &out,
             << s.faults.randomLinkFraction << " at cycle "
             << s.faults.randomFailAt << " (seed "
             << s.faults.faultSeed << ")\n";
+    if (s.energy.enabled)
+        out << indent << "energy   " << s.energy.tech << " corner, "
+            << s.energy.flitBits << "-bit flits\n";
 }
 
 int

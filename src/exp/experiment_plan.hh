@@ -46,11 +46,31 @@ struct Job
     bool operator==(const Job &) const = default;
 };
 
+/**
+ * Energy metrics derived from a point's measurement-window counters
+ * by the analytical PowerModel. A pure function of (scenario,
+ * SimResult), evaluated by the runner after execution, so the values
+ * are bitwise identical across serial, batched, and sharded runs.
+ * `valid` is false unless the scenario's energy spec is enabled.
+ */
+struct EnergyMetrics
+{
+    bool valid = false;
+    double dynamicW = 0.0;       //!< window dynamic power [W]
+    double staticW = 0.0;        //!< leakage [W]
+    double totalW = 0.0;         //!< static + dynamic [W]
+    double flitsPerJoule = 0.0;  //!< delivered throughput per watt
+    double edpJs = 0.0;          //!< energy-delay product [J*s]
+
+    bool operator==(const EnergyMetrics &) const = default;
+};
+
 /** A Scenario together with its measured result. */
 struct ScenarioResult
 {
     Scenario scenario;
     SimResult sim;
+    EnergyMetrics energy; //!< filled when scenario.energy.enabled
 };
 
 /** Result of one job, point-ordered as executed. */

@@ -24,10 +24,12 @@ renderPlanReport(const ExperimentPlan &plan,
 {
     bool anyFaults = false;
     bool anySaturation = false;
+    bool anyEnergy = false;
     for (const Job &job : plan.jobs) {
         anyFaults = anyFaults || job.scenario.faults.active();
         anySaturation =
             anySaturation || job.kind == Job::Kind::Saturation;
+        anyEnergy = anyEnergy || job.scenario.energy.enabled;
     }
 
     std::vector<std::string> columns = {
@@ -39,6 +41,15 @@ renderPlanReport(const ExperimentPlan &plan,
         for (const char *c :
              {"fault_events", "flits_dropped", "packets_dropped",
               "packets_unroutable", "packets_refused"})
+            columns.push_back(c);
+    }
+    if (anyEnergy) {
+        // Snake-case names keyable by scripts/bench_compare.py;
+        // edp_pjs is the energy-delay product scaled to pJ*s so the
+        // fixed-precision cells stay readable.
+        for (const char *c : {"tech", "dynamic_w", "static_w",
+                              "total_w", "flits_per_joule",
+                              "edp_pjs"})
             columns.push_back(c);
     }
 
@@ -74,6 +85,23 @@ renderPlanReport(const ExperimentPlan &plan,
                     TextTable::fmt(r.counters.packetsUnroutable));
                 row.push_back(
                     TextTable::fmt(r.counters.packetsRefused));
+            }
+            if (anyEnergy) {
+                const EnergyMetrics &e = point.energy;
+                if (e.valid) {
+                    row.push_back(s.energy.tech);
+                    row.push_back(TextTable::fmt(e.dynamicW, 4));
+                    row.push_back(TextTable::fmt(e.staticW, 4));
+                    row.push_back(TextTable::fmt(e.totalW, 4));
+                    row.push_back(
+                        TextTable::fmt(e.flitsPerJoule, 0));
+                    row.push_back(
+                        TextTable::fmt(e.edpJs * 1e12, 4));
+                } else {
+                    // Mixed plan: this point has no energy spec.
+                    for (int i = 0; i < 6; ++i)
+                        row.push_back("-");
+                }
             }
             sink.addRow(row);
         }

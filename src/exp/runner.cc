@@ -10,6 +10,7 @@
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "power/power_model.hh"
 #include "sim/batch.hh"
 #include "sim/shard.hh"
 #include "topo/topology_cache.hh"
@@ -71,7 +72,37 @@ resolveSimShards(int requested)
     return std::min(shards, kMaxShards);
 }
 
+/** Attach energy metrics to every point of every job result. */
+void
+applyEnergyMetrics(std::vector<JobResult> &results)
+{
+    for (JobResult &job : results)
+        for (ScenarioResult &point : job.points)
+            point.energy = evaluateEnergy(point.scenario, point.sim);
+}
+
 } // namespace
+
+EnergyMetrics
+evaluateEnergy(const Scenario &s, const SimResult &r)
+{
+    EnergyMetrics m;
+    if (!s.energy.enabled)
+        return m;
+    const NocTopology &topo =
+        TopologyCache::instance().get(s.topology);
+    PowerModel pm(topo, RouterConfig::named(s.routerConfig),
+                  techCornerByName(s.energy.tech),
+                  s.link.hopsPerCycle, s.energy.flitBits);
+    m.valid = true;
+    m.dynamicW = pm.dynamicPower(r.counters, r.cyclesRun).total();
+    m.staticW = pm.staticPower().total();
+    m.totalW = m.staticW + m.dynamicW;
+    m.flitsPerJoule = pm.throughputPerPower(r.counters, r.cyclesRun);
+    m.edpJs =
+        pm.energyDelay(r.counters, r.cyclesRun, r.avgPacketLatency);
+    return m;
+}
 
 ExperimentRunner::ExperimentRunner(RunnerOptions opts)
     : threads_(resolveThreads(opts.threads)),
@@ -394,8 +425,14 @@ ExperimentRunner::run(const ExperimentPlan &plan) const
     if (plan.jobs.empty())
         return results;
 
-    if (batchLanes_ >= 2)
-        return runBatched(plan);
+    if (batchLanes_ >= 2) {
+        results = runBatched(plan);
+        // Energy is evaluated after execution, from the already-
+        // assembled results: a pure function of (scenario, sim), so
+        // the metrics cannot differ between execution modes.
+        applyEnergyMetrics(results);
+        return results;
+    }
 
     std::size_t total = plan.jobs.size();
     // Shard-aware planning: each sharded job claims simShards_
@@ -410,6 +447,7 @@ ExperimentRunner::run(const ExperimentPlan &plan) const
             if (opts_.progress)
                 opts_.progress(i + 1, total);
         }
+        applyEnergyMetrics(results);
         return results;
     }
 
@@ -452,6 +490,7 @@ ExperimentRunner::run(const ExperimentPlan &plan) const
 
     if (firstError)
         std::rethrow_exception(firstError);
+    applyEnergyMetrics(results);
     return results;
 }
 

@@ -69,6 +69,15 @@ struct RunnerOptions
     int simShards = -1;
 };
 
+/**
+ * Evaluate a point's energy metrics from its measurement-window
+ * counters (zeroed/invalid when the scenario's energy spec is
+ * disabled). Pure function of its arguments — the runner applies it
+ * to every result after execution, so energy values cannot depend on
+ * the execution mode (serial / batched / sharded).
+ */
+EnergyMetrics evaluateEnergy(const Scenario &s, const SimResult &r);
+
 /** Plan executor; stateless between run() calls. */
 class ExperimentRunner
 {

@@ -18,6 +18,8 @@ Scenario::describe() const
         oss << to_string(traffic.pattern) << "@" << load;
     if (faults.active())
         oss << "+faults";
+    if (energy.enabled)
+        oss << "+" << energy.tech;
     return oss.str();
 }
 

@@ -64,6 +64,33 @@ struct TrafficSpec
     bool operator==(const TrafficSpec &) const = default;
 };
 
+/**
+ * Energy evaluation spec: when enabled, the ExperimentRunner feeds
+ * each point's measurement-window counters through the analytical
+ * PowerModel (power/power_model.hh) and attaches power / EDP /
+ * throughput-per-watt to the result. Purely an evaluation axis: it
+ * never changes the simulation itself, so enabling it keeps every
+ * SimResult bit-identical.
+ */
+struct EnergySpec
+{
+    bool enabled = false;
+    std::string tech = "45nm"; //!< corner, see techCornerNames()
+    int flitBits = 128;        //!< link width (Section 5.1)
+
+    static EnergySpec
+    corner(std::string techName, int bits = 128)
+    {
+        EnergySpec e;
+        e.enabled = true;
+        e.tech = std::move(techName);
+        e.flitBits = bits;
+        return e;
+    }
+
+    bool operator==(const EnergySpec &) const = default;
+};
+
 /** One fully-specified simulation point, as data. */
 struct Scenario
 {
@@ -80,15 +107,20 @@ struct Scenario
     FaultPlan faults;       //!< timed link/router failures; an
                             //!< inactive (default) plan keeps the run
                             //!< bit-identical to the fault-free path
+    EnergySpec energy;      //!< post-run power/EDP evaluation; never
+                            //!< affects the simulation itself
 
     bool operator==(const Scenario &) const = default;
 
     /**
-     * label, or a derived "topo/router/routing/traffic@load[+faults]"
-     * when the label is empty. Every axis that changes the result is
-     * part of the derived label (routing mode, fault-plan presence),
-     * so distinct points never collide; this is the single labeling
-     * path used by the report renderer, the sinks and the CLI.
+     * label, or a derived
+     * "topo/router/routing/traffic@load[+faults][+tech]" when the
+     * label is empty. Every axis that changes the result row is part
+     * of the derived label (routing mode, fault-plan presence, the
+     * energy corner), so distinct points never collide — e.g. the
+     * same point evaluated at two technology corners; this is the
+     * single labeling path used by the report renderer, the sinks
+     * and the CLI.
      */
     std::string describe() const;
 };

@@ -1,6 +1,7 @@
 #include "exp/serialize.hh"
 
 #include "common/log.hh"
+#include "power/tech_params.hh"
 #include "sim/router_config.hh"
 #include "topo/table4.hh"
 #include "trace/workloads.hh"
@@ -163,6 +164,21 @@ toJson(const FaultPlan &faults)
 }
 
 JsonValue
+toJson(const EnergySpec &energy)
+{
+    // Presence of the member enables evaluation, so only the
+    // non-default knobs appear; a defaults-only enabled spec
+    // serializes as the empty object.
+    const EnergySpec defaults;
+    JsonValue v = JsonValue::object();
+    if (energy.tech != defaults.tech)
+        v.set("tech", JsonValue::string(energy.tech));
+    if (energy.flitBits != defaults.flitBits)
+        v.set("flitBits", JsonValue::number(energy.flitBits));
+    return v;
+}
+
+JsonValue
 toJson(const SimConfig &sim)
 {
     const SimConfig defaults;
@@ -216,6 +232,8 @@ toJson(const Scenario &scenario)
         v.set("sim", toJson(scenario.sim));
     if (!(scenario.faults == defaults.faults))
         v.set("faults", toJson(scenario.faults));
+    if (scenario.energy.enabled)
+        v.set("energy", toJson(scenario.energy));
     return v;
 }
 
@@ -361,6 +379,28 @@ faultPlanFromJson(const JsonValue &v, const std::string &path)
     return faults;
 }
 
+EnergySpec
+energySpecFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    EnergySpec energy;
+    energy.enabled = true; // presence of the member enables it
+    if (const JsonValue *m = obj.take("tech")) {
+        energy.tech = m->asString(obj.sub("tech"));
+        atPath(obj.sub("tech"), [&] {
+            techCornerByName(energy.tech);
+            return 0;
+        });
+    }
+    if (const JsonValue *m = obj.take("flitBits")) {
+        energy.flitBits = m->asInt(obj.sub("flitBits"));
+        if (energy.flitBits < 1)
+            fatal(obj.sub("flitBits"), ": must be at least 1 bit");
+    }
+    obj.finish();
+    return energy;
+}
+
 SimConfig
 simConfigFromJson(const JsonValue &v, const std::string &path)
 {
@@ -435,6 +475,8 @@ scenarioFromJson(const JsonValue &v, const std::string &path)
         s.sim = simConfigFromJson(*m, obj.sub("sim"));
     if (const JsonValue *m = obj.take("faults"))
         s.faults = faultPlanFromJson(*m, obj.sub("faults"));
+    if (const JsonValue *m = obj.take("energy"))
+        s.energy = energySpecFromJson(*m, obj.sub("energy"));
     obj.finish();
     return s;
 }

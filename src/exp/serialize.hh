@@ -28,6 +28,7 @@ namespace snoc {
 
 JsonValue toJson(const TrafficSpec &traffic);
 JsonValue toJson(const FaultPlan &faults);
+JsonValue toJson(const EnergySpec &energy);
 JsonValue toJson(const SimConfig &sim);
 JsonValue toJson(const LinkConfig &link);
 JsonValue toJson(const Scenario &scenario);
@@ -38,6 +39,8 @@ JsonValue toJson(const ExperimentPlan &plan);
 
 TrafficSpec trafficSpecFromJson(const JsonValue &v,
                                 const std::string &path = "$");
+EnergySpec energySpecFromJson(const JsonValue &v,
+                              const std::string &path = "$");
 FaultPlan faultPlanFromJson(const JsonValue &v,
                             const std::string &path = "$");
 SimConfig simConfigFromJson(const JsonValue &v,

@@ -147,7 +147,11 @@ DynamicPowerReport
 PowerModel::dynamicPower(const SimCounters &counters,
                          Cycle cycles) const
 {
-    SNOC_ASSERT(cycles > 0, "empty measurement window");
+    // An empty window (e.g. a trace that ended during warmup) did no
+    // measured work: report zero dynamic power rather than dividing
+    // by a zero-length window.
+    if (cycles == 0)
+        return {};
     double seconds = static_cast<double>(cycles) *
                      topo_->cycleTimeNs() * 1e-9;
     double pjToW = 1e-12 / seconds;
@@ -182,6 +186,8 @@ double
 PowerModel::throughputPerPower(const SimCounters &counters,
                                Cycle cycles) const
 {
+    if (cycles == 0)
+        return 0.0;
     double seconds = static_cast<double>(cycles) *
                      topo_->cycleTimeNs() * 1e-9;
     double flitsPerSecond =
@@ -194,6 +200,8 @@ double
 PowerModel::energyDelay(const SimCounters &counters, Cycle cycles,
                         double avgLatencyCycles) const
 {
+    if (cycles == 0)
+        return 0.0;
     double seconds = static_cast<double>(cycles) *
                      topo_->cycleTimeNs() * 1e-9;
     double energy = totalPower(counters, cycles) * seconds;

@@ -79,7 +79,10 @@ class PowerModel
     StaticPowerReport staticPower() const;
 
     /**
-     * Dynamic power from activity counters.
+     * Dynamic power from activity counters. A zero-length window
+     * (a trace that ended before measurement began) reports zero
+     * dynamic power; the same clamp applies to throughputPerPower()
+     * and energyDelay().
      * @param counters activity over the measurement window
      * @param cycles   window length in router cycles
      */

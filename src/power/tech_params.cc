@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/registry.hh"
+
 namespace snoc {
 
 double
@@ -53,6 +55,41 @@ TechParams::nm22()
     t.eXbarPjPerBit = 0.25 * v2 * 0.7;
     t.eWirePjPerBitMm = 0.03 * v2; // wire cap per mm barely scales
     return t;
+}
+
+namespace {
+
+/** The paper's two DSENT corners (Section 5.1). */
+const NamedRegistry<TechParams> &
+techRegistry()
+{
+    static const NamedRegistry<TechParams> reg(
+        "tech corner",
+        {
+            {"45nm", TechParams::nm45()},
+            {"22nm", TechParams::nm22()},
+        });
+    return reg;
+}
+
+} // namespace
+
+const TechParams &
+techCornerByName(const std::string &name)
+{
+    return techRegistry().get(name);
+}
+
+bool
+isTechCornerName(const std::string &name)
+{
+    return techRegistry().find(name) != nullptr;
+}
+
+const std::vector<std::string> &
+techCornerNames()
+{
+    return techRegistry().names();
 }
 
 } // namespace snoc

@@ -19,6 +19,7 @@
 #define SNOC_POWER_TECH_PARAMS_HH
 
 #include <string>
+#include <vector>
 
 namespace snoc {
 
@@ -60,6 +61,18 @@ struct TechParams
     static TechParams nm45();
     static TechParams nm22();
 };
+
+/**
+ * Tech corner registry (the Scenario energy spec's `tech` axis):
+ * fatal() on unknown names, listing the registered corners.
+ */
+const TechParams &techCornerByName(const std::string &name);
+
+/** True when `name` is a registered corner. */
+bool isTechCornerName(const std::string &name);
+
+/** Registered corner names, registration order ("45nm", "22nm"). */
+const std::vector<std::string> &techCornerNames();
 
 } // namespace snoc
 

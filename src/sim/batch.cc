@@ -432,10 +432,13 @@ BatchedNetwork::auditInvariants(std::string &err) const
 
 namespace {
 
-/** Mirrors the tail of runSimulation(): measurement-window stats. */
+/** Mirrors the tail of runSimulation(): measurement-window stats.
+ *  `windowEnd` is the lane's counter snapshot taken at the end of
+ *  its measurement phase, before any drain cycles ran. */
 SimResult
 assembleResult(Network &net, Cycle measured, std::uint64_t backlog,
-               const SimCounters &before, std::uint64_t offeredBefore)
+               const SimCounters &before, std::uint64_t offeredBefore,
+               const SimCounters &windowEnd)
 {
     SimResult r;
     r.cyclesRun = measured;
@@ -450,12 +453,11 @@ assembleResult(Network &net, Cycle measured, std::uint64_t backlog,
         std::max<double>(1.0, static_cast<double>(measured));
     r.throughput = static_cast<double>(net.flitsDeliveredInWindow()) /
                    (nodes * cycles);
-    std::uint64_t offered =
-        net.counters().flitsInjected - offeredBefore;
+    std::uint64_t offered = windowEnd.flitsInjected - offeredBefore;
     r.offeredLoad = static_cast<double>(offered) / (nodes * cycles);
     r.stable = static_cast<double>(backlog) * 6.0 <
                std::max<double>(1.0, static_cast<double>(offered));
-    r.counters = net.counters() - before;
+    r.counters = windowEnd - before;
     return r;
 }
 
@@ -482,6 +484,7 @@ runBatchedSimulation(BatchedNetwork &bn,
         Cycle phaseCycle = 0; //!< completed cycles in current phase
         Cycle measured = 0;
         SimCounters before;
+        SimCounters windowEnd; //!< counters at measure end, pre-drain
         std::uint64_t offeredBefore = 0;
         std::uint64_t sourceBacklog = 0;
     };
@@ -509,6 +512,10 @@ runBatchedSimulation(BatchedNetwork &bn,
                     return true;
                 s.measured = s.phaseCycle;
                 s.sourceBacklog = net.sourceQueueDepth();
+                // Pre-drain snapshot: the lane's drain cycles must
+                // not leak into its window counters (matches the
+                // unbatched driver's snapshot point).
+                s.windowEnd = net.counters();
                 s.phase = cfg.drain ? Phase::Drain : Phase::Done;
                 s.phaseCycle = 0;
                 break;
@@ -556,7 +563,8 @@ runBatchedSimulation(BatchedNetwork &bn,
         LaneState &s = st[static_cast<std::size_t>(l)];
         results.push_back(assembleResult(bn.lane(l), s.measured,
                                          s.sourceBacklog, s.before,
-                                         s.offeredBefore));
+                                         s.offeredBefore,
+                                         s.windowEnd));
     }
     return results;
 }

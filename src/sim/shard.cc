@@ -322,6 +322,9 @@ runShardedSimulation(ShardedNetwork &sn, const TrafficSource &source,
     }
 
     std::uint64_t sourceBacklog = net.sourceQueueDepth();
+    // Window snapshot before drain, mirroring runSimulation(): drain
+    // activity must not leak into the energy counters.
+    SimCounters windowEnd = net.counters();
 
     if (cfg.drain) {
         Cycle waited = 0;
@@ -348,12 +351,11 @@ runShardedSimulation(ShardedNetwork &sn, const TrafficSource &source,
     r.throughput =
         static_cast<double>(net.flitsDeliveredInWindow()) /
         (nodes * cycles);
-    std::uint64_t offered =
-        net.counters().flitsInjected - offeredBefore;
+    std::uint64_t offered = windowEnd.flitsInjected - offeredBefore;
     r.offeredLoad = static_cast<double>(offered) / (nodes * cycles);
     r.stable = static_cast<double>(sourceBacklog) * 6.0 <
                std::max<double>(1.0, static_cast<double>(offered));
-    r.counters = net.counters() - before;
+    r.counters = windowEnd - before;
     return r;
 }
 

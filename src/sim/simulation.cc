@@ -31,6 +31,11 @@ runSimulation(Network &net, const TrafficSource &source,
     // Offered load measured at the injection boundary plus what is
     // still waiting in source queues (overload shows up here).
     std::uint64_t sourceBacklog = net.sourceQueueDepth();
+    // Snapshot window activity here, before the drain loop: drain
+    // cycles keep writing buffers, traversing crossbars and hopping
+    // links, but cyclesRun counts only measured cycles, so counting
+    // drain events would overstate every per-cycle energy metric.
+    SimCounters windowEnd = net.counters();
 
     if (cfg.drain) {
         // Keep pumping the source while it still has pending events
@@ -59,15 +64,14 @@ runSimulation(Network &net, const TrafficSource &source,
     r.throughput =
         static_cast<double>(net.flitsDeliveredInWindow()) /
         (nodes * cycles);
-    std::uint64_t offered =
-        net.counters().flitsInjected - offeredBefore;
+    std::uint64_t offered = windowEnd.flitsInjected - offeredBefore;
     r.offeredLoad = static_cast<double>(offered) / (nodes * cycles);
     // A run is unstable when the source backlog grew to a sizable
     // fraction of the measurement window's traffic.
     r.stable = static_cast<double>(sourceBacklog) * 6.0 <
                std::max<double>(1.0, static_cast<double>(offered));
     // Window activity only: drives the dynamic-power model.
-    r.counters = net.counters() - before;
+    r.counters = windowEnd - before;
     return r;
 }
 

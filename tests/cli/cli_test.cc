@@ -20,6 +20,7 @@
 #include "common/json.hh"
 #include "exp/plan_io.hh"
 #include "exp/result_sink.hh"
+#include "power/tech_params.hh"
 #include "sim/router_config.hh"
 #include "sim/routing.hh"
 #include "topo/table4.hh"
@@ -77,6 +78,9 @@ TEST(Cli, ListEnumeratesExactlyTheRegisteredSets)
 
     ASSERT_EQ(cli({"list", "configs"}, &out), 0);
     EXPECT_EQ(lines(out), RouterConfig::names());
+
+    ASSERT_EQ(cli({"list", "techs"}, &out), 0);
+    EXPECT_EQ(lines(out), techCornerNames());
 
     ASSERT_EQ(cli({"list", "formats"}, &out), 0);
     EXPECT_EQ(lines(out), resultSinkFormats());

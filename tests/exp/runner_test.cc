@@ -272,6 +272,72 @@ TEST(ExperimentRunner, SimShardResolutionAndEquivalence)
     }
 }
 
+TEST(ExperimentRunner, EnergyMetricsAreModeInvariant)
+{
+    // Energy is evaluated as a pure function of (scenario, result)
+    // after execution, so the attached metrics must be exactly equal
+    // across the serial, lane-batched, and space-sharded engines —
+    // the same guarantee the SimResults themselves carry. Scenarios
+    // without an energy spec stay invalid/zero.
+    ExperimentPlan plan;
+    int i = 0;
+    for (const char *id : {"t2d4", "cm4"})
+        for (double load : {0.05, 0.15}) {
+            Scenario s = makeSyntheticScenario(
+                id, "EB-Var", PatternKind::Random, load, 1,
+                RoutingMode::Minimal, quickSim());
+            if (i != 3) // leave one point energy-disabled
+                s.energy =
+                    EnergySpec::corner(i % 2 ? "22nm" : "45nm");
+            ++i;
+            plan.add(s);
+        }
+
+    RunnerOptions serialOpts;
+    serialOpts.threads = 1;
+    serialOpts.batchLanes = 0;
+    serialOpts.simShards = 1;
+    RunnerOptions batchedOpts;
+    batchedOpts.threads = 2;
+    batchedOpts.batchLanes = 4;
+    batchedOpts.simShards = 1;
+    RunnerOptions shardedOpts;
+    shardedOpts.threads = 2;
+    shardedOpts.batchLanes = 0;
+    shardedOpts.simShards = 3;
+
+    std::vector<JobResult> serial =
+        ExperimentRunner(serialOpts).run(plan);
+    std::vector<JobResult> batched =
+        ExperimentRunner(batchedOpts).run(plan);
+    std::vector<JobResult> sharded =
+        ExperimentRunner(shardedOpts).run(plan);
+    ASSERT_EQ(serial.size(), plan.size());
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+        ASSERT_EQ(serial[j].points.size(), 1u);
+        const ScenarioResult &p = serial[j].points[0];
+        EXPECT_TRUE(p.energy == batched[j].points[0].energy)
+            << "job " << j;
+        EXPECT_TRUE(p.energy == sharded[j].points[0].energy)
+            << "job " << j;
+        EXPECT_EQ(p.energy.valid, p.scenario.energy.enabled);
+        // The runner's attachment must be exactly the free function
+        // applied to the point — no engine-private state involved.
+        EXPECT_TRUE(p.energy == evaluateEnergy(p.scenario, p.sim))
+            << "job " << j;
+        if (p.energy.valid) {
+            EXPECT_GT(p.energy.dynamicW, 0.0);
+            EXPECT_GT(p.energy.staticW, 0.0);
+            EXPECT_EQ(p.energy.totalW,
+                      p.energy.dynamicW + p.energy.staticW);
+            EXPECT_GT(p.energy.flitsPerJoule, 0.0);
+            EXPECT_GT(p.energy.edpJs, 0.0);
+        } else {
+            EXPECT_EQ(p.energy, EnergyMetrics{});
+        }
+    }
+}
+
 TEST(ExperimentRunner, BatchedProgressStillCountsJobs)
 {
     ExperimentPlan plan = mixedSyntheticPlan();

@@ -62,6 +62,7 @@ fullFatPlan()
         .linkUp(1, 2, 300)
         .routerDown(3, 200)
         .routerUp(3, 350);
+    full.energy = EnergySpec::corner("22nm", 64);
     plan.add(full);
 
     Scenario sweepBase = full;
@@ -123,6 +124,29 @@ TEST(Serialize, DescribeIncludesRoutingAndFaults)
     // collide (the pre-redesign label dropped both axes).
     EXPECT_NE(armed.describe(), s.describe());
     EXPECT_EQ(armed.describe(), "sn_54/EB-Var/ugal-l/RND@0.06+faults");
+    // The energy corner is a result axis too: the same point
+    // evaluated at 45nm and 22nm must get distinct derived labels.
+    Scenario energized = armed;
+    energized.energy = EnergySpec::corner("22nm");
+    EXPECT_EQ(energized.describe(),
+              "sn_54/EB-Var/ugal-l/RND@0.06+faults+22nm");
+    energized.energy = EnergySpec::corner("45nm");
+    EXPECT_NE(energized.describe(), armed.describe());
+}
+
+TEST(Serialize, EnergySpecRoundTripsThroughTheMinimalForm)
+{
+    // Presence of the member enables evaluation; a defaults-only
+    // enabled spec serializes as the empty object.
+    Scenario s;
+    s.topology = "sn_54";
+    s.energy.enabled = true;
+    EXPECT_EQ(serializeScenario(s),
+              "{\n  \"topology\": \"sn_54\",\n  \"energy\": {}\n}\n");
+    EXPECT_TRUE(parseScenario(serializeScenario(s)) == s);
+
+    s.energy = EnergySpec::corner("22nm", 64);
+    EXPECT_TRUE(parseScenario(serializeScenario(s)) == s);
 }
 
 void
@@ -203,6 +227,21 @@ TEST(Serialize, ErrorsCarryTheJsonPath)
              "faults": {"events": [{"kind": "link-down",
                                     "a": 1}]}}}]})",
         "link events need both endpoints");
+
+    // Energy spec: unregistered tech corner and nonsense flit width
+    // fail at parse time, with the valid corners listed.
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "energy": {"tech": "33nm"}}}]})",
+        "$.jobs[0].scenario.energy.tech");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "energy": {"tech": "33nm"}}}]})",
+        "45nm");
+    expectErrorContains(
+        R"({"jobs": [{"scenario": {"topology": "sn_54",
+             "energy": {"flitBits": 0}}}]})",
+        "$.jobs[0].scenario.energy.flitBits");
 
     // Type mismatch deep in the tree, with its path.
     expectErrorContains(

@@ -179,6 +179,54 @@ TEST(Simulation, SaturationUnstableAtFloorReportsFloorProbes)
     EXPECT_LT(sat, 1.0);
 }
 
+TEST(Simulation, DrainDoesNotLeakIntoWindowCounters)
+{
+    // Regression: the window counters and offered load were
+    // snapshotted after the drain loop, so drain-phase buffer
+    // writes, crossbar traversals, link hops and injections leaked
+    // into the "window" while cyclesRun counted only measured
+    // cycles — overstating every per-cycle energy metric.
+    auto run = [](bool drain) {
+        Network net = mkNet();
+        SimConfig cfg;
+        cfg.warmupCycles = 300;
+        cfg.measureCycles = 900;
+        cfg.drain = drain;
+        return runSimulation(net, mkSource(net, 0.1), cfg);
+    };
+    SimResult off = run(false);
+    SimResult on = run(true);
+    EXPECT_EQ(on.cyclesRun, off.cyclesRun);
+    EXPECT_EQ(on.counters, off.counters)
+        << "drain-phase activity must not count toward the window";
+    EXPECT_EQ(on.offeredLoad, off.offeredLoad);
+    EXPECT_GT(on.counters.flitsDelivered, 0u);
+}
+
+TEST(Simulation, SourceExhaustedDuringWarmupYieldsEmptyWindow)
+{
+    // A trace can end before measurement begins; the result must
+    // report a zero-length window with zero activity, not whatever
+    // the drain phase happened to do.
+    Network net = mkNet();
+    int budget = 5;
+    TrafficSource src = [&budget](Network &n, Cycle) -> bool {
+        if (budget <= 0)
+            return false;
+        --budget;
+        n.offerPacket(0, 100, 2);
+        return budget > 0;
+    };
+    SimConfig cfg;
+    cfg.warmupCycles = 50;
+    cfg.measureCycles = 1000;
+    cfg.drain = true;
+    SimResult r = runSimulation(net, src, cfg);
+    EXPECT_EQ(r.cyclesRun, 0u);
+    EXPECT_EQ(r.counters, SimCounters{});
+    EXPECT_EQ(r.offeredLoad, 0.0);
+}
+
 TEST(Simulation, ExhaustedSourceStopsEarly)
 {
     Network net = mkNet();

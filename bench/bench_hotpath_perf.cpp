@@ -50,6 +50,7 @@
 #include "sim/shard.hh"
 #include "sim/simulation.hh"
 #include "topo/topology_cache.hh"
+#include "workload/closed_loop.hh"
 
 namespace {
 
@@ -283,6 +284,67 @@ measureSharded(const std::string &topoId, RoutingMode mode,
     return p;
 }
 
+/**
+ * Closed-loop hot path: the same timed step() window, but driven by
+ * the request/reply workload layer (src/workload/closed_loop.hh)
+ * instead of an open-loop Bernoulli source. The delivery-callback
+ * chain, window bookkeeping, and reply injection all live on the
+ * step() path, so these rows track the reactive-traffic cost the
+ * synthetic grid cannot see. Keyed by window depth: w=1 is
+ * dependency-chain latency-bound (most routers idle), deep windows
+ * approach the saturated open-loop regime.
+ */
+PerfPoint
+measureClosedLoop(const std::string &topoId, RoutingMode mode,
+                  int window)
+{
+    Network net(topo(topoId), RouterConfig::named("EB-Var"),
+                LinkConfig{}, mode, /*seed=*/7);
+    net.reservePackets(1u << 14);
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(PatternKind::Random, net.topology()));
+    ClosedLoopSpec spec;
+    spec.window = window;
+    spec.memoryDelay = 20;
+    ClosedLoopSource cls = makeClosedLoopSource(pattern, spec, 42);
+
+    PerfPoint p;
+    Cycle warmup = fastMode() ? 300 : 2000;
+    p.cycles = fastMode() ? 1500 : 20000;
+
+    for (Cycle c = 0; c < warmup; ++c) {
+        cls.source(net, net.now());
+        net.step();
+    }
+
+    SimCounters before = net.counters();
+    std::uint64_t activeSum = 0;
+    double wall = 0.0;
+    for (Cycle c = 0; c < p.cycles; ++c) {
+        cls.source(net, net.now());
+        auto t0 = std::chrono::steady_clock::now();
+        net.step();
+        auto t1 = std::chrono::steady_clock::now();
+        wall += std::chrono::duration<double>(t1 - t0).count();
+        activeSum += net.lastActiveRouters();
+    }
+    wall = wall > 0.0 ? wall : 1e-9;
+    SimCounters delta = net.counters() - before;
+
+    p.cyclesPerSec = static_cast<double>(p.cycles) / wall;
+    p.perLaneCyclesPerSec = p.cyclesPerSec;
+    p.flitHopsPerSec = static_cast<double>(delta.linkFlitHops) / wall;
+    p.flitsPerSec = static_cast<double>(delta.flitsDelivered) / wall;
+    p.activeFraction =
+        static_cast<double>(activeSum) /
+        (static_cast<double>(p.cycles) *
+         static_cast<double>(net.topology().numRouters()));
+    p.nsPerCycleRouter =
+        wall * 1e9 / std::max<double>(1.0,
+                                      static_cast<double>(activeSum));
+    return p;
+}
+
 } // namespace
 
 int
@@ -308,16 +370,20 @@ main()
         "hot-path cycle-loop throughput (random traffic, EB-Var; "
         "batched rows report aggregate lane-cycles/sec)",
         {"topology", "routing", "load", "mode", "lanes", "shards",
-         "cycles", "cycles_per_sec", "per_lane_cycles_per_sec",
-         "flit_hops_per_sec", "flits_delivered_per_sec",
-         "active_router_fraction", "ns_per_cycle_router",
-         "speedup_vs_unbatched"});
-    auto addRow = [&](const char *t, RoutingMode m, double load,
-                      const char *kind, int lanes, int shards,
+         "window", "cycles", "cycles_per_sec",
+         "per_lane_cycles_per_sec", "flit_hops_per_sec",
+         "flits_delivered_per_sec", "active_router_fraction",
+         "ns_per_cycle_router", "speedup_vs_unbatched"});
+    // `window` is "-" everywhere except the closed-loop grid, whose
+    // rows are keyed by (topology, routing, window, mode) and carry
+    // no load knob ("-" in the load column).
+    auto addRow = [&](const char *t, RoutingMode m,
+                      const std::string &load, const char *kind,
+                      int lanes, int shards, const std::string &window,
                       const PerfPoint &p, double speedup) {
         report.out().addRow(
-            {t, modeName(m), fmt(load, "%.3g"), kind,
-             std::to_string(lanes), std::to_string(shards),
+            {t, modeName(m), load, kind, std::to_string(lanes),
+             std::to_string(shards), window,
              std::to_string(static_cast<std::uint64_t>(p.cycles)),
              fmt(p.cyclesPerSec, "%.0f"),
              fmt(p.perLaneCyclesPerSec, "%.0f"),
@@ -331,10 +397,12 @@ main()
         for (RoutingMode m : modes) {
             for (double load : loads) {
                 PerfPoint ref = measure(t, m, load);
-                addRow(t, m, load, "unbatched", 1, 1, ref, 1.0);
+                addRow(t, m, fmt(load, "%.3g"), "unbatched", 1, 1,
+                       "-", ref, 1.0);
                 for (int lanes : laneGrid) {
                     PerfPoint p = measureBatched(t, m, load, lanes);
-                    addRow(t, m, load, "batched", lanes, 1, p,
+                    addRow(t, m, fmt(load, "%.3g"), "batched", lanes,
+                           1, "-", p,
                            p.cyclesPerSec / ref.cyclesPerSec);
                 }
             }
@@ -354,8 +422,24 @@ main()
                 measureSharded("sn_subgr_1296", m, load, shards);
             if (shards == 1)
                 ref = p;
-            addRow("sn_subgr_1296", m, load, "sharded", 1, shards, p,
+            addRow("sn_subgr_1296", m, fmt(load, "%.3g"), "sharded",
+                   1, shards, "-", p,
                    p.cyclesPerSec / ref.cyclesPerSec);
+        }
+    }
+
+    // Closed-loop grid: reactive request/reply traffic across window
+    // depths. No speedup denominator applies (there is no matching
+    // unbatched open-loop row), so the column holds 1.0.
+    const int windowGrid[] = {1, 4, 16};
+    for (const char *t : {"sn_subgr_200", "t2d4"}) {
+        for (RoutingMode m : {RoutingMode::Minimal,
+                              RoutingMode::UgalL}) {
+            for (int window : windowGrid) {
+                PerfPoint p = measureClosedLoop(t, m, window);
+                addRow(t, m, "-", "closed-loop", 1, 1,
+                       std::to_string(window), p, 1.0);
+            }
         }
     }
     report.out().endTable();

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_hotpath.json against the committed baseline.
 
-Rows are matched by (topology, routing, load, mode, lanes, shards) —
-older artifacts without the batched-co-simulation or space-sharding
-columns default to load 0.1, mode "unbatched", lanes 1, shards 1.
+Rows are matched by (topology, routing, load, mode, lanes, shards,
+window) — older artifacts without the batched-co-simulation,
+space-sharding, or closed-loop columns default to load 0.1, mode
+"unbatched", lanes 1, shards 1, window "-". Closed-loop rows (mode
+"closed-loop") carry a window depth instead of a load.
 The guarded metric is cycles_per_sec (aggregate lane-cycles/sec on
 batched rows); a per_lane_throughput column shows each row's per-lane
 rate so batched rows can be read against their unbatched reference at
@@ -36,13 +38,14 @@ import sys
 
 
 def row_key(row):
-    """Identity of a bench row; defaults cover pre-batching and
-    pre-sharding artifacts."""
+    """Identity of a bench row; defaults cover pre-batching,
+    pre-sharding, and pre-closed-loop artifacts."""
     return (str(row.get("topology")), str(row.get("routing")),
             str(row.get("load", "0.1")),
             str(row.get("mode", "unbatched")),
             str(row.get("lanes", "1")),
-            str(row.get("shards", "1")))
+            str(row.get("shards", "1")),
+            str(row.get("window", "-")))
 
 
 def load_rows(path, metric):
@@ -94,7 +97,7 @@ def main():
 
     lines = []
     header = (f"{'topology':<14} {'routing':<10} {'load':<6} "
-              f"{'mode':<10} {'lanes':<5} {'shards':<6} "
+              f"{'mode':<11} {'lanes':<5} {'shards':<6} {'window':<6} "
               f"{'baseline':>10} "
               f"{'fresh':>10} {'delta':>8} {'per_lane_throughput':>20}"
               f"  verdict")
@@ -103,7 +106,7 @@ def main():
 
     regressions = []
     for key in sorted(base):
-        topo, routing, load, mode, lanes, shards = key
+        topo, routing, load, mode, lanes, shards, window = key
         gated = mode == "unbatched"
         b = float(base[key].get(args.metric, 0.0))
         row = fresh.get(key)
@@ -111,8 +114,8 @@ def main():
             verdict = ("REGRESSED (row gone)" if gated
                        else f"{mode} row gone (not gated)")
             lines.append(f"{topo:<14} {routing:<10} {load:<6} "
-                         f"{mode:<10} {lanes:<5} {shards:<6} "
-                         f"{b:>10.0f} "
+                         f"{mode:<11} {lanes:<5} {shards:<6} "
+                         f"{window:<6} {b:>10.0f} "
                          f"{'missing':>10} {'':>8} {'':>20}  {verdict}")
             if gated:
                 regressions.append(key)
@@ -128,14 +131,15 @@ def main():
             verdict = "ok (faster)" if delta > 0.02 else "ok"
         else:
             verdict = "ok (within band)"
-        lines.append(f"{topo:<14} {routing:<10} {load:<6} {mode:<10} "
-                     f"{lanes:<5} {shards:<6} "
+        lines.append(f"{topo:<14} {routing:<10} {load:<6} {mode:<11} "
+                     f"{lanes:<5} {shards:<6} {window:<6} "
                      f"{b:>10.0f} {f:>10.0f} {delta:>+7.1%} "
                      f"{per_lane(row, args.metric):>20.0f}  {verdict}")
 
     for key in sorted(set(fresh) - set(base)):
         lines.append(f"{key[0]:<14} {key[1]:<10} {key[2]:<6} "
-                     f"{key[3]:<10} {key[4]:<5} {key[5]:<6} "
+                     f"{key[3]:<11} {key[4]:<5} {key[5]:<6} "
+                     f"{key[6]:<6} "
                      f"{'new':>10} "
                      f"{float(fresh[key].get(args.metric, 0.0)):>10.0f} "
                      f"{'':>8} "

@@ -27,8 +27,8 @@ usage(std::ostream &err)
     err << "usage: snoc <command> [args]\n"
            "  run <plan.json> [--format table|csv|json] [--threads N]\n"
            "      [--fast] [--manifest PATH | --no-manifest]\n"
-           "  list <topologies|routings|patterns|workloads|configs|"
-           "techs|formats|knobs>\n"
+           "  list <topologies|routings|patterns|workloads|"
+           "collectives|configs|techs|formats|knobs>\n"
            "      [--markdown]\n"
            "  describe <scenario.json | plan.json>\n"
            "  version\n";
@@ -85,6 +85,8 @@ cmdList(const std::vector<std::string> &args, std::ostream &out,
         return plain(patternNames());
     if (axis == "workloads")
         return plain(workloadNames());
+    if (axis == "collectives")
+        return plain(collectiveKindNames());
     if (axis == "configs")
         return plain(RouterConfig::names());
     if (axis == "techs")
@@ -97,7 +99,7 @@ cmdList(const std::vector<std::string> &args, std::ostream &out,
     }
     err << "error: unknown axis '" << axis
         << "' (expected topologies, routings, patterns, workloads, "
-           "configs, techs, formats or knobs)\n";
+           "collectives, configs, techs, formats or knobs)\n";
     return 2;
 }
 
@@ -111,13 +113,52 @@ describeScenario(const Scenario &s, std::ostream &out,
         << indent << "topology " << s.topology << "  router "
         << s.routerConfig << "  routing " << to_string(s.routing)
         << "  smart H=" << s.link.hopsPerCycle << "\n";
-    if (s.traffic.kind == TrafficSpec::Kind::Workload)
+    switch (s.traffic.kind) {
+      case TrafficSpec::Kind::Workload:
         out << indent << "traffic  workload " << s.traffic.workload
             << " for " << s.traffic.workloadCycles << " cycles\n";
-    else
+        break;
+      case TrafficSpec::Kind::ClosedLoop: {
+        const ClosedLoopSpec &cl = s.traffic.closedLoop;
+        out << indent << "traffic  closed-loop "
+            << to_string(s.traffic.pattern) << ", window " << cl.window
+            << ", issue prob " << cl.issueProb << ", memory delay "
+            << cl.memoryDelay << "\n"
+            << indent << "         req/reply/fwd "
+            << cl.requestSizeFlits << "/" << cl.replySizeFlits << "/"
+            << cl.forwardSizeFlits << " flits, forward fraction "
+            << cl.forwardFraction << ", sweep axis "
+            << to_string(cl.sweepAxis);
+        if (cl.stopAfterRequests > 0)
+            out << ", stop after " << cl.stopAfterRequests
+                << " requests";
+        out << "\n";
+        break;
+      }
+      case TrafficSpec::Kind::Collective: {
+        const CollectiveSpec &coll = s.traffic.collective;
+        out << indent << "traffic  collective "
+            << to_string(coll.kind) << ", root " << coll.root
+            << ", rounds "
+            << (coll.rounds > 0 ? std::to_string(coll.rounds)
+                                : std::string("unlimited"))
+            << ", gap " << coll.gapCycles << "\n"
+            << indent << "         payload/control "
+            << coll.payloadSizeFlits << "/" << coll.controlSizeFlits
+            << " flits";
+        if (coll.fanout > 0)
+            out << ", fanout " << coll.fanout;
+        if (coll.phases > 0)
+            out << ", phases " << coll.phases;
+        out << "\n";
+        break;
+      }
+      case TrafficSpec::Kind::Synthetic:
         out << indent << "traffic  " << to_string(s.traffic.pattern)
             << " @ load " << s.load << ", "
             << s.traffic.packetSizeFlits << " flits/packet\n";
+        break;
+    }
     out << indent << "windows  warmup " << s.sim.warmupCycles
         << ", measure " << s.sim.measureCycles << "\n"
         << indent << "seeds    traffic " << s.seed << ", routing "

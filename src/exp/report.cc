@@ -10,9 +10,24 @@ namespace {
 std::string
 trafficCell(const TrafficSpec &traffic)
 {
-    if (traffic.kind == TrafficSpec::Kind::Workload)
+    switch (traffic.kind) {
+      case TrafficSpec::Kind::Workload:
         return traffic.workload;
+      case TrafficSpec::Kind::ClosedLoop:
+        return "cl-" + to_string(traffic.pattern);
+      case TrafficSpec::Kind::Collective:
+        return "coll-" + to_string(traffic.collective.kind);
+      case TrafficSpec::Kind::Synthetic:
+        break;
+    }
     return to_string(traffic.pattern);
+}
+
+bool
+isClosedLoopKind(const TrafficSpec &traffic)
+{
+    return traffic.kind == TrafficSpec::Kind::ClosedLoop ||
+           traffic.kind == TrafficSpec::Kind::Collective;
 }
 
 } // namespace
@@ -25,11 +40,14 @@ renderPlanReport(const ExperimentPlan &plan,
     bool anyFaults = false;
     bool anySaturation = false;
     bool anyEnergy = false;
+    bool anyClosedLoop = false;
     for (const Job &job : plan.jobs) {
         anyFaults = anyFaults || job.scenario.faults.active();
         anySaturation =
             anySaturation || job.kind == Job::Kind::Saturation;
         anyEnergy = anyEnergy || job.scenario.energy.enabled;
+        anyClosedLoop =
+            anyClosedLoop || isClosedLoopKind(job.scenario.traffic);
     }
 
     std::vector<std::string> columns = {
@@ -52,22 +70,34 @@ renderPlanReport(const ExperimentPlan &plan,
                               "edp_pjs"})
             columns.push_back(c);
     }
+    if (anyClosedLoop) {
+        // Closed-loop rows have no configured offered load; their
+        // "offered" cell is the accepted rate (windows only issue
+        // what deliveries free up), and these columns carry the
+        // feedback-side metrics.
+        for (const char *c : {"window", "win_occ", "req_lat",
+                              "stall_frac", "phases"})
+            columns.push_back(c);
+    }
 
     sink.beginTable(plan.name, columns);
     for (const JobResult &job : results) {
         for (const ScenarioResult &point : job.points) {
             const Scenario &s = point.scenario;
             const SimResult &r = point.sim;
-            double cycleNs =
-                TopologyCache::instance().get(s.topology)
-                    .cycleTimeNs();
+            const NocTopology &topo =
+                TopologyCache::instance().get(s.topology);
+            double cycleNs = topo.cycleTimeNs();
+            bool cl = isClosedLoopKind(s.traffic);
             std::vector<std::string> row = {
                 s.describe(),
                 s.topology,
                 s.routerConfig,
                 to_string(s.routing),
                 trafficCell(s.traffic),
-                TextTable::fmt(s.load, 3),
+                // Closed-loop/collective points have no configured
+                // load knob; a dash keeps the column honest.
+                cl ? "-" : TextTable::fmt(s.load, 3),
                 TextTable::fmt(r.offeredLoad, 4),
                 TextTable::fmt(r.throughput, 4),
                 TextTable::fmt(r.avgPacketLatency, 2),
@@ -100,6 +130,55 @@ renderPlanReport(const ExperimentPlan &plan,
                 } else {
                     // Mixed plan: this point has no energy spec.
                     for (int i = 0; i < 6; ++i)
+                        row.push_back("-");
+                }
+            }
+            if (anyClosedLoop) {
+                if (cl) {
+                    const SimCounters &c = r.counters;
+                    double nodeCycles =
+                        static_cast<double>(topo.numNodes()) *
+                        static_cast<double>(s.sim.measureCycles);
+                    // Window/occupancy/stall columns only make
+                    // sense for windowed (closed-loop) points;
+                    // collective schedules have no windows.
+                    bool window =
+                        s.traffic.kind == TrafficSpec::Kind::ClosedLoop;
+                    row.push_back(
+                        window
+                            ? TextTable::fmt(s.traffic.closedLoop.window)
+                            : "-");
+                    row.push_back(
+                        window && nodeCycles > 0
+                            ? TextTable::fmt(
+                                  static_cast<double>(
+                                      c.clWindowOccupancy) /
+                                      nodeCycles,
+                                  3)
+                            : "-");
+                    row.push_back(
+                        c.clRepliesMatched > 0
+                            ? TextTable::fmt(
+                                  static_cast<double>(
+                                      c.clReqLatencySum) /
+                                      static_cast<double>(
+                                          c.clRepliesMatched),
+                                  2)
+                            : "-");
+                    row.push_back(
+                        window && nodeCycles > 0
+                            ? TextTable::fmt(
+                                  static_cast<double>(
+                                      c.clStallNodeCycles) /
+                                      nodeCycles,
+                                  3)
+                            : "-");
+                    row.push_back(
+                        TextTable::fmt(c.clPhasesCompleted));
+                } else {
+                    // Mixed plan: open-loop point in a closed-loop
+                    // table.
+                    for (int i = 0; i < 5; ++i)
                         row.push_back("-");
                 }
             }

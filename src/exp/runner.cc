@@ -16,6 +16,8 @@
 #include "topo/topology_cache.hh"
 #include "trace/trace.hh"
 #include "traffic/synthetic.hh"
+#include "workload/closed_loop.hh"
+#include "workload/collective.hh"
 
 namespace snoc {
 
@@ -70,6 +72,39 @@ resolveSimShards(int requested)
     if (shards <= 1)
         return 1;
     return std::min(shards, kMaxShards);
+}
+
+/**
+ * Build the traffic source a scenario asks for (synthetic,
+ * closed-loop, or collective; trace workloads never reach here).
+ * Shared by the serial, sharded, and batched execution paths so the
+ * same Scenario always drives the same source in every mode.
+ */
+TrafficSource
+makeScenarioSource(const Scenario &s, const NocTopology &topo)
+{
+    switch (s.traffic.kind) {
+      case TrafficSpec::Kind::ClosedLoop: {
+        auto pattern = std::shared_ptr<TrafficPattern>(
+            makeTrafficPattern(s.traffic.pattern, topo));
+        return makeClosedLoopSource(std::move(pattern),
+                                    s.traffic.closedLoop, s.seed)
+            .source;
+      }
+      case TrafficSpec::Kind::Collective:
+        return makeCollectiveSource(s.traffic.collective).source;
+      case TrafficSpec::Kind::Workload:
+        SNOC_PANIC("trace workloads have no TrafficSource");
+      case TrafficSpec::Kind::Synthetic:
+        break;
+    }
+    auto pattern = std::shared_ptr<TrafficPattern>(
+        makeTrafficPattern(s.traffic.pattern, topo));
+    SyntheticConfig sc;
+    sc.load = s.load;
+    sc.packetSizeFlits = s.traffic.packetSizeFlits;
+    sc.seed = s.seed;
+    return makeSyntheticSource(std::move(pattern), sc);
 }
 
 /** Attach energy metrics to every point of every job result. */
@@ -137,18 +172,12 @@ ExperimentRunner::runScenario(const Scenario &s, int simShards)
         return runWorkload(net, w, s.traffic.workloadCycles, s.seed);
     }
 
-    auto pattern = std::shared_ptr<TrafficPattern>(
-        makeTrafficPattern(s.traffic.pattern, topo));
-    SyntheticConfig sc;
-    sc.load = s.load;
-    sc.packetSizeFlits = s.traffic.packetSizeFlits;
-    sc.seed = s.seed;
+    TrafficSource source = makeScenarioSource(s, topo);
     if (simShards >= 2 && topo.numRouters() >= 2) {
         ShardedNetwork sn(net, simShards);
-        return runShardedSimulation(sn, makeSyntheticSource(pattern, sc),
-                                    s.sim);
+        return runShardedSimulation(sn, std::move(source), s.sim);
     }
-    return runSimulation(net, makeSyntheticSource(pattern, sc), s.sim);
+    return runSimulation(net, std::move(source), s.sim);
 }
 
 JobResult
@@ -158,16 +187,17 @@ ExperimentRunner::runJob(const Job &job) const
     out.kind = job.kind;
 
     // Every point of a sweep/search reuses the base Scenario with
-    // only the load replaced, so point results match what a Single
-    // job at that load would produce.
+    // only the swept axis replaced (offered load, or the closed-loop
+    // axis via applySweepValue), so point results match what a
+    // Single job at that value would produce.
     auto evalAt = [this, &job](double load) {
         Scenario point = job.scenario;
-        point.load = load;
+        applySweepValue(point, load);
         return runScenario(point, simShards_);
     };
     auto record = [&job, &out](const LoadPoint &p) {
         Scenario s = job.scenario;
-        s.load = p.load;
+        applySweepValue(s, p.load);
         out.points.push_back({std::move(s), p.result});
     };
 
@@ -264,16 +294,9 @@ runBatchChunk(const std::vector<const BatchUnit *> &chunk,
 
     std::vector<BatchLaneSim> lanes;
     lanes.reserve(chunk.size());
-    for (const BatchUnit *u : chunk) {
-        const Scenario &s = u->scenario;
-        auto pattern = std::shared_ptr<TrafficPattern>(
-            makeTrafficPattern(s.traffic.pattern, *topo));
-        SyntheticConfig sc;
-        sc.load = s.load;
-        sc.packetSizeFlits = s.traffic.packetSizeFlits;
-        sc.seed = s.seed;
-        lanes.push_back({makeSyntheticSource(pattern, sc), s.sim});
-    }
+    for (const BatchUnit *u : chunk)
+        lanes.push_back(
+            {makeScenarioSource(u->scenario, *topo), u->scenario.sim});
 
     std::vector<SimResult> res = runBatchedSimulation(bn, lanes);
     for (std::size_t l = 0; l < chunk.size(); ++l) {
@@ -312,7 +335,7 @@ ExperimentRunner::runBatched(const ExperimentPlan &plan) const
             results[i].points.resize(job.loads.size());
             for (std::size_t k = 0; k < job.loads.size(); ++k) {
                 Scenario s = job.scenario;
-                s.load = job.loads[k];
+                applySweepValue(s, job.loads[k]);
                 units.push_back({i, k, std::move(s)});
             }
             remaining[i] = job.loads.size();

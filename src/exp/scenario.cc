@@ -1,5 +1,7 @@
 #include "exp/scenario.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace snoc {
@@ -12,10 +14,28 @@ Scenario::describe() const
     std::ostringstream oss;
     oss << topology << "/" << routerConfig << "/"
         << to_string(routing) << "/";
-    if (traffic.kind == TrafficSpec::Kind::Workload)
+    switch (traffic.kind) {
+      case TrafficSpec::Kind::Workload:
         oss << traffic.workload;
-    else
+        break;
+      case TrafficSpec::Kind::ClosedLoop:
+        // Closed-loop points have no offered load; the window and
+        // issue probability are what distinguish them.
+        oss << "cl-" << to_string(traffic.pattern) << "/w"
+            << traffic.closedLoop.window << "/p"
+            << traffic.closedLoop.issueProb;
+        break;
+      case TrafficSpec::Kind::Collective:
+        oss << "coll-" << to_string(traffic.collective.kind);
+        if (traffic.collective.fanout > 0)
+            oss << "/f" << traffic.collective.fanout;
+        if (traffic.collective.rounds > 0)
+            oss << "/r" << traffic.collective.rounds;
+        break;
+      case TrafficSpec::Kind::Synthetic:
         oss << to_string(traffic.pattern) << "@" << load;
+        break;
+    }
     if (faults.active())
         oss << "+faults";
     if (energy.enabled)
@@ -51,6 +71,54 @@ makeTraceScenario(const std::string &topology,
     s.traffic = TrafficSpec::trace(workload, cycles);
     s.seed = seed;
     return s;
+}
+
+Scenario
+makeClosedLoopScenario(const std::string &topology,
+                       const std::string &routerConfig,
+                       PatternKind pattern, const ClosedLoopSpec &spec,
+                       RoutingMode routing, const SimConfig &sim)
+{
+    Scenario s;
+    s.topology = topology;
+    s.routerConfig = routerConfig;
+    s.traffic = TrafficSpec::closedLoopOn(pattern, spec);
+    s.routing = routing;
+    s.sim = sim;
+    return s;
+}
+
+Scenario
+makeCollectiveScenario(const std::string &topology,
+                       const std::string &routerConfig,
+                       const CollectiveSpec &spec, RoutingMode routing,
+                       const SimConfig &sim)
+{
+    Scenario s;
+    s.topology = topology;
+    s.routerConfig = routerConfig;
+    s.traffic = TrafficSpec::collectiveOf(spec);
+    s.routing = routing;
+    s.sim = sim;
+    return s;
+}
+
+void
+applySweepValue(Scenario &s, double x)
+{
+    if (s.traffic.kind != TrafficSpec::Kind::ClosedLoop) {
+        s.load = x;
+        return;
+    }
+    switch (s.traffic.closedLoop.sweepAxis) {
+      case ClosedLoopAxis::IssueProb:
+        s.traffic.closedLoop.issueProb = std::clamp(x, 0.0, 1.0);
+        break;
+      case ClosedLoopAxis::Window:
+        s.traffic.closedLoop.window =
+            std::max(1, static_cast<int>(std::lround(x)));
+        break;
+    }
 }
 
 } // namespace snoc

@@ -21,27 +21,38 @@
 #include "sim/routing.hh"
 #include "sim/simulation.hh"
 #include "traffic/patterns.hh"
+#include "workload/spec.hh"
 
 namespace snoc {
 
-/** What traffic to offer: a synthetic pattern or a trace workload. */
+/**
+ * What traffic to offer: a synthetic pattern, a trace workload, a
+ * closed-loop request/reply generator, or a collective schedule.
+ */
 struct TrafficSpec
 {
     enum class Kind
     {
-        Synthetic, //!< Bernoulli source driving a PatternKind
-        Workload,  //!< PARSEC/SPLASH-like trace replay by name
+        Synthetic,  //!< Bernoulli source driving a PatternKind
+        Workload,   //!< PARSEC/SPLASH-like trace replay by name
+        ClosedLoop, //!< MSHR-window request/reply chains
+        Collective, //!< broadcast / barrier / all-to-all rounds
     };
 
     Kind kind = Kind::Synthetic;
 
-    // Synthetic traffic.
+    // Synthetic traffic; `pattern` also draws closed-loop request
+    // destinations (and dirty-owner forwards).
     PatternKind pattern = PatternKind::Random;
     int packetSizeFlits = 6; //!< Section 5.1's synthetic packet size
 
     // Trace workloads (see parsecSplashWorkloads()).
     std::string workload;       //!< profile name, e.g. "radix"
     Cycle workloadCycles = 5000; //!< trace duration
+
+    // Closed-loop / collective specs (see src/workload/spec.hh).
+    ClosedLoopSpec closedLoop;
+    CollectiveSpec collective;
 
     static TrafficSpec
     synthetic(PatternKind p)
@@ -58,6 +69,25 @@ struct TrafficSpec
         t.kind = Kind::Workload;
         t.workload = std::move(name);
         t.workloadCycles = cycles;
+        return t;
+    }
+
+    static TrafficSpec
+    closedLoopOn(PatternKind p, const ClosedLoopSpec &spec = {})
+    {
+        TrafficSpec t;
+        t.kind = Kind::ClosedLoop;
+        t.pattern = p;
+        t.closedLoop = spec;
+        return t;
+    }
+
+    static TrafficSpec
+    collectiveOf(const CollectiveSpec &spec)
+    {
+        TrafficSpec t;
+        t.kind = Kind::Collective;
+        t.collective = spec;
         return t;
     }
 
@@ -142,6 +172,33 @@ Scenario makeSyntheticScenario(const std::string &topology,
 Scenario makeTraceScenario(const std::string &topology,
                            const std::string &workload, Cycle cycles,
                            std::uint64_t seed = 99);
+
+/** Convenience builder for closed-loop request/reply scenarios. */
+Scenario makeClosedLoopScenario(const std::string &topology,
+                                const std::string &routerConfig,
+                                PatternKind pattern,
+                                const ClosedLoopSpec &spec = {},
+                                RoutingMode routing =
+                                    RoutingMode::Minimal,
+                                const SimConfig &sim = {});
+
+/** Convenience builder for collective-schedule scenarios. */
+Scenario makeCollectiveScenario(const std::string &topology,
+                                const std::string &routerConfig,
+                                const CollectiveSpec &spec,
+                                RoutingMode routing =
+                                    RoutingMode::Minimal,
+                                const SimConfig &sim = {});
+
+/**
+ * Interpret a sweep/saturation x-value for this scenario. Open-loop
+ * scenarios sweep the offered load; closed-loop scenarios sweep the
+ * axis named by closedLoop.sweepAxis (issue probability, clamped to
+ * [0, 1], or window depth, rounded to an integer >= 1). The single
+ * shared mapping keeps runJob's evaluation, the recorded sweep rows
+ * and the batched fast path in exact agreement.
+ */
+void applySweepValue(Scenario &s, double x);
 
 } // namespace snoc
 

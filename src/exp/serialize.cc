@@ -114,21 +114,96 @@ eventKindFromName(const std::string &name, const std::string &path)
 
 // --- writers ----------------------------------------------------------------
 
+namespace {
+
+/** Non-default members of a closed-loop spec ("closedLoop"). */
+JsonValue
+closedLoopToJson(const ClosedLoopSpec &cl)
+{
+    const ClosedLoopSpec d;
+    JsonValue v = JsonValue::object();
+    if (cl.window != d.window)
+        v.set("window", JsonValue::number(cl.window));
+    if (cl.issueProb != d.issueProb)
+        v.set("issueProb", JsonValue::number(cl.issueProb));
+    if (cl.requestSizeFlits != d.requestSizeFlits)
+        v.set("requestSizeFlits",
+              JsonValue::number(cl.requestSizeFlits));
+    if (cl.replySizeFlits != d.replySizeFlits)
+        v.set("replySizeFlits", JsonValue::number(cl.replySizeFlits));
+    if (cl.forwardSizeFlits != d.forwardSizeFlits)
+        v.set("forwardSizeFlits",
+              JsonValue::number(cl.forwardSizeFlits));
+    if (cl.forwardFraction != d.forwardFraction)
+        v.set("forwardFraction",
+              JsonValue::number(cl.forwardFraction));
+    if (cl.memoryDelay != d.memoryDelay)
+        v.set("memoryDelay", JsonValue::number(cl.memoryDelay));
+    if (cl.sweepAxis != d.sweepAxis)
+        v.set("sweep", JsonValue::string(to_string(cl.sweepAxis)));
+    if (cl.stopAfterRequests != d.stopAfterRequests)
+        v.set("stopAfterRequests",
+              JsonValue::number(cl.stopAfterRequests));
+    return v;
+}
+
+/** Non-default members of a collective spec ("collective"). */
+JsonValue
+collectiveToJson(const CollectiveSpec &coll)
+{
+    const CollectiveSpec d;
+    JsonValue v = JsonValue::object();
+    if (coll.kind != d.kind)
+        v.set("kind", JsonValue::string(to_string(coll.kind)));
+    if (coll.root != d.root)
+        v.set("root", JsonValue::number(coll.root));
+    if (coll.fanout != d.fanout)
+        v.set("fanout", JsonValue::number(coll.fanout));
+    if (coll.rounds != d.rounds)
+        v.set("rounds", JsonValue::number(coll.rounds));
+    if (coll.phases != d.phases)
+        v.set("phases", JsonValue::number(coll.phases));
+    if (coll.gapCycles != d.gapCycles)
+        v.set("gapCycles", JsonValue::number(coll.gapCycles));
+    if (coll.payloadSizeFlits != d.payloadSizeFlits)
+        v.set("payloadSizeFlits",
+              JsonValue::number(coll.payloadSizeFlits));
+    if (coll.controlSizeFlits != d.controlSizeFlits)
+        v.set("controlSizeFlits",
+              JsonValue::number(coll.controlSizeFlits));
+    return v;
+}
+
+} // namespace
+
 JsonValue
 toJson(const TrafficSpec &traffic)
 {
     JsonValue v = JsonValue::object();
-    if (traffic.kind == TrafficSpec::Kind::Workload) {
+    switch (traffic.kind) {
+      case TrafficSpec::Kind::Workload:
         v.set("workload", JsonValue::string(traffic.workload));
         if (traffic.workloadCycles != TrafficSpec().workloadCycles)
             v.set("workloadCycles",
                   JsonValue::number(traffic.workloadCycles));
-    } else {
+        break;
+      case TrafficSpec::Kind::ClosedLoop:
+        // Presence of the "closedLoop" member selects the kind; the
+        // pattern still names the request-destination draw.
+        v.set("pattern",
+              JsonValue::string(to_string(traffic.pattern)));
+        v.set("closedLoop", closedLoopToJson(traffic.closedLoop));
+        break;
+      case TrafficSpec::Kind::Collective:
+        v.set("collective", collectiveToJson(traffic.collective));
+        break;
+      case TrafficSpec::Kind::Synthetic:
         v.set("pattern",
               JsonValue::string(to_string(traffic.pattern)));
         if (traffic.packetSizeFlits != TrafficSpec().packetSizeFlits)
             v.set("packetSizeFlits",
                   JsonValue::number(traffic.packetSizeFlits));
+        break;
     }
     return v;
 }
@@ -289,6 +364,115 @@ toJson(const ExperimentPlan &plan)
 
 // --- readers ----------------------------------------------------------------
 
+namespace {
+
+ClosedLoopSpec
+closedLoopFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    ClosedLoopSpec cl;
+    if (const JsonValue *m = obj.take("window")) {
+        cl.window = m->asInt(obj.sub("window"));
+        if (cl.window < 1)
+            fatal(obj.sub("window"), ": must be at least 1");
+    }
+    if (const JsonValue *m = obj.take("issueProb")) {
+        cl.issueProb = m->asDouble(obj.sub("issueProb"));
+        if (cl.issueProb < 0.0 || cl.issueProb > 1.0)
+            fatal(obj.sub("issueProb"), ": must be within [0, 1]");
+    }
+    if (const JsonValue *m = obj.take("requestSizeFlits")) {
+        cl.requestSizeFlits = m->asInt(obj.sub("requestSizeFlits"));
+        if (cl.requestSizeFlits < 1)
+            fatal(obj.sub("requestSizeFlits"),
+                  ": must be at least 1 flit");
+    }
+    if (const JsonValue *m = obj.take("replySizeFlits")) {
+        cl.replySizeFlits = m->asInt(obj.sub("replySizeFlits"));
+        if (cl.replySizeFlits < 1)
+            fatal(obj.sub("replySizeFlits"),
+                  ": must be at least 1 flit");
+    }
+    if (const JsonValue *m = obj.take("forwardSizeFlits")) {
+        cl.forwardSizeFlits = m->asInt(obj.sub("forwardSizeFlits"));
+        if (cl.forwardSizeFlits < 1)
+            fatal(obj.sub("forwardSizeFlits"),
+                  ": must be at least 1 flit");
+    }
+    if (const JsonValue *m = obj.take("forwardFraction")) {
+        cl.forwardFraction = m->asDouble(obj.sub("forwardFraction"));
+        if (cl.forwardFraction < 0.0 || cl.forwardFraction > 1.0)
+            fatal(obj.sub("forwardFraction"),
+                  ": must be within [0, 1]");
+    }
+    if (const JsonValue *m = obj.take("memoryDelay")) {
+        cl.memoryDelay = m->asU64(obj.sub("memoryDelay"));
+        if (cl.memoryDelay < 1)
+            fatal(obj.sub("memoryDelay"), ": must be at least 1");
+    }
+    if (const JsonValue *m = obj.take("sweep"))
+        cl.sweepAxis = atPath(obj.sub("sweep"), [&] {
+            return closedLoopAxisFromName(
+                m->asString(obj.sub("sweep")));
+        });
+    if (const JsonValue *m = obj.take("stopAfterRequests"))
+        cl.stopAfterRequests = m->asU64(obj.sub("stopAfterRequests"));
+    obj.finish();
+    return cl;
+}
+
+CollectiveSpec
+collectiveFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    CollectiveSpec coll;
+    if (const JsonValue *m = obj.take("kind"))
+        coll.kind = atPath(obj.sub("kind"), [&] {
+            return collectiveKindFromName(
+                m->asString(obj.sub("kind")));
+        });
+    if (const JsonValue *m = obj.take("root")) {
+        coll.root = m->asInt(obj.sub("root"));
+        if (coll.root < 0)
+            fatal(obj.sub("root"), ": must be non-negative");
+    }
+    if (const JsonValue *m = obj.take("fanout")) {
+        coll.fanout = m->asInt(obj.sub("fanout"));
+        if (coll.fanout < 0)
+            fatal(obj.sub("fanout"), ": must be non-negative");
+    }
+    if (const JsonValue *m = obj.take("rounds")) {
+        coll.rounds = m->asInt(obj.sub("rounds"));
+        if (coll.rounds < 0)
+            fatal(obj.sub("rounds"), ": must be non-negative");
+    }
+    if (const JsonValue *m = obj.take("phases")) {
+        coll.phases = m->asInt(obj.sub("phases"));
+        if (coll.phases < 0)
+            fatal(obj.sub("phases"), ": must be non-negative");
+    }
+    if (const JsonValue *m = obj.take("gapCycles"))
+        coll.gapCycles = m->asU64(obj.sub("gapCycles"));
+    if (const JsonValue *m = obj.take("payloadSizeFlits")) {
+        coll.payloadSizeFlits =
+            m->asInt(obj.sub("payloadSizeFlits"));
+        if (coll.payloadSizeFlits < 1)
+            fatal(obj.sub("payloadSizeFlits"),
+                  ": must be at least 1 flit");
+    }
+    if (const JsonValue *m = obj.take("controlSizeFlits")) {
+        coll.controlSizeFlits =
+            m->asInt(obj.sub("controlSizeFlits"));
+        if (coll.controlSizeFlits < 1)
+            fatal(obj.sub("controlSizeFlits"),
+                  ": must be at least 1 flit");
+    }
+    obj.finish();
+    return coll;
+}
+
+} // namespace
+
 TrafficSpec
 trafficSpecFromJson(const JsonValue &v, const std::string &path)
 {
@@ -296,8 +480,36 @@ trafficSpecFromJson(const JsonValue &v, const std::string &path)
     TrafficSpec traffic;
     const JsonValue *workload = obj.take("workload");
     const JsonValue *pattern = obj.take("pattern");
+    const JsonValue *closedLoop = obj.take("closedLoop");
+    const JsonValue *collective = obj.take("collective");
     if (workload && pattern)
         fatal(path, ": 'workload' and 'pattern' are exclusive");
+    if ((workload && (closedLoop || collective)) ||
+        (closedLoop && collective))
+        fatal(path, ": 'workload', 'closedLoop' and 'collective' "
+                    "are exclusive");
+    if (collective && pattern)
+        fatal(path, ": 'collective' does not draw destinations from "
+                    "a 'pattern'");
+    if (closedLoop) {
+        traffic.kind = TrafficSpec::Kind::ClosedLoop;
+        if (pattern)
+            traffic.pattern = atPath(obj.sub("pattern"), [&] {
+                return patternFromName(
+                    pattern->asString(obj.sub("pattern")));
+            });
+        traffic.closedLoop =
+            closedLoopFromJson(*closedLoop, obj.sub("closedLoop"));
+        obj.finish();
+        return traffic;
+    }
+    if (collective) {
+        traffic.kind = TrafficSpec::Kind::Collective;
+        traffic.collective =
+            collectiveFromJson(*collective, obj.sub("collective"));
+        obj.finish();
+        return traffic;
+    }
     if (workload) {
         traffic.kind = TrafficSpec::Kind::Workload;
         traffic.workload = workload->asString(obj.sub("workload"));

@@ -19,7 +19,17 @@
 
 namespace snoc {
 
-/** Evaluate one load point; must be deterministic in `load`. */
+/**
+ * Evaluate one point of the swept axis; must be deterministic in
+ * the x value. For open-loop scenarios x is the offered load in
+ * flits/node/cycle; for closed-loop scenarios the engine maps x
+ * through applySweepValue (exp/scenario.hh) onto the spec's sweep
+ * axis — issue probability by default. Issue probability is the
+ * supported *saturation* axis: stalling grows monotonically with it,
+ * so the stable/unstable boundary brackets exactly like an open-loop
+ * load. Window depth is a sweep-only axis — deeper windows stall
+ * *less*, which would invert the bisection bracket.
+ */
 using PointEvaluator = std::function<SimResult(double load)>;
 
 /**

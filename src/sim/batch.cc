@@ -458,6 +458,7 @@ assembleResult(Network &net, Cycle measured, std::uint64_t backlog,
     r.stable = static_cast<double>(backlog) * 6.0 <
                std::max<double>(1.0, static_cast<double>(offered));
     r.counters = windowEnd - before;
+    applyClosedLoopStability(r, nodes, cycles);
     return r;
 }
 

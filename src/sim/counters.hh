@@ -46,6 +46,25 @@ struct SimCounters
     std::uint64_t packetsRerouted = 0;   //!< committed detours replanned
                                          //!< around a fault
 
+    // --- closed-loop workload group (src/workload/; all zero for
+    // open-loop traffic, so fault-free/open-loop runs stay
+    // bit-identical to builds that predate the group) ---
+    // Conservation contract (tests/support/sim_invariants.hh):
+    //   clRequestsIssued == clRepliesMatched + clSlotsPurged
+    //                       + live window slots
+    std::uint64_t clRequestsIssued = 0;  //!< request chains started
+    std::uint64_t clRepliesMatched = 0;  //!< replies closing a chain
+    std::uint64_t clReqLatencySum = 0;   //!< sum of request->reply
+                                         //!< latencies [cycles]
+    std::uint64_t clWindowOccupancy = 0; //!< sum over node-cycles of
+                                         //!< outstanding requests
+    std::uint64_t clStallNodeCycles = 0; //!< node-cycles spent with a
+                                         //!< full window (no inject)
+    std::uint64_t clSlotsPurged = 0;     //!< chains cut by a fault
+                                         //!< drop; the waiting slot
+                                         //!< was freed, not leaked
+    std::uint64_t clPhasesCompleted = 0; //!< collective phases done
+
     void
     reset()
     {
@@ -73,6 +92,13 @@ struct SimCounters
         packetsUnroutable += o.packetsUnroutable;
         packetsRefused += o.packetsRefused;
         packetsRerouted += o.packetsRerouted;
+        clRequestsIssued += o.clRequestsIssued;
+        clRepliesMatched += o.clRepliesMatched;
+        clReqLatencySum += o.clReqLatencySum;
+        clWindowOccupancy += o.clWindowOccupancy;
+        clStallNodeCycles += o.clStallNodeCycles;
+        clSlotsPurged += o.clSlotsPurged;
+        clPhasesCompleted += o.clPhasesCompleted;
         return *this;
     }
 
@@ -101,6 +127,16 @@ struct SimCounters
             a.packetsUnroutable - b.packetsUnroutable;
         d.packetsRefused = a.packetsRefused - b.packetsRefused;
         d.packetsRerouted = a.packetsRerouted - b.packetsRerouted;
+        d.clRequestsIssued = a.clRequestsIssued - b.clRequestsIssued;
+        d.clRepliesMatched = a.clRepliesMatched - b.clRepliesMatched;
+        d.clReqLatencySum = a.clReqLatencySum - b.clReqLatencySum;
+        d.clWindowOccupancy =
+            a.clWindowOccupancy - b.clWindowOccupancy;
+        d.clStallNodeCycles =
+            a.clStallNodeCycles - b.clStallNodeCycles;
+        d.clSlotsPurged = a.clSlotsPurged - b.clSlotsPurged;
+        d.clPhasesCompleted =
+            a.clPhasesCompleted - b.clPhasesCompleted;
         return d;
     }
 };

@@ -411,6 +411,8 @@ Network::purgeAfterFaults()
             if (!routerLive_[static_cast<std::size_t>(r)] ||
                 unroutableFrom(h, r)) {
                 ++counters_->packetsRefused;
+                if (onDrop_)
+                    onDrop_(pool_->get(h));
                 pool_->release(h);
             } else {
                 q.push_back(h);
@@ -424,6 +426,8 @@ Network::purgeAfterFaults()
             ++counters_->packetsDropped;
         else
             ++counters_->packetsUnroutable;
+        if (onDrop_)
+            onDrop_(pool_->get(h));
         pool_->release(h);
     }
 

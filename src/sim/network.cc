@@ -147,7 +147,7 @@ Network::reservePackets(std::size_t packets)
 
 void
 Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
-                     MsgClass msgClass)
+                     MsgClass msgClass, std::uint32_t tag)
 {
     SNOC_ASSERT(srcNode >= 0 && srcNode < topo_->numNodes() &&
                     dstNode >= 0 && dstNode < topo_->numNodes(),
@@ -156,8 +156,24 @@ Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
     SNOC_ASSERT(sizeFlits >= 1, "empty packet");
     if (faultsArmed_ &&
         offerBlockedByFaults(topo_->routerOfNode(srcNode),
-                             topo_->routerOfNode(dstNode)))
+                             topo_->routerOfNode(dstNode))) {
+        // Refused before a pool slot exists: synthesize a transient
+        // Packet so the drop callback still sees src/dst/class/tag
+        // (the workload layer frees the issuing window slot here).
+        if (onDrop_) {
+            Packet refused;
+            refused.srcNode = srcNode;
+            refused.dstNode = dstNode;
+            refused.srcRouter = topo_->routerOfNode(srcNode);
+            refused.dstRouter = topo_->routerOfNode(dstNode);
+            refused.sizeFlits = sizeFlits;
+            refused.msgClass = msgClass;
+            refused.createdAt = now_;
+            refused.tag = tag;
+            onDrop_(refused);
+        }
         return;
+    }
     PacketHandle h = pool_->alloc();
     Packet &pkt = pool_->get(h);
     pkt.id = nextPacketId_++;
@@ -168,6 +184,7 @@ Network::offerPacket(int srcNode, int dstNode, int sizeFlits,
     pkt.sizeFlits = sizeFlits;
     pkt.msgClass = msgClass;
     pkt.createdAt = now_;
+    pkt.tag = tag;
     routing_->onInject(pkt, *this);
     sourceQueues_[static_cast<std::size_t>(srcNode)].push_back(h);
     if (batchObs_)

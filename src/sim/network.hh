@@ -54,6 +54,17 @@ struct LinkConfig
  */
 using DeliveryCallback = std::function<void(const Packet &)>;
 
+/**
+ * Called for every packet the fault machinery removes without
+ * delivering it: offer-time refusals, source-queue purges, and
+ * in-flight kills. The closed-loop workload layer uses it to free
+ * the window slot a purged request/reply chain would have completed
+ * — without it a fault would deadlock the slot forever. Same
+ * borrowed-reference contract as DeliveryCallback. Never invoked on
+ * fault-free runs.
+ */
+using DropCallback = std::function<void(const Packet &)>;
+
 /** A simulated network instance. */
 class Network : public NetworkState
 {
@@ -97,13 +108,41 @@ class Network : public NetworkState
      * time is `now()` unless createdAt is provided.
      */
     void offerPacket(int srcNode, int dstNode, int sizeFlits,
-                     MsgClass msgClass = MsgClass::Generic);
+                     MsgClass msgClass = MsgClass::Generic,
+                     std::uint32_t tag = 0);
 
     /** Advance one cycle. */
     void step();
 
     /** Set a callback invoked at packet delivery. */
     void setDeliveryCallback(DeliveryCallback cb) { onDeliver_ = cb; }
+
+    /**
+     * The currently-installed delivery callback (possibly empty).
+     * Layers that need their own hook — the workload sources, the
+     * test suite's invariant checker — chain whatever was installed
+     * before them instead of clobbering it.
+     */
+    const DeliveryCallback &deliveryCallback() const
+    {
+        return onDeliver_;
+    }
+
+    /** Set a callback invoked when a fault discards a packet. */
+    void setDropCallback(DropCallback cb) { onDrop_ = cb; }
+
+    /** The currently-installed drop callback (for chaining). */
+    const DropCallback &dropCallback() const { return onDrop_; }
+
+    /**
+     * Mutable counter access for the workload layer (src/workload/):
+     * closed-loop sources account their window occupancy, stall
+     * cycles and request latencies here so the counters ride the
+     * existing measurement-window snapshot/merge machinery in every
+     * execution mode. Only touched from the serial phases (source
+     * calls and delivery/drop callbacks), never from shard workers.
+     */
+    SimCounters &workloadCounters() { return *counters_; }
 
     /**
      * Pre-size the packet arena (and each source queue) for at least
@@ -217,6 +256,7 @@ class Network : public NetworkState
     std::vector<int> chanFlitSink_;
     std::vector<int> chanCreditSink_;
     DeliveryCallback onDeliver_;
+    DropCallback onDrop_;
 
     /** Per-node source queue of not-yet-flitized packets. */
     std::vector<RingBuffer<PacketHandle>> sourceQueues_;

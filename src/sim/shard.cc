@@ -356,6 +356,7 @@ runShardedSimulation(ShardedNetwork &sn, const TrafficSource &source,
     r.stable = static_cast<double>(sourceBacklog) * 6.0 <
                std::max<double>(1.0, static_cast<double>(offered));
     r.counters = windowEnd - before;
+    applyClosedLoopStability(r, nodes, cycles);
     return r;
 }
 

@@ -72,7 +72,19 @@ runSimulation(Network &net, const TrafficSource &source,
                std::max<double>(1.0, static_cast<double>(offered));
     // Window activity only: drives the dynamic-power model.
     r.counters = windowEnd - before;
+    applyClosedLoopStability(r, nodes, cycles);
     return r;
+}
+
+void
+applyClosedLoopStability(SimResult &r, double nodes, double cycles)
+{
+    const SimCounters &w = r.counters;
+    if (w.clRequestsIssued == 0 && w.clStallNodeCycles == 0 &&
+        w.clWindowOccupancy == 0)
+        return;
+    r.stable = static_cast<double>(w.clStallNodeCycles) * 2.0 <
+               nodes * cycles;
 }
 
 namespace {

@@ -54,6 +54,19 @@ struct SimConfig
 SimResult runSimulation(Network &net, const TrafficSource &source,
                         const SimConfig &cfg);
 
+/**
+ * Closed-loop stability override, shared by all three run drivers
+ * (serial, batched, sharded) so `stable` is mode-invariant. Open-loop
+ * instability shows up as source backlog; a closed-loop source never
+ * grows backlog — it stalls instead. When the measurement window
+ * recorded closed-loop activity, redefine stability as "less than
+ * half of all node-cycles were spent with a full window". No-op (and
+ * bit-identical behavior) when the window counters show no
+ * closed-loop activity.
+ */
+void applyClosedLoopStability(SimResult &r, double nodes,
+                              double cycles);
+
 /** One point of a load sweep. */
 struct LoadPoint
 {

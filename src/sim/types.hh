@@ -49,6 +49,12 @@ struct Packet
 
     // Router-visit count, used for hop-indexed VC selection.
     int hops = 0;
+
+    // Opaque caller tag, carried untouched from offerPacket() to the
+    // delivery/drop callbacks. The closed-loop workload layer
+    // (src/workload/) uses it to map a packet back to the MSHR-like
+    // window slot that issued its request chain; 0 means untagged.
+    std::uint32_t tag = 0;
 };
 
 /**

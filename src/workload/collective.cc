@@ -1,0 +1,212 @@
+#include "workload/collective.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+CollectiveState::CollectiveState(const CollectiveSpec &spec) : spec_(spec)
+{
+    SNOC_ASSERT(spec_.root >= 0 && spec_.fanout >= 0 &&
+                    spec_.rounds >= 0 && spec_.phases >= 0 &&
+                    spec_.payloadSizeFlits >= 1 &&
+                    spec_.controlSizeFlits >= 1,
+                "bad collective spec");
+}
+
+void
+CollectiveState::attach(Network &net)
+{
+    if (net_ != nullptr) {
+        SNOC_ASSERT(net_ == &net,
+                    "collective source reused across networks");
+        return;
+    }
+    net_ = &net;
+    n_ = net.topology().numNodes();
+    phasesPerRound_ = n_ - 1;
+    if (spec_.phases > 0 && spec_.phases < phasesPerRound_)
+        phasesPerRound_ = spec_.phases;
+    DeliveryCallback prevDeliver = net.deliveryCallback();
+    net.setDeliveryCallback([this, prevDeliver](const Packet &p) {
+        if (prevDeliver)
+            prevDeliver(p);
+        handleDeliver(p);
+    });
+    DropCallback prevDrop = net.dropCallback();
+    net.setDropCallback([this, prevDrop](const Packet &p) {
+        if (prevDrop)
+            prevDrop(p);
+        handleDrop(p);
+    });
+}
+
+void
+CollectiveState::offer(Network &net, const PendingMsg &m)
+{
+    if (m.startsChain) {
+        ++tokens_;
+        ++net.workloadCounters().clRequestsIssued;
+    }
+    // An offer-time fault refusal fires the drop callback
+    // synchronously, resolving the token again before we return.
+    net.offerPacket(m.src, m.dst, m.size, m.cls, kCollectiveTag);
+}
+
+void
+CollectiveState::startRound(Network &net, Cycle now)
+{
+    roundActive_ = true;
+    switch (spec_.kind) {
+      case CollectiveKind::Broadcast: {
+        // Roots rotate so the reply hotspot moves every round.
+        int root = (spec_.root + rounds_) % n_;
+        int members = n_ - 1;
+        if (spec_.fanout > 0 && spec_.fanout < members)
+            members = spec_.fanout;
+        int sent = 0;
+        for (int dst = 0; dst < n_ && sent < members; ++dst) {
+            if (dst == root)
+                continue;
+            offer(net, {now, root, dst, MsgClass::WriteReq,
+                        spec_.payloadSizeFlits, true});
+            ++sent;
+        }
+        break;
+      }
+      case CollectiveKind::Barrier: {
+        int root = spec_.root % n_;
+        barrierStage_ = 0;
+        for (int src = 0; src < n_; ++src) {
+            if (src == root)
+                continue;
+            offer(net, {now, src, root, MsgClass::Coherence,
+                        spec_.controlSizeFlits, true});
+        }
+        break;
+      }
+      case CollectiveKind::AllToAll:
+        phase_ = 1;
+        startAllToAllPhase(net, now);
+        break;
+    }
+}
+
+void
+CollectiveState::startAllToAllPhase(Network &net, Cycle now)
+{
+    for (int src = 0; src < n_; ++src) {
+        int dst = (src + phase_) % n_;
+        if (dst == src)
+            continue;
+        offer(net, {now, src, dst, MsgClass::WriteReq,
+                    spec_.payloadSizeFlits, true});
+    }
+}
+
+void
+CollectiveState::advance(Network &net, Cycle now)
+{
+    // All tokens of the current stage resolved and nothing is
+    // parked: move the schedule forward.
+    switch (spec_.kind) {
+      case CollectiveKind::Barrier:
+        if (barrierStage_ == 0 && n_ > 1) {
+            // Everyone arrived: the root releases all members.
+            barrierStage_ = 1;
+            int root = spec_.root % n_;
+            for (int dst = 0; dst < n_; ++dst) {
+                if (dst == root)
+                    continue;
+                pending_.push_back({now + 1, root, dst,
+                                    MsgClass::Coherence,
+                                    spec_.controlSizeFlits, true});
+            }
+            return;
+        }
+        break;
+      case CollectiveKind::AllToAll:
+        ++net.workloadCounters().clPhasesCompleted;
+        if (phase_ < phasesPerRound_) {
+            ++phase_;
+            startAllToAllPhase(net, now);
+            return;
+        }
+        // Last phase: fall through to round completion, which was
+        // already tallied phase by phase.
+        roundActive_ = false;
+        ++rounds_;
+        nextStartAt_ = now + spec_.gapCycles;
+        return;
+      case CollectiveKind::Broadcast:
+        break;
+    }
+    ++net.workloadCounters().clPhasesCompleted;
+    roundActive_ = false;
+    ++rounds_;
+    nextStartAt_ = now + spec_.gapCycles;
+}
+
+bool
+CollectiveState::pump(Network &net, Cycle now)
+{
+    attach(net);
+    bool moreRounds = spec_.rounds == 0 || rounds_ < spec_.rounds;
+    if (roundActive_ && tokens_ == 0 && pending_.empty()) {
+        advance(net, now);
+        moreRounds = spec_.rounds == 0 || rounds_ < spec_.rounds;
+    }
+    if (!roundActive_ && moreRounds && now >= nextStartAt_)
+        startRound(net, now);
+    while (!pending_.empty() && pending_.front().at <= now) {
+        PendingMsg m = pending_.front();
+        pending_.pop_front();
+        offer(net, m);
+    }
+    return roundActive_ || moreRounds || tokens_ > 0 ||
+           !pending_.empty();
+}
+
+void
+CollectiveState::handleDeliver(const Packet &p)
+{
+    if (p.tag != kCollectiveTag)
+        return;
+    SimCounters &c = net_->workloadCounters();
+    if (spec_.kind == CollectiveKind::Broadcast &&
+        p.msgClass == MsgClass::WriteReq) {
+        // Payload landed: the member acknowledges to the sender. The
+        // chain (and its token) stays open until the ack arrives.
+        pending_.push_back({p.ejectedAt + 1, p.dstNode, p.srcNode,
+                            MsgClass::Coherence, spec_.controlSizeFlits,
+                            false});
+        return;
+    }
+    SNOC_ASSERT(tokens_ > 0, "collective delivery without open token");
+    --tokens_;
+    ++c.clRepliesMatched;
+    c.clReqLatencySum += p.ejectedAt - p.createdAt;
+}
+
+void
+CollectiveState::handleDrop(const Packet &p)
+{
+    if (p.tag != kCollectiveTag)
+        return;
+    // Any dropped leg resolves its chain, complete or not —
+    // otherwise a single fault would wedge the phase forever.
+    SNOC_ASSERT(tokens_ > 0, "collective drop without open token");
+    --tokens_;
+    ++net_->workloadCounters().clSlotsPurged;
+}
+
+CollectiveSource
+makeCollectiveSource(const CollectiveSpec &spec)
+{
+    auto state = std::make_shared<CollectiveState>(spec);
+    TrafficSource source = [state](Network &net, Cycle now) -> bool {
+        return state->pump(net, now);
+    };
+    return {std::move(source), std::move(state)};
+}
+
+} // namespace snoc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Collective-communication episode generator: broadcast, barrier and
+ * phased all-to-all rounds as a closed-loop schedule.
+ *
+ * Each round opens a set of dependency chains ("tokens"): a
+ * broadcast payload that must be acknowledged, a barrier arrival
+ * that must be answered by a release, an all-to-all shift that must
+ * be delivered. The next phase/round starts only when every token of
+ * the current one has resolved — completion is driven by deliveries,
+ * not by a configured rate, so collective latency is measured
+ * end-to-end instead of assumed.
+ *
+ * Determinism and fault rules match the closed-loop source
+ * (workload/closed_loop.hh): offers happen only inside the
+ * TrafficSource call, continuations are parked in a cycle-ordered
+ * pending queue, and any fault-dropped leg resolves its token
+ * (counted in clSlotsPurged) so a lossy run cannot wedge a phase.
+ *
+ * Counter mapping: every chain start is a clRequestsIssued, every
+ * chain that completes is a clRepliesMatched, so the window
+ * conservation law (issued == matched + purged + live) audits
+ * collectives with live == open tokens. Completed phases/rounds are
+ * tallied in clPhasesCompleted.
+ */
+
+#ifndef SNOC_WORKLOAD_COLLECTIVE_HH
+#define SNOC_WORKLOAD_COLLECTIVE_HH
+
+#include <deque>
+#include <memory>
+
+#include "sim/simulation.hh"
+#include "workload/spec.hh"
+
+namespace snoc {
+
+/** Tag carried by every collective packet (slot tags start at 1 in
+ *  the closed-loop layer; the two sources are never co-installed). */
+inline constexpr std::uint32_t kCollectiveTag = 1;
+
+/** Live state behind a collective source (auditable by tests). */
+class CollectiveState
+{
+  public:
+    explicit CollectiveState(const CollectiveSpec &spec);
+
+    /** Called once per cycle by the TrafficSource wrapper. */
+    bool pump(Network &net, Cycle now);
+
+    const CollectiveSpec &spec() const { return spec_; }
+
+    /** Chains opened and not yet resolved. */
+    std::uint64_t openTokens() const { return tokens_; }
+
+    /** Fully completed rounds. */
+    int roundsCompleted() const { return rounds_; }
+
+    /** Continuations parked for a later cycle. */
+    std::size_t pendingMessages() const { return pending_.size(); }
+
+    /** True between a round's first offer and its last resolution. */
+    bool roundActive() const { return roundActive_; }
+
+  private:
+    struct PendingMsg
+    {
+        Cycle at = 0;
+        int src = -1;
+        int dst = -1;
+        MsgClass cls = MsgClass::Generic;
+        int size = 1;
+        bool startsChain = false; //!< opens a token when offered
+    };
+
+    void attach(Network &net);
+    void handleDeliver(const Packet &p);
+    void handleDrop(const Packet &p);
+    void offer(Network &net, const PendingMsg &m);
+    void startRound(Network &net, Cycle now);
+    void startAllToAllPhase(Network &net, Cycle now);
+    /** Resolve token==0 states: stage flips, phase/round completion. */
+    void advance(Network &net, Cycle now);
+
+    CollectiveSpec spec_;
+    Network *net_ = nullptr;
+    int n_ = 0;             //!< node count (known after attach)
+    int phasesPerRound_ = 0;
+    std::uint64_t tokens_ = 0;
+    int rounds_ = 0;        //!< completed rounds
+    int phase_ = 0;         //!< current all-to-all shift (1-based)
+    int barrierStage_ = 0;  //!< 0 = arriving, 1 = releasing
+    bool roundActive_ = false;
+    Cycle nextStartAt_ = 0;
+    std::deque<PendingMsg> pending_;
+};
+
+/** A collective source plus its auditable state. */
+struct CollectiveSource
+{
+    TrafficSource source;
+    std::shared_ptr<CollectiveState> state;
+};
+
+/** Build a collective schedule source (fully deterministic: no RNG). */
+CollectiveSource makeCollectiveSource(const CollectiveSpec &spec);
+
+} // namespace snoc
+
+#endif // SNOC_WORKLOAD_COLLECTIVE_HH

@@ -1,0 +1,72 @@
+#include "workload/spec.hh"
+
+#include "common/log.hh"
+
+namespace snoc {
+
+namespace {
+
+constexpr std::pair<ClosedLoopAxis, const char *> kAxes[] = {
+    {ClosedLoopAxis::IssueProb, "issue-prob"},
+    {ClosedLoopAxis::Window, "window"},
+};
+
+constexpr std::pair<CollectiveKind, const char *> kKinds[] = {
+    {CollectiveKind::Broadcast, "bcast"},
+    {CollectiveKind::Barrier, "barrier"},
+    {CollectiveKind::AllToAll, "a2a"},
+};
+
+} // namespace
+
+std::string
+to_string(ClosedLoopAxis axis)
+{
+    for (const auto &[a, name] : kAxes)
+        if (a == axis)
+            return name;
+    SNOC_PANIC("unregistered closed-loop axis");
+}
+
+ClosedLoopAxis
+closedLoopAxisFromName(const std::string &name)
+{
+    for (const auto &[a, n] : kAxes)
+        if (name == n)
+            return a;
+    fatal("unknown closed-loop sweep axis '", name,
+          "' (expected one of: issue-prob, window)");
+}
+
+std::string
+to_string(CollectiveKind kind)
+{
+    for (const auto &[k, name] : kKinds)
+        if (k == kind)
+            return name;
+    SNOC_PANIC("unregistered collective kind");
+}
+
+CollectiveKind
+collectiveKindFromName(const std::string &name)
+{
+    for (const auto &[k, n] : kKinds)
+        if (name == n)
+            return k;
+    fatal("unknown collective kind '", name,
+          "' (expected one of: bcast, barrier, a2a)");
+}
+
+const std::vector<std::string> &
+collectiveKindNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &[k, n] : kKinds)
+            v.push_back(n);
+        return v;
+    }();
+    return names;
+}
+
+} // namespace snoc

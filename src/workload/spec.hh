@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pure-data specifications for the closed-loop and collective
+ * workload layer (src/workload/).
+ *
+ * Open-loop synthetic traffic (traffic/synthetic.hh) offers packets
+ * at a configured rate regardless of what the network delivers; real
+ * multicore memory traffic is latency-bound: a core issues a read,
+ * stalls when its MSHR window fills, and only proceeds when the
+ * reply returns. These specs describe that behavior as data —
+ * MOSI-style request/reply/forward chains with a per-node
+ * outstanding-request window, and collective phases (broadcast,
+ * barrier, all-to-all) — so Scenarios can carry them through the
+ * serializer, the report and the CLI exactly like every other knob.
+ */
+
+#ifndef SNOC_WORKLOAD_SPEC_HH
+#define SNOC_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snoc {
+
+/** Which knob a sweep/saturation job varies on a closed-loop spec. */
+enum class ClosedLoopAxis
+{
+    IssueProb, //!< injection aggressiveness in [0, 1]
+    Window,    //!< MSHR window depth (rounded to an integer >= 1)
+};
+
+/**
+ * Closed-loop request/reply traffic: every node runs an MSHR-like
+ * window of outstanding requests. Each cycle a node with a free slot
+ * issues a read request (probability `issueProb`) to a destination
+ * drawn from the scenario's TrafficPattern; the home node replies
+ * after `memoryDelay` cycles — or, with probability
+ * `forwardFraction`, forwards to a third-party owner that replies
+ * (the MOSI dirty-miss 3-hop pattern). A node whose window is full
+ * stalls and injects nothing until a reply (or a fault purge) frees
+ * a slot.
+ */
+struct ClosedLoopSpec
+{
+    int window = 8;           //!< outstanding requests per node
+    double issueProb = 1.0;   //!< issue chance per free-slot cycle
+    int requestSizeFlits = 2; //!< ReadReq size (address-only)
+    int replySizeFlits = 6;   //!< Reply size (carries the cache line)
+    int forwardSizeFlits = 2; //!< owner-forward (Coherence) size
+    double forwardFraction = 0.0; //!< 3-hop dirty-miss probability
+    Cycle memoryDelay = 60;   //!< home/owner lookup latency [cycles]
+    ClosedLoopAxis sweepAxis = ClosedLoopAxis::IssueProb;
+    std::uint64_t stopAfterRequests = 0; //!< 0 = issue forever;
+                                         //!< else quiesce after N
+                                         //!< requests (per network)
+
+    bool operator==(const ClosedLoopSpec &) const = default;
+};
+
+/** Collective episode families. */
+enum class CollectiveKind
+{
+    Broadcast, //!< root fans a payload out; done when all acks return
+    Barrier,   //!< all arrive at the root, then the root releases all
+    AllToAll,  //!< phased shifts: phase p sends i -> (i + p) mod n
+};
+
+/**
+ * A repeating collective phase schedule. Rounds run back to back
+ * (separated by `gapCycles` idle cycles); `rounds == 0` repeats
+ * until the simulation window closes. Broadcast roots rotate by one
+ * node per round so the load is not pinned to one ejection port.
+ */
+struct CollectiveSpec
+{
+    CollectiveKind kind = CollectiveKind::Broadcast;
+    int root = 0;        //!< first root (broadcast) / the root (barrier)
+    int fanout = 0;      //!< broadcast member count; 0 = all nodes
+    int rounds = 0;      //!< episodes to run; 0 = unlimited
+    int phases = 0;      //!< all-to-all shifts per round; 0 = n - 1
+    Cycle gapCycles = 0; //!< idle cycles between rounds
+    int payloadSizeFlits = 6; //!< data message size
+    int controlSizeFlits = 2; //!< ack / arrive / release size
+
+    bool operator==(const CollectiveSpec &) const = default;
+};
+
+/** Registry name of an axis: "issue-prob" or "window". */
+std::string to_string(ClosedLoopAxis axis);
+
+/**
+ * Resolve an axis name.
+ * @throws FatalError listing the valid names when unknown.
+ */
+ClosedLoopAxis closedLoopAxisFromName(const std::string &name);
+
+/** Registry name of a collective kind: "bcast", "barrier", "a2a". */
+std::string to_string(CollectiveKind kind);
+
+/**
+ * Resolve a collective-kind name.
+ * @throws FatalError listing the valid names when unknown.
+ */
+CollectiveKind collectiveKindFromName(const std::string &name);
+
+/** All registered collective names (`snoc list collectives`). */
+const std::vector<std::string> &collectiveKindNames();
+
+} // namespace snoc
+
+#endif // SNOC_WORKLOAD_SPEC_HH

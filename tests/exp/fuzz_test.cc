@@ -54,7 +54,40 @@ sampleScenario(Rng &rng)
     s.topology = topologies[rng.nextUint(4)];
     s.routerConfig = routerCfgs[rng.nextUint(3)];
     s.routing = modes[rng.nextUint(4)];
-    s.traffic = TrafficSpec::synthetic(patterns[rng.nextUint(3)]);
+    // Traffic axis: mostly open-loop synthetic, with closed-loop
+    // request/reply windows and collective schedules in the mix.
+    // Closed-loop samples always quiesce (finite stopAfterRequests /
+    // rounds) so the invariant pass can drain them to empty.
+    switch (rng.nextUint(4)) {
+      case 0: {
+        ClosedLoopSpec cl;
+        cl.window = 1 + static_cast<int>(rng.nextUint(8));
+        cl.issueProb = 0.2 + 0.8 * rng.nextDouble();
+        cl.forwardFraction = rng.nextUint(2) ? 0.3 : 0.0;
+        cl.memoryDelay = 5 + rng.nextUint(40);
+        cl.stopAfterRequests = 100 + rng.nextUint(400);
+        s.traffic = TrafficSpec::closedLoopOn(
+            patterns[rng.nextUint(3)], cl);
+        break;
+      }
+      case 1: {
+        CollectiveSpec coll;
+        static const CollectiveKind kinds[] = {
+            CollectiveKind::Broadcast, CollectiveKind::Barrier,
+            CollectiveKind::AllToAll};
+        coll.kind = kinds[rng.nextUint(3)];
+        coll.root = static_cast<int>(rng.nextUint(8));
+        coll.rounds = 1 + static_cast<int>(rng.nextUint(3));
+        if (coll.kind == CollectiveKind::AllToAll)
+            coll.phases = 1 + static_cast<int>(rng.nextUint(6));
+        coll.gapCycles = rng.nextUint(30);
+        s.traffic = TrafficSpec::collectiveOf(coll);
+        break;
+      }
+      default:
+        s.traffic = TrafficSpec::synthetic(patterns[rng.nextUint(3)]);
+        break;
+    }
     s.load = 0.03 + 0.3 * rng.nextDouble();
     s.seed = rng.next();
     s.routingSeed = rng.next();
@@ -131,6 +164,18 @@ expectBitwiseEqual(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.counters.packetsRefused, b.counters.packetsRefused);
     EXPECT_EQ(a.counters.packetsRerouted,
               b.counters.packetsRerouted);
+    EXPECT_EQ(a.counters.clRequestsIssued,
+              b.counters.clRequestsIssued);
+    EXPECT_EQ(a.counters.clRepliesMatched,
+              b.counters.clRepliesMatched);
+    EXPECT_EQ(a.counters.clReqLatencySum, b.counters.clReqLatencySum);
+    EXPECT_EQ(a.counters.clWindowOccupancy,
+              b.counters.clWindowOccupancy);
+    EXPECT_EQ(a.counters.clStallNodeCycles,
+              b.counters.clStallNodeCycles);
+    EXPECT_EQ(a.counters.clSlotsPurged, b.counters.clSlotsPurged);
+    EXPECT_EQ(a.counters.clPhasesCompleted,
+              b.counters.clPhasesCompleted);
 }
 
 TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
@@ -233,26 +278,86 @@ TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
         Network net(topo, RouterConfig::named(s.routerConfig),
                     s.link, s.routing, s.routingSeed, s.faults);
         SimInvariantChecker checker(net);
-        auto pattern = std::shared_ptr<TrafficPattern>(
-            makeTrafficPattern(s.traffic.pattern, topo));
-        SyntheticConfig sc;
-        sc.load = s.load;
-        sc.packetSizeFlits = s.traffic.packetSizeFlits;
-        sc.seed = s.seed;
-        TrafficSource source = makeSyntheticSource(pattern, sc);
+        // Build the source directly (not via the engine) so the
+        // closed-loop/collective state stays visible for the window
+        // and token conservation audits.
+        TrafficSource source;
+        std::shared_ptr<ClosedLoopState> clState;
+        std::shared_ptr<CollectiveState> collState;
+        switch (s.traffic.kind) {
+          case TrafficSpec::Kind::ClosedLoop: {
+            auto pattern = std::shared_ptr<TrafficPattern>(
+                makeTrafficPattern(s.traffic.pattern, topo));
+            ClosedLoopSource cls = makeClosedLoopSource(
+                pattern, s.traffic.closedLoop, s.seed);
+            source = std::move(cls.source);
+            clState = std::move(cls.state);
+            break;
+          }
+          case TrafficSpec::Kind::Collective: {
+            CollectiveSource cs =
+                makeCollectiveSource(s.traffic.collective);
+            source = std::move(cs.source);
+            collState = std::move(cs.state);
+            break;
+          }
+          default: {
+            auto pattern = std::shared_ptr<TrafficPattern>(
+                makeTrafficPattern(s.traffic.pattern, topo));
+            SyntheticConfig sc;
+            sc.load = s.load;
+            sc.packetSizeFlits = s.traffic.packetSizeFlits;
+            sc.seed = s.seed;
+            source = makeSyntheticSource(pattern, sc);
+            break;
+          }
+        }
+
+        auto auditWorkload = [&](const std::string &when) {
+            if (clState)
+                testsupport::checkClosedLoopWindows(net, *clState,
+                                                    when);
+            if (collState)
+                testsupport::checkCollectiveTokens(net, *collState,
+                                                   when);
+        };
 
         Cycle total = s.sim.warmupCycles + s.sim.measureCycles;
+        bool alive = true;
         for (Cycle c = 0; c < total; ++c) {
-            source(net, net.now());
+            if (alive)
+                alive = source(net, net.now());
             net.step();
         }
         checker.check("mid-run");
+        auditWorkload("mid-run");
+        // Closed-loop drains keep pumping the source: parked chain
+        // continuations only enter the network through source calls,
+        // and the fuzzed specs are finite, so the source eventually
+        // reports exhaustion and the network empties. Open-loop
+        // sources never exhaust and must NOT be pumped here.
+        bool sourceDriven = clState != nullptr || collState != nullptr;
         for (int c = 0; c < 60000 &&
-                        net.flitsInFlight() + net.sourceQueueDepth() >
-                            0;
-             ++c)
+                        ((sourceDriven && alive) ||
+                         net.flitsInFlight() + net.sourceQueueDepth() >
+                             0);
+             ++c) {
+            if (sourceDriven && alive)
+                alive = source(net, net.now());
             net.step();
+        }
         checker.checkQuiescent("after drain");
+        auditWorkload("after drain");
+        if (clState) {
+            EXPECT_EQ(clState->liveSlots(), 0u)
+                << "drain left live window slots";
+            EXPECT_EQ(clState->pendingMessages(), 0u)
+                << "drain left parked chain messages";
+        }
+        if (collState) {
+            EXPECT_EQ(collState->openTokens(), 0u)
+                << "drain left open collective tokens";
+        }
     }
 }
 

@@ -32,8 +32,63 @@
 #include <unordered_set>
 
 #include "sim/network.hh"
+#include "workload/closed_loop.hh"
+#include "workload/collective.hh"
 
 namespace snoc::testsupport {
+
+/**
+ * Window-conservation audit for a closed-loop source
+ * (src/workload/closed_loop.hh). Valid at any cycle boundary:
+ *  - no node exceeds its window, no occupancy goes negative;
+ *  - per-node outstanding counts sum to the live slot count;
+ *  - every request ever issued is matched by a reply, purged by a
+ *    fault, or still holds a live slot (whole-run counters).
+ */
+inline void
+checkClosedLoopWindows(const Network &net, const ClosedLoopState &state,
+                       const std::string &when = "")
+{
+    std::uint64_t sum = 0;
+    for (std::size_t node = 0; node < state.outstanding().size();
+         ++node) {
+        int out = state.outstanding()[node];
+        EXPECT_GE(out, 0) << when << ": node " << node
+                          << " negative outstanding count";
+        EXPECT_LE(out, state.spec().window)
+            << when << ": node " << node << " exceeded its window";
+        sum += static_cast<std::uint64_t>(out);
+    }
+    EXPECT_EQ(sum, state.liveSlots())
+        << when << ": outstanding counts diverged from live slots";
+    const SimCounters &c = net.counters();
+    EXPECT_EQ(c.clRequestsIssued,
+              c.clRepliesMatched + c.clSlotsPurged + state.liveSlots())
+        << when << ": request conservation (issued "
+        << c.clRequestsIssued << ", matched " << c.clRepliesMatched
+        << ", purged " << c.clSlotsPurged << ", live "
+        << state.liveSlots() << ")";
+    EXPECT_EQ(c.clRequestsIssued, state.requestsIssued())
+        << when << ": issued counter diverged from source state";
+}
+
+/**
+ * Token-conservation audit for a collective source: every chain the
+ * schedule opened resolved by delivery, resolved by a fault drop, or
+ * is still an open token.
+ */
+inline void
+checkCollectiveTokens(const Network &net, const CollectiveState &state,
+                      const std::string &when = "")
+{
+    const SimCounters &c = net.counters();
+    EXPECT_EQ(c.clRequestsIssued,
+              c.clRepliesMatched + c.clSlotsPurged + state.openTokens())
+        << when << ": token conservation (opened "
+        << c.clRequestsIssued << ", resolved " << c.clRepliesMatched
+        << ", purged " << c.clSlotsPurged << ", open "
+        << state.openTokens() << ")";
+}
 
 class SimInvariantChecker
 {

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
 
@@ -9,8 +10,10 @@
 #include "common/log.hh"
 #include "common/table.hh"
 #include "common/version.hh"
+#include "exp/journal.hh"
 #include "exp/plan_io.hh"
 #include "exp/report.hh"
+#include "exp/result_store.hh"
 #include "exp/serialize.hh"
 #include "power/tech_params.hh"
 #include "sim/router_config.hh"
@@ -27,11 +30,15 @@ usage(std::ostream &err)
     err << "usage: snoc <command> [args]\n"
            "  run <plan.json> [--format table|csv|json] [--threads N]\n"
            "      [--fast] [--manifest PATH | --no-manifest]\n"
+           "      [--resume] [--journal PATH | --no-journal]\n"
+           "      [--store DIR]\n"
+           "  cache <stats|clear|prune> [--store DIR]\n"
            "  list <topologies|routings|patterns|workloads|"
            "collectives|configs|techs|formats|knobs>\n"
            "      [--markdown]\n"
            "  describe <scenario.json | plan.json>\n"
-           "  version\n";
+           "  version\n"
+           "exit status: 0 ok, 1 error, 2 usage, 3 jobs failed\n";
     return 2;
 }
 
@@ -234,11 +241,21 @@ void
 writeManifest(const std::string &manifestPath,
               const std::string &planFile, const ExperimentPlan &plan,
               const std::vector<JobResult> &results, int threads,
-              const std::string &format, bool fast)
+              const std::string &format, bool fast,
+              std::size_t resumed, const ResultStore *store)
 {
     std::size_t points = 0;
-    for (const JobResult &r : results)
+    std::size_t jobsFailed = 0;
+    int cacheHits = 0;
+    int cacheMisses = 0;
+    int retries = 0;
+    for (const JobResult &r : results) {
         points += r.points.size();
+        jobsFailed += r.status == JobStatus::Failed ? 1 : 0;
+        cacheHits += r.cacheHits;
+        cacheMisses += r.cacheMisses;
+        retries += r.retries;
+    }
 
     JsonValue m = JsonValue::object();
     m.set("tool", JsonValue::string("snoc"));
@@ -252,6 +269,17 @@ writeManifest(const std::string &manifestPath,
     m.set("threads", JsonValue::number(threads));
     m.set("format", JsonValue::string(format));
     m.set("fastMode", JsonValue::boolean(fast));
+    m.set("jobsFailed", JsonValue::number(
+                            static_cast<std::uint64_t>(jobsFailed)));
+    m.set("jobsResumed", JsonValue::number(
+                             static_cast<std::uint64_t>(resumed)));
+    m.set("cacheHits", JsonValue::number(cacheHits));
+    m.set("cacheMisses", JsonValue::number(cacheMisses));
+    m.set("retries", JsonValue::number(retries));
+    if (store) {
+        m.set("resultStore", JsonValue::string(store->root()));
+        m.set("resultStoreStamp", JsonValue::string(store->stamp()));
+    }
 
     JsonValue knobs = JsonValue::object();
     for (const EnvKnob &k : envKnobs()) {
@@ -275,6 +303,30 @@ writeManifest(const std::string &manifestPath,
     }
     m.set("seeds", std::move(seeds));
 
+    // Per-job execution record: status, wall time, retries, cache
+    // traffic. Reproducibility bookkeeping only — never an input to
+    // simulation, so timing jitter here cannot perturb results.
+    JsonValue jobStats = JsonValue::array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        JsonValue j = JsonValue::object();
+        j.set("job",
+              JsonValue::number(static_cast<std::uint64_t>(i)));
+        j.set("label",
+              JsonValue::string(plan.jobs[i].scenario.describe()));
+        j.set("status", JsonValue::string(
+                            r.status == JobStatus::Ok ? "ok"
+                                                      : "failed"));
+        if (!r.error.empty())
+            j.set("error", JsonValue::string(r.error));
+        j.set("wallMs", JsonValue::number(r.wallMs));
+        j.set("retries", JsonValue::number(r.retries));
+        j.set("cacheHits", JsonValue::number(r.cacheHits));
+        j.set("cacheMisses", JsonValue::number(r.cacheMisses));
+        jobStats.push(std::move(j));
+    }
+    m.set("jobStats", std::move(jobStats));
+
     std::ofstream file(manifestPath);
     if (!file)
         fatal("cannot write run manifest '", manifestPath, "'");
@@ -288,7 +340,11 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     std::string path;
     std::string format = "table";
     std::string manifestPath;
+    std::string journalPath;
+    std::string storeRoot;
     bool noManifest = false;
+    bool noJournal = false;
+    bool resume = false;
     bool fast = envFlag(kEnvBenchFast);
     int threads = 0;
 
@@ -308,6 +364,14 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
             manifestPath = args[++i];
         } else if (a == "--no-manifest") {
             noManifest = true;
+        } else if (a == "--journal" && i + 1 < args.size()) {
+            journalPath = args[++i];
+        } else if (a == "--no-journal") {
+            noJournal = true;
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--store" && i + 1 < args.size()) {
+            storeRoot = args[++i];
         } else if (a == "--fast") {
             fast = true;
         } else if (path.empty() && !a.empty() && a[0] != '-') {
@@ -318,6 +382,8 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     }
     if (path.empty())
         return usage(err);
+    if (resume && noJournal)
+        fatal("--resume needs the journal; drop --no-journal");
 
     std::string resolved = resolvePlanPath(path);
     ExperimentPlan plan =
@@ -325,8 +391,51 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
     if (fast)
         applyFastMode(plan);
 
+    // The journal binds to the plan's canonical content + code
+    // version; --resume against anything else fails loudly.
+    std::string hash = planHash(plan);
+    if (journalPath.empty())
+        journalPath =
+            envString(kEnvBenchOut, ".") + "/snoc_journal.jsonl";
+
+    std::map<std::size_t, JobResult> completed;
+    if (!noJournal) {
+        if (resume)
+            completed = ResultJournal::replay(journalPath, hash);
+        else
+            // A fresh run must not inherit rows from an earlier
+            // crash; stale journals only feed explicit --resume.
+            ResultJournal::remove(journalPath);
+    }
+
     RunnerOptions opts;
     opts.threads = threads;
+    // One bad job becomes a failed row (and exit status 3), not a
+    // dead campaign — the CLI is where overnight runs live.
+    opts.onFailure = FailurePolicy::Record;
+
+    std::unique_ptr<ResultStore> store;
+    if (storeRoot.empty())
+        storeRoot = ResultStore::resolveRoot();
+    if (!storeRoot.empty()) {
+        store = std::make_unique<ResultStore>(storeRoot);
+        opts.store = store.get();
+    }
+
+    std::unique_ptr<ResultJournal> journal;
+    if (!noJournal)
+        journal =
+            std::make_unique<ResultJournal>(journalPath, hash);
+    if (journal)
+        opts.jobDone = [&journal](std::size_t idx,
+                                  const JobResult &r) {
+            // Only clean completions are durable: a failed job is
+            // re-attempted by the next --resume.
+            if (r.status == JobStatus::Ok)
+                journal->append(idx, r);
+        };
+    if (!completed.empty())
+        opts.completed = &completed;
 
     std::vector<JobResult> results;
     {
@@ -337,15 +446,86 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out,
         results = runPlanReport(plan, *sink, opts);
     }
 
+    std::size_t jobsFailed = 0;
+    for (const JobResult &r : results)
+        jobsFailed += r.status == JobStatus::Failed ? 1 : 0;
+
+    if (journal && jobsFailed == 0) {
+        // Every job is in the results file; the journal has nothing
+        // left to protect.
+        journal.reset();
+        ResultJournal::remove(journalPath);
+    }
+
     if (!noManifest) {
         if (manifestPath.empty())
             manifestPath = envString(kEnvBenchOut, ".") +
                            "/snoc_manifest.json";
         writeManifest(manifestPath, resolved, plan, results,
                       ExperimentRunner(opts).threadCount(), format,
-                      fast);
+                      fast, completed.size(), store.get());
     }
 
+    if (jobsFailed > 0) {
+        err << jobsFailed << " of " << plan.jobs.size()
+            << " jobs failed:\n";
+        TextTable t({"job", "scenario", "error"});
+        for (std::size_t i = 0; i < results.size(); ++i)
+            if (results[i].status == JobStatus::Failed)
+                t.addRow({TextTable::fmt(
+                              static_cast<std::uint64_t>(i)),
+                          plan.jobs[i].scenario.describe(),
+                          results[i].error});
+        t.print(err);
+        if (journal)
+            err << "completed jobs are journaled; rerun with "
+                   "--resume to retry only the failures\n";
+        return 3;
+    }
+    return 0;
+}
+
+// --- snoc cache -------------------------------------------------------------
+
+int
+cmdCache(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    std::string action;
+    std::string storeRoot;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--store" && i + 1 < args.size())
+            storeRoot = args[++i];
+        else if (action.empty() && !a.empty() && a[0] != '-')
+            action = a;
+        else
+            return usage(err);
+    }
+    if (action != "stats" && action != "clear" && action != "prune")
+        return usage(err);
+
+    if (storeRoot.empty())
+        storeRoot = ResultStore::resolveRoot();
+    if (storeRoot.empty())
+        fatal("no result store configured (set ", kEnvResultStore,
+              " or pass --store DIR)");
+
+    ResultStore store(storeRoot);
+    if (action == "stats") {
+        ResultStore::Usage u = store.usage();
+        out << "store    " << store.root() << "\n"
+            << "stamp    " << store.stamp() << "\n"
+            << "entries  " << u.entries << "\n"
+            << "stale    " << u.stale << "\n"
+            << "corrupt  " << u.corrupt << "\n"
+            << "bytes    " << u.bytes << "\n";
+    } else if (action == "clear") {
+        out << "removed " << store.clear() << " entries\n";
+    } else {
+        out << "removed " << store.prune()
+            << " stale/corrupt entries\n";
+    }
     return 0;
 }
 
@@ -363,6 +543,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     try {
         if (cmd == "run")
             return cmdRun(rest, out, err);
+        if (cmd == "cache")
+            return cmdCache(rest, out, err);
         if (cmd == "list")
             return cmdList(rest, out, err);
         if (cmd == "describe" && rest.size() == 1)

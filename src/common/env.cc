@@ -26,6 +26,27 @@ envKnobs()
          "(results stay bitwise identical to unbatched runs); "
          "off or 0 disables, 1 enables the default 8 lanes, 2-64 "
          "caps lanes per batch (RunnerOptions::batchLanes overrides)"},
+        {kEnvExpIsolate, "off", "off, fork",
+         "process-isolated scenario execution: each evaluation runs "
+         "in a forked child and returns its result over a pipe, so a "
+         "crash or sanitizer abort is contained to one failed row "
+         "(disables lane batching; RunnerOptions::isolate overrides)"},
+        {kEnvExpJobTimeout, "0 (no timeout)",
+         "wall-clock seconds",
+         "per-scenario watchdog: an evaluation exceeding the budget "
+         "is killed and recorded as a timed-out row; a nonzero "
+         "timeout implies SNOC_EXP_ISOLATE=fork (the watchdog needs "
+         "a killable child)"},
+        {kEnvExpRetries, "0", "non-negative integer",
+         "bounded re-evaluations of a failed/crashed/timed-out "
+         "scenario with exponential backoff before the row is "
+         "recorded as failed (RunnerOptions::retries overrides)"},
+        {kEnvExpTestHook, "unset", "1 (anything else = off)",
+         "test-only fault hook: scenarios labeled __test_crash__ / "
+         "__test_hang__ / __test_fail__ abort, hang or throw at "
+         "evaluation time so crash containment and watchdog paths "
+         "can be exercised deterministically (CI crash-injection "
+         "smoke; never set in production runs)"},
         {kEnvExpThreads, "hardware concurrency", "positive integer",
          "experiment-engine worker threads (RunnerOptions::threads "
          "and `snoc run --threads` override)"},
@@ -39,6 +60,12 @@ envKnobs()
         {kEnvPlanDir, "plans", "directory path",
          "extra search directory for plan files named on the `snoc` "
          "command line and in the ported bench binaries"},
+        {kEnvResultStore, "unset (caching off)", "directory path",
+         "content-addressed result store: completed scenario rows "
+         "are cached under sha256(canonical scenario JSON + build "
+         "stamp) and reused on later runs (a cache hit is bitwise "
+         "identical to a fresh simulation); manage with `snoc cache "
+         "stats|clear|prune` (`snoc run --store` overrides)"},
         {kEnvSimShards, "1", "off, 0, 1, or shard count 2-64",
          "space-sharded cycle loop: step each big-topology synthetic "
          "simulation with N threads (bitwise identical to serial; "

@@ -52,10 +52,16 @@ inline constexpr const char *kEnvBenchFast = "SNOC_BENCH_FAST";
 inline constexpr const char *kEnvBenchFormat = "SNOC_BENCH_FORMAT";
 inline constexpr const char *kEnvBenchOut = "SNOC_BENCH_OUT";
 inline constexpr const char *kEnvExpBatch = "SNOC_EXP_BATCH";
+inline constexpr const char *kEnvExpIsolate = "SNOC_EXP_ISOLATE";
+inline constexpr const char *kEnvExpJobTimeout =
+    "SNOC_EXP_JOB_TIMEOUT";
+inline constexpr const char *kEnvExpRetries = "SNOC_EXP_RETRIES";
+inline constexpr const char *kEnvExpTestHook = "SNOC_EXP_TEST_HOOK";
 inline constexpr const char *kEnvExpThreads = "SNOC_EXP_THREADS";
 inline constexpr const char *kEnvFuzzIters = "SNOC_FUZZ_ITERS";
 inline constexpr const char *kEnvFuzzSeed = "SNOC_FUZZ_SEED";
 inline constexpr const char *kEnvPlanDir = "SNOC_PLAN_DIR";
+inline constexpr const char *kEnvResultStore = "SNOC_RESULT_STORE";
 inline constexpr const char *kEnvSimShards = "SNOC_SIM_SHARDS";
 
 } // namespace snoc

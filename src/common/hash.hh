@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Content hashing for the experiment engine (no external deps).
+ *
+ * Two hash functions with different jobs:
+ *  - fnv1a64(): the cheap 64-bit FNV-1a the test layer already uses
+ *    for delivery-stream fingerprints, exposed as a library utility.
+ *  - sha256Hex(): a full SHA-256, used wherever a hash *names*
+ *    long-lived on-disk content — result-store keys and journal plan
+ *    stamps (src/exp/result_store.hh, src/exp/journal.hh). A 64-bit
+ *    hash is fine for in-process fingerprints but too collidable to
+ *    address a store that outlives many campaigns.
+ */
+
+#ifndef SNOC_COMMON_HASH_HH
+#define SNOC_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace snoc {
+
+/** 64-bit FNV-1a over `data` (offset basis / prime per the spec). */
+constexpr std::uint64_t
+fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** SHA-256 of `data` as 64 lowercase hex characters. */
+std::string sha256Hex(std::string_view data);
+
+} // namespace snoc
+
+#endif // SNOC_COMMON_HASH_HH

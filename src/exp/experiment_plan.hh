@@ -71,6 +71,25 @@ struct ScenarioResult
     Scenario scenario;
     SimResult sim;
     EnergyMetrics energy; //!< filled when scenario.energy.enabled
+
+    /**
+     * False when this point's evaluation failed (threw, crashed in
+     * its isolation child, or hit the watchdog) under the Record
+     * failure policy; `sim` is then default-constructed and `error`
+     * carries the reason. Report/sinks render such points as
+     * status=failed rows instead of aborting the campaign.
+     */
+    bool ok = true;
+    std::string error;
+
+    bool operator==(const ScenarioResult &) const = default;
+};
+
+/** Terminal state of a job under RunnerOptions::onFailure. */
+enum class JobStatus
+{
+    Ok,     //!< every point evaluated successfully
+    Failed, //!< at least one point is a failed row
 };
 
 /** Result of one job, point-ordered as executed. */
@@ -82,6 +101,18 @@ struct JobResult
     // Saturation only.
     double saturationLoad = 0.0;
     double bestThroughput = 0.0;
+
+    // Execution bookkeeping (the reproducibility manifest and the
+    // write-ahead journal record these; they never feed back into
+    // simulation results).
+    JobStatus status = JobStatus::Ok;
+    std::string error;    //!< first point failure, empty when Ok
+    int retries = 0;      //!< extra evaluation attempts consumed
+    int cacheHits = 0;    //!< points served by the result store
+    int cacheMisses = 0;  //!< points actually simulated
+    double wallMs = 0.0;  //!< wall-clock spent evaluating this job
+
+    bool operator==(const JobResult &) const = default;
 };
 
 /** An ordered batch of jobs; results keep plan order. */

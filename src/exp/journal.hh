@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Write-ahead result journal: crash-safe record of completed jobs.
+ *
+ * While a campaign runs, every job that completes successfully is
+ * appended to a JSONL journal and fsync'd before the runner moves
+ * on, so the set of durable rows is always a prefix-closed subset of
+ * the work actually done — no matter when the process dies (SIGKILL
+ * included). `snoc run --resume` replays the journal, skips the jobs
+ * it already holds, and produces output byte-identical to an
+ * uninterrupted run.
+ *
+ * Format (one JSON document per line, compact form):
+ *
+ *     {"snocJournal":1,"plan":"<sha256>","stamp":"<stamp>"}
+ *     {"job":3,"result":{...JobResult...}}
+ *     {"job":0,"result":{...}}
+ *
+ * The header binds the journal to a specific plan *content* and code
+ * version: `plan` is sha256(canonical plan JSON + stamp), so resuming
+ * after editing the plan file or rebuilding across commits fails
+ * loudly instead of splicing stale rows into fresh ones. Entries may
+ * arrive in any order (worker threads finish when they finish); only
+ * jobs with status=ok are journaled, so failed jobs are re-attempted
+ * on resume. A torn final line — the expected state after a crash
+ * mid-append — is silently dropped during replay.
+ */
+
+#ifndef SNOC_EXP_JOURNAL_HH
+#define SNOC_EXP_JOURNAL_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exp/experiment_plan.hh"
+
+namespace snoc {
+
+/**
+ * Identity of a plan's content + code version, as recorded in
+ * journal headers: sha256(canonical plan JSON + resultStoreStamp()).
+ */
+std::string planHash(const ExperimentPlan &plan);
+
+/** Append-only fsync'd journal of per-job completions. */
+class ResultJournal
+{
+  public:
+    /**
+     * Open `path` for appending. A fresh or truncated-empty file
+     * gets the header line immediately; an existing journal is
+     * appended to as-is (the caller replays + validates it first).
+     * @throws FatalError when the file cannot be opened or written
+     */
+    ResultJournal(std::string path, const std::string &planHash);
+    ~ResultJournal();
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
+
+    /**
+     * Durably record that plan job `jobIndex` completed with
+     * `result`. Returns only after the entry is written and fsync'd;
+     * thread-safe.
+     */
+    void append(std::size_t jobIndex, const JobResult &result);
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Parse the journal at `path` into {job index -> result}.
+     * Missing file -> empty map. A torn/corrupt line ends the replay
+     * (everything before it is kept). Entries for the same job keep
+     * the last occurrence.
+     * @throws FatalError when the header's plan hash differs from
+     *         `expectPlanHash` — the journal belongs to a different
+     *         plan or code version and must not seed a resume
+     */
+    static std::map<std::size_t, JobResult>
+    replay(const std::string &path, const std::string &expectPlanHash);
+
+    /** Delete the journal file if present (clean-success cleanup). */
+    static void remove(const std::string &path);
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::mutex mutex_;
+
+    void writeLine(const std::string &line);
+};
+
+} // namespace snoc
+
+#endif // SNOC_EXP_JOURNAL_HH

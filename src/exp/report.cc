@@ -49,6 +49,13 @@ renderPlanReport(const ExperimentPlan &plan,
         anyClosedLoop =
             anyClosedLoop || isClosedLoopKind(job.scenario.traffic);
     }
+    // The status column appears only when some row actually failed,
+    // so fully-green campaigns render byte-identically to builds
+    // that predate failure recording (committed goldens included).
+    bool anyFailed = false;
+    for (const JobResult &job : results)
+        for (const ScenarioResult &point : job.points)
+            anyFailed = anyFailed || !point.ok;
 
     std::vector<std::string> columns = {
         "scenario",      "topology",   "router",
@@ -79,16 +86,37 @@ renderPlanReport(const ExperimentPlan &plan,
                               "stall_frac", "phases"})
             columns.push_back(c);
     }
+    if (anyFailed)
+        columns.push_back("status");
 
     sink.beginTable(plan.name, columns);
     for (const JobResult &job : results) {
         for (const ScenarioResult &point : job.points) {
             const Scenario &s = point.scenario;
             const SimResult &r = point.sim;
+            bool cl = isClosedLoopKind(s.traffic);
+
+            if (!point.ok) {
+                // Failed rows render from the scenario alone: the
+                // topology may be the very thing that failed to
+                // build, so the TopologyCache is never consulted.
+                std::vector<std::string> row = {
+                    s.describe(),
+                    s.topology,
+                    s.routerConfig,
+                    to_string(s.routing),
+                    trafficCell(s.traffic),
+                    cl ? "-" : TextTable::fmt(s.load, 3)};
+                while (row.size() + 1 < columns.size())
+                    row.push_back("-");
+                row.push_back("failed");
+                sink.addRow(row);
+                continue;
+            }
+
             const NocTopology &topo =
                 TopologyCache::instance().get(s.topology);
             double cycleNs = topo.cycleTimeNs();
-            bool cl = isClosedLoopKind(s.traffic);
             std::vector<std::string> row = {
                 s.describe(),
                 s.topology,
@@ -182,6 +210,8 @@ renderPlanReport(const ExperimentPlan &plan,
                         row.push_back("-");
                 }
             }
+            if (anyFailed)
+                row.push_back("ok");
             sink.addRow(row);
         }
     }

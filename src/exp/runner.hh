@@ -9,17 +9,50 @@
  * SimResults, in plan order. This is the execution half of the
  * scenario/execution split — campaign code describes points and the
  * runner saturates the machine.
+ *
+ * Crash-safe campaign support layers on top of the same contract:
+ * a content-addressed result store serves previously simulated
+ * points bitwise-identically (RunnerOptions::store), a per-job
+ * completion callback feeds the write-ahead journal
+ * (RunnerOptions::jobDone / completed), and evaluations can run
+ * under a watchdog with bounded retries in forked worker processes
+ * so a crash or hang becomes one failed row instead of a lost
+ * campaign (jobTimeoutMs / retries / isolate / onFailure).
  */
 
 #ifndef SNOC_EXP_RUNNER_HH
 #define SNOC_EXP_RUNNER_HH
 
+#include <cstddef>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "exp/experiment_plan.hh"
 
 namespace snoc {
+
+class ResultStore;
+
+/**
+ * What to do when a point evaluation fails (throws, crashes in its
+ * isolation child, or trips the watchdog) after retries run out.
+ */
+enum class FailurePolicy
+{
+    /**
+     * Rethrow on the calling thread — the library default, so
+     * programmatic campaigns keep exception semantics.
+     */
+    Abort,
+    /**
+     * Record a status=failed row (ScenarioResult::ok = false) and
+     * keep going — the CLI default, so one bad job cannot take down
+     * an overnight campaign. `snoc run` exits nonzero iff any row
+     * failed.
+     */
+    Record,
+};
 
 /** Execution knobs; the plan itself stays pure data. */
 struct RunnerOptions
@@ -67,6 +100,59 @@ struct RunnerOptions
      * topology's router count at attach time).
      */
     int simShards = -1;
+
+    /** Failure handling after retries are exhausted (see enum). */
+    FailurePolicy onFailure = FailurePolicy::Abort;
+
+    /**
+     * Optional content-addressed result store (exp/result_store.hh).
+     * Points whose key is present are served from disk — bitwise
+     * identical to a fresh simulation — and freshly simulated points
+     * are written back. Not owned; must outlive run().
+     */
+    ResultStore *store = nullptr;
+
+    /**
+     * Watchdog deadline per scenario evaluation, in milliseconds.
+     * -1 resolves SNOC_EXP_JOB_TIMEOUT (seconds; unset = none).
+     * 0 disables. A positive timeout forces process isolation — a
+     * hung in-process evaluation cannot be killed safely.
+     */
+    long jobTimeoutMs = -1;
+
+    /**
+     * Extra attempts per failed evaluation, with exponential backoff
+     * between attempts. -1 resolves SNOC_EXP_RETRIES (unset = 0).
+     * Only after the last attempt fails does onFailure apply.
+     */
+    int retries = -1;
+
+    /**
+     * Process isolation: run each scenario evaluation in a forked
+     * child, results returned over a pipe, so a crash (segfault,
+     * abort, OOM kill) is contained to one failed row. -1 resolves
+     * SNOC_EXP_ISOLATE ("fork"/"1" enables); 0 in-process; 1 fork.
+     * Isolation disables lane batching (children run one scenario
+     * each, serially).
+     */
+    int isolate = -1;
+
+    /**
+     * Completion callback: invoked once per executed job, as soon as
+     * that job's result is final, with the plan index and the result.
+     * Calls are serialized (one at a time) but come from worker
+     * threads, in completion order. The CLI journals from here;
+     * resumed jobs (below) do not fire it.
+     */
+    std::function<void(std::size_t, const JobResult &)> jobDone;
+
+    /**
+     * Resume support: jobs whose plan index appears here are spliced
+     * into the results verbatim and never re-executed. Not owned;
+     * must outlive run(). Replayed journal rows are bitwise what a
+     * fresh run would produce, so output stays byte-identical.
+     */
+    const std::map<std::size_t, JobResult> *completed = nullptr;
 };
 
 /**
@@ -110,14 +196,30 @@ class ExperimentRunner
     /** The resolved per-simulation shard count (1 = serial loop). */
     int simShardCount() const { return simShards_; }
 
+    /** True when evaluations run in forked children. */
+    bool isolated() const { return isolate_; }
+
+    /** The resolved watchdog deadline in ms (0 = none). */
+    long jobTimeoutMs() const { return timeoutMs_; }
+
+    /** The resolved extra attempts per failed evaluation. */
+    int retryCount() const { return retries_; }
+
   private:
     int threads_;
     int batchLanes_;
     int simShards_;
+    bool isolate_;
+    long timeoutMs_;
+    int retries_;
     RunnerOptions opts_;
 
     JobResult runJob(const Job &job) const;
-    std::vector<JobResult> runBatched(const ExperimentPlan &plan) const;
+    ScenarioResult evalScenario(const Scenario &s,
+                                JobResult &stats) const;
+    void runBatched(const ExperimentPlan &plan,
+                    const std::vector<bool> &done,
+                    std::vector<JobResult> &results) const;
 };
 
 } // namespace snoc

@@ -771,6 +771,268 @@ planFromJson(const JsonValue &v, const std::string &path)
     return plan;
 }
 
+// --- result rows (store / journal payloads) ---------------------------------
+
+namespace {
+
+constexpr std::pair<Job::Kind, const char *> kJobKinds[] = {
+    {Job::Kind::Single, "single"},
+    {Job::Kind::Sweep, "sweep"},
+    {Job::Kind::Saturation, "saturation"},
+};
+
+const char *
+jobKindName(Job::Kind kind)
+{
+    for (const auto &[k, name] : kJobKinds)
+        if (k == kind)
+            return name;
+    SNOC_PANIC("unregistered job kind");
+}
+
+Job::Kind
+jobKindFromName(const std::string &name, const std::string &path)
+{
+    for (const auto &[k, n] : kJobKinds)
+        if (name == n)
+            return k;
+    fatal(path, ": unknown job kind '", name,
+          "' (expected single, sweep or saturation)");
+}
+
+/** (name, member pointer) table: writer and reader stay in lockstep. */
+constexpr std::pair<const char *, std::uint64_t SimCounters::*>
+    kCounterFields[] = {
+        {"bufferWrites", &SimCounters::bufferWrites},
+        {"bufferReads", &SimCounters::bufferReads},
+        {"cbWrites", &SimCounters::cbWrites},
+        {"cbReads", &SimCounters::cbReads},
+        {"crossbarTraversals", &SimCounters::crossbarTraversals},
+        {"linkFlitHops", &SimCounters::linkFlitHops},
+        {"flitsInjected", &SimCounters::flitsInjected},
+        {"flitsDelivered", &SimCounters::flitsDelivered},
+        {"packetsInjected", &SimCounters::packetsInjected},
+        {"packetsDelivered", &SimCounters::packetsDelivered},
+        {"faultEvents", &SimCounters::faultEvents},
+        {"flitsDropped", &SimCounters::flitsDropped},
+        {"packetsDropped", &SimCounters::packetsDropped},
+        {"packetsUnroutable", &SimCounters::packetsUnroutable},
+        {"packetsRefused", &SimCounters::packetsRefused},
+        {"packetsRerouted", &SimCounters::packetsRerouted},
+        {"clRequestsIssued", &SimCounters::clRequestsIssued},
+        {"clRepliesMatched", &SimCounters::clRepliesMatched},
+        {"clReqLatencySum", &SimCounters::clReqLatencySum},
+        {"clWindowOccupancy", &SimCounters::clWindowOccupancy},
+        {"clStallNodeCycles", &SimCounters::clStallNodeCycles},
+        {"clSlotsPurged", &SimCounters::clSlotsPurged},
+        {"clPhasesCompleted", &SimCounters::clPhasesCompleted},
+};
+
+} // namespace
+
+JsonValue
+toJson(const SimCounters &counters)
+{
+    // Zero counters are omitted (missing == 0 on the way back), so
+    // fault-free open-loop rows stay compact.
+    JsonValue v = JsonValue::object();
+    for (const auto &[name, member] : kCounterFields)
+        if (counters.*member != 0)
+            v.set(name, JsonValue::number(counters.*member));
+    return v;
+}
+
+SimCounters
+simCountersFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    SimCounters counters;
+    for (const auto &[name, member] : kCounterFields)
+        if (const JsonValue *m = obj.take(name))
+            counters.*member = m->asU64(obj.sub(name));
+    obj.finish();
+    return counters;
+}
+
+JsonValue
+toJson(const SimResult &result)
+{
+    const SimResult d;
+    JsonValue v = JsonValue::object();
+    if (result.avgPacketLatency != d.avgPacketLatency)
+        v.set("avgPacketLatency",
+              JsonValue::number(result.avgPacketLatency));
+    if (result.avgNetworkLatency != d.avgNetworkLatency)
+        v.set("avgNetworkLatency",
+              JsonValue::number(result.avgNetworkLatency));
+    if (result.p99PacketLatencyBound != d.p99PacketLatencyBound)
+        v.set("p99PacketLatencyBound",
+              JsonValue::number(result.p99PacketLatencyBound));
+    if (result.avgHops != d.avgHops)
+        v.set("avgHops", JsonValue::number(result.avgHops));
+    if (result.throughput != d.throughput)
+        v.set("throughput", JsonValue::number(result.throughput));
+    if (result.offeredLoad != d.offeredLoad)
+        v.set("offeredLoad", JsonValue::number(result.offeredLoad));
+    if (result.packetsDelivered != d.packetsDelivered)
+        v.set("packetsDelivered",
+              JsonValue::number(result.packetsDelivered));
+    if (result.stable != d.stable)
+        v.set("stable", JsonValue::boolean(result.stable));
+    if (!(result.counters == d.counters))
+        v.set("counters", toJson(result.counters));
+    if (result.cyclesRun != d.cyclesRun)
+        v.set("cyclesRun", JsonValue::number(
+                               std::uint64_t(result.cyclesRun)));
+    return v;
+}
+
+SimResult
+simResultFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    SimResult result;
+    if (const JsonValue *m = obj.take("avgPacketLatency"))
+        result.avgPacketLatency =
+            m->asDouble(obj.sub("avgPacketLatency"));
+    if (const JsonValue *m = obj.take("avgNetworkLatency"))
+        result.avgNetworkLatency =
+            m->asDouble(obj.sub("avgNetworkLatency"));
+    if (const JsonValue *m = obj.take("p99PacketLatencyBound"))
+        result.p99PacketLatencyBound =
+            m->asDouble(obj.sub("p99PacketLatencyBound"));
+    if (const JsonValue *m = obj.take("avgHops"))
+        result.avgHops = m->asDouble(obj.sub("avgHops"));
+    if (const JsonValue *m = obj.take("throughput"))
+        result.throughput = m->asDouble(obj.sub("throughput"));
+    if (const JsonValue *m = obj.take("offeredLoad"))
+        result.offeredLoad = m->asDouble(obj.sub("offeredLoad"));
+    if (const JsonValue *m = obj.take("packetsDelivered"))
+        result.packetsDelivered =
+            m->asU64(obj.sub("packetsDelivered"));
+    if (const JsonValue *m = obj.take("stable"))
+        result.stable = m->asBool(obj.sub("stable"));
+    if (const JsonValue *m = obj.take("counters"))
+        result.counters =
+            simCountersFromJson(*m, obj.sub("counters"));
+    if (const JsonValue *m = obj.take("cyclesRun"))
+        result.cyclesRun =
+            static_cast<Cycle>(m->asU64(obj.sub("cyclesRun")));
+    obj.finish();
+    return result;
+}
+
+JsonValue
+toJson(const ScenarioResult &point)
+{
+    JsonValue v = JsonValue::object();
+    v.set("scenario", toJson(point.scenario));
+    v.set("sim", toJson(point.sim));
+    if (!point.ok)
+        v.set("ok", JsonValue::boolean(false));
+    if (!point.error.empty())
+        v.set("error", JsonValue::string(point.error));
+    return v;
+}
+
+ScenarioResult
+scenarioResultFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    ScenarioResult point;
+    const JsonValue *scenario = obj.take("scenario");
+    if (!scenario)
+        fatal(path, ": missing 'scenario'");
+    point.scenario = scenarioFromJson(*scenario, obj.sub("scenario"));
+    const JsonValue *sim = obj.take("sim");
+    if (!sim)
+        fatal(path, ": missing 'sim'");
+    point.sim = simResultFromJson(*sim, obj.sub("sim"));
+    if (const JsonValue *m = obj.take("ok"))
+        point.ok = m->asBool(obj.sub("ok"));
+    if (const JsonValue *m = obj.take("error"))
+        point.error = m->asString(obj.sub("error"));
+    obj.finish();
+    return point;
+}
+
+JsonValue
+toJson(const JobResult &result)
+{
+    const JobResult d;
+    JsonValue v = JsonValue::object();
+    v.set("kind", JsonValue::string(jobKindName(result.kind)));
+    if (result.status != JobStatus::Ok)
+        v.set("status", JsonValue::string("failed"));
+    if (!result.error.empty())
+        v.set("error", JsonValue::string(result.error));
+    if (result.retries != d.retries)
+        v.set("retries", JsonValue::number(result.retries));
+    if (result.cacheHits != d.cacheHits)
+        v.set("cacheHits", JsonValue::number(result.cacheHits));
+    if (result.cacheMisses != d.cacheMisses)
+        v.set("cacheMisses", JsonValue::number(result.cacheMisses));
+    if (result.wallMs != d.wallMs)
+        v.set("wallMs", JsonValue::number(result.wallMs));
+    if (result.saturationLoad != d.saturationLoad)
+        v.set("saturationLoad",
+              JsonValue::number(result.saturationLoad));
+    if (result.bestThroughput != d.bestThroughput)
+        v.set("bestThroughput",
+              JsonValue::number(result.bestThroughput));
+    JsonValue points = JsonValue::array();
+    for (const ScenarioResult &p : result.points)
+        points.push(toJson(p));
+    v.set("points", std::move(points));
+    return v;
+}
+
+JobResult
+jobResultFromJson(const JsonValue &v, const std::string &path)
+{
+    ObjectReader obj(v, path);
+    JobResult result;
+    const JsonValue *kind = obj.take("kind");
+    if (!kind)
+        fatal(path, ": missing 'kind'");
+    result.kind =
+        jobKindFromName(kind->asString(obj.sub("kind")),
+                        obj.sub("kind"));
+    if (const JsonValue *m = obj.take("status")) {
+        const std::string &s = m->asString(obj.sub("status"));
+        if (s == "failed")
+            result.status = JobStatus::Failed;
+        else if (s != "ok")
+            fatal(obj.sub("status"), ": unknown status '", s, "'");
+    }
+    if (const JsonValue *m = obj.take("error"))
+        result.error = m->asString(obj.sub("error"));
+    if (const JsonValue *m = obj.take("retries"))
+        result.retries = m->asInt(obj.sub("retries"));
+    if (const JsonValue *m = obj.take("cacheHits"))
+        result.cacheHits = m->asInt(obj.sub("cacheHits"));
+    if (const JsonValue *m = obj.take("cacheMisses"))
+        result.cacheMisses = m->asInt(obj.sub("cacheMisses"));
+    if (const JsonValue *m = obj.take("wallMs"))
+        result.wallMs = m->asDouble(obj.sub("wallMs"));
+    if (const JsonValue *m = obj.take("saturationLoad"))
+        result.saturationLoad =
+            m->asDouble(obj.sub("saturationLoad"));
+    if (const JsonValue *m = obj.take("bestThroughput"))
+        result.bestThroughput =
+            m->asDouble(obj.sub("bestThroughput"));
+    const JsonValue *points = obj.take("points");
+    if (!points)
+        fatal(path, ": missing 'points'");
+    const std::string pointsPath = obj.sub("points");
+    std::size_t i = 0;
+    for (const JsonValue &p : points->items(pointsPath))
+        result.points.push_back(
+            scenarioResultFromJson(p, elem(pointsPath, i++)));
+    obj.finish();
+    return result;
+}
+
 // --- text round trip --------------------------------------------------------
 
 std::string

@@ -53,6 +53,31 @@ Job jobFromJson(const JsonValue &v, const std::string &path = "$");
 ExperimentPlan planFromJson(const JsonValue &v,
                             const std::string &path = "$");
 
+// --- result rows (store / journal payloads) ---------------------------------
+//
+// Measured results round-trip exactly: doubles are emitted as their
+// shortest round-trip token (std::to_chars) and parsed with strtod,
+// so a SimResult read back from the content-addressed result store
+// or the write-ahead journal is bitwise identical to the freshly
+// simulated one — the property the cache-hit and crash-resume
+// byte-identity tests pin. EnergyMetrics are deliberately NOT
+// serialized: they are a pure function of (scenario, sim) and the
+// runner re-derives them after every run, cached or replayed.
+
+JsonValue toJson(const SimCounters &counters);
+JsonValue toJson(const SimResult &result);
+JsonValue toJson(const ScenarioResult &point);
+JsonValue toJson(const JobResult &result);
+
+SimCounters simCountersFromJson(const JsonValue &v,
+                                const std::string &path = "$");
+SimResult simResultFromJson(const JsonValue &v,
+                            const std::string &path = "$");
+ScenarioResult scenarioResultFromJson(const JsonValue &v,
+                                      const std::string &path = "$");
+JobResult jobResultFromJson(const JsonValue &v,
+                            const std::string &path = "$");
+
 // --- text round trip --------------------------------------------------------
 
 /** Pretty-printed canonical JSON, newline-terminated. */

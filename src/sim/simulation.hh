@@ -37,6 +37,8 @@ struct SimResult
     bool stable = true;             //!< delivered kept up with offered
     SimCounters counters;           //!< measurement-window activity
     Cycle cyclesRun = 0;
+
+    bool operator==(const SimResult &) const = default;
 };
 
 /** Run configuration. */

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "common/env.hh"
@@ -173,6 +174,88 @@ TEST(Cli, RunMatchesTheCommittedGoldenAndWritesAManifest)
         EXPECT_NE(manifest.find("knobs")->find(k.name), nullptr)
             << k.name;
     std::remove(manifestPath.c_str());
+}
+
+TEST(Cli, FailedJobsExitThreeWithAFailureSummary)
+{
+    // The committed crash-injection plan, with the test hook armed
+    // and fork isolation on so the aborting job cannot take the CLI
+    // process down with it.
+    for (const EnvKnob &k : envKnobs())
+        ::unsetenv(k.name);
+    ::setenv(kEnvExpTestHook, "1", 1);
+    ::setenv(kEnvExpIsolate, "fork", 1);
+    std::ostringstream o, e;
+    int rc = cli::runCli({"run", "plans/crashy.json", "--format",
+                          "json", "--threads", "1", "--no-manifest",
+                          "--no-journal"},
+                         o, e);
+    ::unsetenv(kEnvExpTestHook);
+    ::unsetenv(kEnvExpIsolate);
+    std::string out = o.str(), err = e.str();
+
+    EXPECT_EQ(rc, 3);
+    // Failed rows are visible in the report...
+    EXPECT_NE(out.find("\"status\": \"failed\""), std::string::npos)
+        << out;
+    // ...and the stderr summary names each failed job and its error.
+    EXPECT_NE(err.find("2 of 4 jobs failed"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("crashed"), std::string::npos) << err;
+    EXPECT_NE(err.find("synthetic failure"), std::string::npos)
+        << err;
+}
+
+TEST(Cli, CacheSubcommandAndStoreRoundTrip)
+{
+    std::string storeDir = ::testing::TempDir() + "/snoc_cli_store";
+    std::filesystem::remove_all(storeDir);
+
+    // Cold run populates the store; the warm run is served from it
+    // and must be byte-identical.
+    std::string cold, warm, err;
+    ASSERT_EQ(cli({"run", "plans/ci_smoke.json", "--format", "json",
+                   "--threads", "1", "--no-manifest", "--no-journal",
+                   "--store", storeDir},
+                  &cold, &err),
+              0)
+        << err;
+    ASSERT_EQ(cli({"run", "plans/ci_smoke.json", "--format", "json",
+                   "--threads", "1", "--no-manifest", "--no-journal",
+                   "--store", storeDir},
+                  &warm, &err),
+              0)
+        << err;
+    EXPECT_EQ(warm, cold);
+
+    std::string out;
+    ASSERT_EQ(cli({"cache", "stats", "--store", storeDir}, &out), 0);
+    EXPECT_NE(out.find("entries  5"), std::string::npos) << out;
+
+    ASSERT_EQ(cli({"cache", "prune", "--store", storeDir}, &out), 0);
+    EXPECT_NE(out.find("removed 0 stale/corrupt"), std::string::npos)
+        << out;
+    ASSERT_EQ(cli({"cache", "clear", "--store", storeDir}, &out), 0);
+    EXPECT_NE(out.find("removed 5"), std::string::npos) << out;
+    ASSERT_EQ(cli({"cache", "stats", "--store", storeDir}, &out), 0);
+    EXPECT_NE(out.find("entries  0"), std::string::npos) << out;
+
+    // Without a configured store the subcommand fails cleanly, and
+    // bad usage stays exit code 2.
+    EXPECT_EQ(cli({"cache", "stats"}, &out, &err), 1);
+    EXPECT_NE(err.find("no result store"), std::string::npos) << err;
+    EXPECT_EQ(cli({"cache", "bogus"}, &out, &err), 2);
+    std::filesystem::remove_all(storeDir);
+}
+
+TEST(Cli, ResumeRequiresTheJournal)
+{
+    std::string out, err;
+    EXPECT_EQ(cli({"run", "plans/ci_smoke.json", "--resume",
+                   "--no-journal"},
+                  &out, &err),
+              1);
+    EXPECT_NE(err.find("--resume"), std::string::npos) << err;
 }
 
 } // namespace

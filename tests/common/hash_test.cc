@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hash utilities: FNV-1a and SHA-256 against published test vectors.
+ * The result store addresses persistent content by these values, so
+ * they must match the specs exactly — a silent change would orphan
+ * every cached result.
+ */
+
+#include "common/hash.hh"
+
+#include <gtest/gtest.h>
+
+namespace snoc {
+namespace {
+
+TEST(Fnv1a64, SpecVectors)
+{
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Sha256, Fips180Vectors)
+{
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijk"
+                        "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // 55/56/63/64/65 bytes straddle the one-vs-two final blocks.
+    std::string a(55, 'a'), b(56, 'a'), c(63, 'a'), d(64, 'a'),
+        e(65, 'a');
+    EXPECT_EQ(sha256Hex(a),
+              "9f4390f8d30c2dd92ec9f095b65e2b9a"
+              "e9b0a925a5258e241c9f1e910f734318");
+    EXPECT_EQ(sha256Hex(b),
+              "b35439a4ac6f0948b6d6f9e3c6af0f5f"
+              "590ce20f1bde7090ef7970686ec6738a");
+    EXPECT_EQ(sha256Hex(c),
+              "7d3e74a05d7db15bce4ad9ec0658ea98"
+              "e3f06eeecf16b4c6fff2da457ddc2f34");
+    EXPECT_EQ(sha256Hex(d),
+              "ffe054fe7ae0cb6dc65c3af9b61d5209"
+              "f439851db43d0ba5997337df154668eb");
+    EXPECT_EQ(sha256Hex(e),
+              "635361c48bb9eab14198e76ea8ab7f1a"
+              "41685d6ad62aa9146d301d4f17eb0ae0");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests)
+{
+    EXPECT_NE(sha256Hex("scenario-a"), sha256Hex("scenario-b"));
+    EXPECT_EQ(sha256Hex("same"), sha256Hex("same"));
+}
+
+} // namespace
+} // namespace snoc

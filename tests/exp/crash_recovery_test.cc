@@ -1,0 +1,224 @@
+/**
+ * @file
+ * End-to-end crash recovery: a real `snoc run` (in a forked child)
+ * is SIGKILLed mid-campaign, and `snoc run --resume` must complete
+ * the plan with output byte-identical to an uninterrupted run. The
+ * kill point is made deterministic with the SNOC_EXP_TEST_HOOK hang
+ * label: the child journals its completed jobs, then wedges on the
+ * hang job; the parent waits for the journal entries to become
+ * durable and pulls the trigger. A second variant tears the journal
+ * tail first, modeling SIGKILL mid-append.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cli/cli.hh"
+#include "common/env.hh"
+#include "exp/plan_io.hh"
+
+namespace snoc {
+namespace {
+
+void
+clearKnobs()
+{
+    for (const EnvKnob &k : envKnobs())
+        ::unsetenv(k.name);
+}
+
+/** In-process CLI call with a clean knob environment. */
+int
+cli(const std::vector<std::string> &args, std::string *out = nullptr,
+    std::string *err = nullptr)
+{
+    clearKnobs();
+    std::ostringstream o, e;
+    int rc = cli::runCli(args, o, e);
+    if (out)
+        *out = o.str();
+    if (err)
+        *err = e.str();
+    return rc;
+}
+
+/** Two quick jobs, then a job that wedges under the test hook. */
+std::string
+writeCrashPlan(const std::string &dir)
+{
+    std::string path = dir + "/crash_plan.json";
+    std::ofstream f(path, std::ios::trunc);
+    f << R"({"name":"crash-recovery","jobs":[
+  {"scenario":{"topology":"sn_54","load":0.02,
+    "sim":{"warmupCycles":100,"measureCycles":300}}},
+  {"scenario":{"topology":"sn_54","load":0.04,
+    "sim":{"warmupCycles":100,"measureCycles":300}}},
+  {"scenario":{"label":"__test_hang__","topology":"sn_54",
+    "load":0.03,"sim":{"warmupCycles":100,"measureCycles":300}}}
+]})";
+    return path;
+}
+
+std::size_t
+journalLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::size_t n = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++n;
+    return n;
+}
+
+/**
+ * Launch `snoc run` in a forked child with the hang hook armed,
+ * wait until `wantLines` journal lines are durable, then SIGKILL
+ * it. Returns false if the child never got that far.
+ */
+bool
+runAndKill(const std::string &plan, const std::string &journal,
+           std::size_t wantLines)
+{
+    std::remove(journal.c_str());
+    pid_t pid = ::fork();
+    if (pid == 0) {
+        clearKnobs();
+        ::setenv(kEnvExpTestHook, "1", 1);
+        std::ofstream sink("/dev/null");
+        cli::runCli({"run", plan, "--format", "json", "--threads",
+                     "1", "--no-manifest", "--journal", journal},
+                    sink, sink);
+        ::_exit(0); // unreachable: the hang job never returns
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(60);
+    bool armed = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (journalLines(journal) >= wantLines) {
+            armed = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return armed;
+}
+
+TEST(CrashRecovery, ResumeAfterSigkillIsByteIdentical)
+{
+    std::string dir = ::testing::TempDir();
+    std::string plan = writeCrashPlan(dir);
+    std::string journal = dir + "/crash_recovery.jsonl";
+
+    // Reference: the uninterrupted run (no hook, so the "hang" job
+    // is an ordinary scenario).
+    std::string ref;
+    ASSERT_EQ(cli({"run", plan, "--format", "json", "--threads", "1",
+                   "--no-manifest", "--no-journal"},
+                  &ref),
+              0);
+
+    // Kill a real run after its first two jobs are journaled
+    // (header + 2 entries).
+    ASSERT_TRUE(runAndKill(plan, journal, 3))
+        << "child never journaled its first two jobs";
+
+    // Resume completes only the missing job...
+    std::string resumed, err;
+    ASSERT_EQ(cli({"run", plan, "--format", "json", "--threads", "1",
+                   "--no-manifest", "--resume", "--journal",
+                   journal},
+                  &resumed, &err),
+              0)
+        << err;
+    // ...byte-identical to never having crashed.
+    EXPECT_EQ(resumed, ref);
+    // A clean finish deletes the journal.
+    EXPECT_EQ(journalLines(journal), 0u);
+    std::remove(plan.c_str());
+}
+
+TEST(CrashRecovery, ResumeToleratesATornJournalTail)
+{
+    std::string dir = ::testing::TempDir();
+    std::string plan = writeCrashPlan(dir);
+    std::string journal = dir + "/crash_torn.jsonl";
+
+    std::string ref;
+    ASSERT_EQ(cli({"run", plan, "--format", "json", "--threads", "1",
+                   "--no-manifest", "--no-journal"},
+                  &ref),
+              0);
+
+    ASSERT_TRUE(runAndKill(plan, journal, 3));
+
+    // Model SIGKILL mid-append: chop the final entry mid-line. The
+    // second job must then re-run on resume — and the output must
+    // still be byte-identical.
+    std::string text;
+    {
+        std::ifstream in(journal, std::ios::binary);
+        text.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(text.size(), 40u);
+    {
+        std::ofstream out(journal,
+                          std::ios::binary | std::ios::trunc);
+        out << text.substr(0, text.size() - 40);
+    }
+
+    std::string resumed, err;
+    ASSERT_EQ(cli({"run", plan, "--format", "json", "--threads", "1",
+                   "--no-manifest", "--resume", "--journal",
+                   journal},
+                  &resumed, &err),
+              0)
+        << err;
+    EXPECT_EQ(resumed, ref);
+    std::remove(plan.c_str());
+}
+
+TEST(CrashRecovery, ResumeRejectsAJournalFromAnotherPlan)
+{
+    std::string dir = ::testing::TempDir();
+    std::string plan = writeCrashPlan(dir);
+    std::string journal = dir + "/crash_other.jsonl";
+
+    ASSERT_TRUE(runAndKill(plan, journal, 3));
+
+    // Edit the plan (a different campaign now) and try to resume
+    // with the old journal: that must fail loudly, not splice rows.
+    {
+        std::ofstream f(plan, std::ios::trunc);
+        f << R"({"name":"crash-recovery","jobs":[
+  {"scenario":{"topology":"sn_54","load":0.07,
+    "sim":{"warmupCycles":100,"measureCycles":300}}}
+]})";
+    }
+    std::string out, err;
+    EXPECT_EQ(cli({"run", plan, "--format", "json", "--threads", "1",
+                   "--no-manifest", "--resume", "--journal",
+                   journal},
+                  &out, &err),
+              1);
+    EXPECT_NE(err.find("different plan"), std::string::npos) << err;
+    std::remove(journal.c_str());
+    std::remove(plan.c_str());
+}
+
+} // namespace
+} // namespace snoc

@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -25,6 +28,7 @@
 
 #include "common/env.hh"
 #include "common/rng.hh"
+#include "exp/journal.hh"
 #include "exp/runner.hh"
 #include "exp/serialize.hh"
 #include "tests/support/sim_invariants.hh"
@@ -359,6 +363,96 @@ TEST(ScenarioFuzz, SerialParallelEquivalenceAndInvariants)
                 << "drain left open collective tokens";
         }
     }
+}
+
+/**
+ * Crash-recovery axis: the same fuzzed plans, interrupted at random
+ * kill points. A "crash" is modeled exactly the way the CLI sees
+ * one — a journal holding an arbitrary subset of completed jobs
+ * (workers finish out of order, so the subset need not be a prefix),
+ * sometimes with a torn tail from dying mid-append. Resuming from
+ * the replayed journal must reproduce the uninterrupted run bitwise,
+ * for every sampled scenario mix and every kill point.
+ */
+TEST(ScenarioFuzz, ResumeFromRandomKillPointsIsBitwiseIdentical)
+{
+    const std::uint64_t baseSeed =
+        envU64(kEnvFuzzSeed, 0xf00dd00dULL);
+    const std::uint64_t iters = envU64(kEnvFuzzIters, 6);
+    Rng rng(baseSeed ^ 0x6b696c6cULL); // kill-point stream
+
+    std::vector<Scenario> scenarios;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        Rng sampler(baseSeed + i);
+        scenarios.push_back(sampleScenario(sampler));
+    }
+    ExperimentPlan plan;
+    plan.name = "fuzz-kill-points";
+    for (const Scenario &s : scenarios)
+        plan.add(s);
+    const std::string hash = planHash(plan);
+
+    RunnerOptions serialOpts;
+    serialOpts.threads = 1;
+    serialOpts.batchLanes = 0;
+    std::vector<JobResult> reference =
+        ExperimentRunner(serialOpts).run(plan);
+
+    const std::string path =
+        ::testing::TempDir() + "/snoc_fuzz_kill.jsonl";
+    const int rounds = 4;
+    for (int round = 0; round < rounds; ++round) {
+        // Journal a random subset of completed jobs, in a random
+        // completion order.
+        std::vector<std::size_t> done;
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            if (rng.nextUint(2))
+                done.push_back(i);
+        for (std::size_t i = done.size(); i > 1; --i)
+            std::swap(done[i - 1], done[rng.nextUint(i)]);
+
+        std::remove(path.c_str());
+        {
+            ResultJournal journal(path, hash);
+            for (std::size_t idx : done)
+                journal.append(idx, reference[idx]);
+        }
+        SCOPED_TRACE("round " + std::to_string(round) + ": " +
+                     std::to_string(done.size()) + "/" +
+                     std::to_string(reference.size()) +
+                     " jobs journaled before the kill");
+
+        // Half the rounds also die mid-append: shear a random number
+        // of bytes off the tail, which may destroy the last entry —
+        // that job simply re-runs.
+        if (!done.empty() && rng.nextUint(2)) {
+            std::string text;
+            {
+                std::ifstream in(path, std::ios::binary);
+                text.assign(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+            }
+            std::size_t cut = 1 + rng.nextUint(60);
+            if (cut < text.size()) {
+                std::ofstream out(path,
+                                  std::ios::binary | std::ios::trunc);
+                out << text.substr(0, text.size() - cut);
+            }
+        }
+
+        std::map<std::size_t, JobResult> completed =
+            ResultJournal::replay(path, hash);
+        RunnerOptions resumeOpts = serialOpts;
+        resumeOpts.completed = &completed;
+        std::vector<JobResult> resumed =
+            ExperimentRunner(resumeOpts).run(plan);
+
+        ASSERT_EQ(resumed.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            expectBitwiseEqual(reference[i].points[0].sim,
+                               resumed[i].points[0].sim);
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace
